@@ -1,0 +1,30 @@
+"""Shared helpers of the benchmark harness (budgets and row collection)."""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+
+from repro.experiments.runner import ExperimentConfig
+
+#: Rows collected by the individual benchmarks, keyed by table name.
+COLLECTED: dict[str, list[dict]] = defaultdict(list)
+
+
+def bench_config() -> ExperimentConfig:
+    """Benchmark-wide budgets (environment-overridable, see conftest docstring)."""
+    config = ExperimentConfig.from_environment()
+    if "REPRO_BENCH_TIMEOUT" not in os.environ:
+        config.time_budget_s = 20.0
+    if "REPRO_BENCH_SAT_CONFLICTS" not in os.environ:
+        config.sat_conflict_budget = 20_000
+    if "REPRO_BENCH_MONOMIAL_BUDGET" not in os.environ:
+        config.monomial_budget = 400_000
+    return config
+
+
+def record_row(table: str, row: dict) -> None:
+    """Collect a result row and echo it immediately."""
+    COLLECTED[table].append(row)
+    cells = " ".join(f"{key}={value}" for key, value in row.items())
+    print(f"[{table}] {cells}")

@@ -1,0 +1,67 @@
+"""Section III analysis — vanishing monomials in parallel-prefix adders.
+
+The paper motivates the logic-reduction rewriting with the observation (and
+reference [8]) that symbolic computer algebra cannot verify Kogge-Stone
+adders beyond about 6 bits because the vanishing monomials of the carry
+network blow up during reduction.  This benchmark sweeps adder widths for
+MT-Naive, MT-FO and MT-LR and checks the expected shape: MT-LR scales to
+every width while the baselines hit the monomial budget once the prefix
+network is wide enough.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import record_row
+from repro.errors import BlowUpError
+from repro.generators.adders import generate_adder
+from repro.verification.engine import verify_adder
+
+WIDTHS = (4, 8, 16, 24, 32)
+METHODS = ("mt-naive", "mt-fo", "mt-lr")
+MONOMIAL_BUDGET = 100_000
+TIME_BUDGET_S = 15.0
+RESULTS: dict[tuple[str, int], str] = {}
+
+
+def _run(method: str, width: int) -> dict:
+    netlist = generate_adder("KS", width)
+    try:
+        result = verify_adder(netlist, method=method,
+                              monomial_budget=MONOMIAL_BUDGET,
+                              time_budget_s=TIME_BUDGET_S,
+                              find_counterexample=False)
+        return {"status": "ok", "verified": result.verified,
+                "time_s": result.total_time_s,
+                "peak": result.reduction_trace.peak_monomials}
+    except BlowUpError:
+        return {"status": "TO", "verified": None, "time_s": None, "peak": None}
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("method", METHODS)
+def test_kogge_stone_adder_scaling(benchmark, method, width):
+    row = benchmark.pedantic(_run, args=(method, width), rounds=1, iterations=1)
+    RESULTS[(method, width)] = row["status"]
+    record_row("Kogge-Stone adder scaling (Section III)", {
+        "adder": f"KS-{width}", "method": method, "status": row["status"],
+        "peak monomials": row["peak"] if row["peak"] is not None else f">{MONOMIAL_BUDGET}",
+    })
+    if method == "mt-lr":
+        assert row["status"] == "ok" and row["verified"] is True
+    else:
+        assert row["status"] in ("ok", "TO")
+
+
+def test_mt_lr_scales_further_than_the_baselines():
+    """MT-LR must verify at least as many widths as either baseline."""
+    if len(RESULTS) < len(WIDTHS) * len(METHODS):
+        pytest.skip("scaling rows not collected (benchmark-only filtering)")
+
+    def verified_widths(method):
+        return {w for w in WIDTHS if RESULTS[(method, w)] == "ok"}
+
+    assert verified_widths("mt-lr") == set(WIDTHS)
+    assert verified_widths("mt-naive") <= verified_widths("mt-lr")
+    assert verified_widths("mt-fo") <= verified_widths("mt-lr")

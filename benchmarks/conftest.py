@@ -1,0 +1,43 @@
+"""Pytest configuration of the benchmark harness.
+
+The benchmarks regenerate the paper's evaluation tables at Python-feasible
+operand widths.  Defaults keep the full ``pytest benchmarks/ --benchmark-only``
+run in the ten-minute range; widen the sweep with::
+
+    REPRO_BENCH_BITS="8,16,32" REPRO_BENCH_TIMEOUT=300 pytest benchmarks/ --benchmark-only
+
+Each benchmark prints the paper-style row it measured, and the collected
+rows are printed again as complete tables at the end of the session.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import COLLECTED  # noqa: E402  (path set up above)
+
+from repro.experiments.tables import format_table  # noqa: E402
+
+
+@pytest.fixture(scope="session", autouse=True)
+def print_collected_tables():
+    """Print and save every collected table when the benchmark session finishes.
+
+    The paper-style tables are also written to ``bench_tables.txt`` next to
+    this directory so they survive pytest's output capturing.
+    """
+    yield
+    if not COLLECTED:
+        return
+    blocks = []
+    for table in sorted(COLLECTED):
+        blocks.append(format_table(COLLECTED[table], title=table))
+        print()
+        print(blocks[-1])
+    output = Path(__file__).resolve().parent.parent / "bench_tables.txt"
+    output.write_text("\n".join(blocks), encoding="utf-8")

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Vanishing monomials in parallel-prefix adders (the paper's Section III).
+
+Reproduces the motivating observation: plain Gröbner-basis reduction (and
+fanout rewriting) blow up on Kogge-Stone adders because the carry network
+accumulates vanishing monomials, while MT-LR removes them during rewriting
+and scales easily.
+
+Run with::
+
+    python examples/parallel_adder_vanishing.py
+"""
+
+from repro.errors import BlowUpError
+from repro.experiments.tables import format_table
+from repro.generators.adders import generate_adder
+from repro.modeling.model import AlgebraicModel
+from repro.verification import verify_adder
+from repro.verification.rewriting import logic_reduction_rewriting
+from repro.verification.vanishing import VanishingRules
+
+
+def show_vanishing_monomials() -> None:
+    """Count the vanishing monomials removed while rewriting a 16-bit Kogge-Stone."""
+    netlist = generate_adder("KS", 16)
+    model = AlgebraicModel.from_netlist(netlist)
+    rewritten = logic_reduction_rewriting(model, VanishingRules(model))
+    print(f"16-bit Kogge-Stone adder: {netlist.num_gates} gates, "
+          f"{rewritten.cancelled_vanishing_monomials} vanishing monomials removed "
+          "during XOR rewriting")
+    largest = max(tail.max_monomial_degree() for tail in rewritten.tails.values())
+    print(f"largest monomial in the rewritten model: {largest} variables\n")
+
+
+def scaling_table() -> None:
+    rows = []
+    for width in (4, 8, 16, 24, 32):
+        row = {"adder": f"KS-{width}"}
+        for method in ("mt-naive", "mt-fo", "mt-lr"):
+            try:
+                result = verify_adder(generate_adder("KS", width), method=method,
+                                      monomial_budget=100_000, time_budget_s=15.0,
+                                      find_counterexample=False)
+                row[method] = f"{result.total_time_s:.2f}s"
+            except BlowUpError:
+                row[method] = "TO"
+        rows.append(row)
+    print(format_table(rows, title="Kogge-Stone adder verification (TO = blow-up)"))
+
+
+if __name__ == "__main__":
+    show_vanishing_monomials()
+    scaling_table()

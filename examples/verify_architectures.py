@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Sweep the paper's multiplier architectures and compare verification methods.
+
+For every architecture of the benchmark tables this script runs MT-LR and
+MT-FO (and optionally the SAT/BDD baselines) at a configurable width and
+prints a paper-style results table.
+
+Run with::
+
+    python examples/verify_architectures.py [width] [--baselines]
+"""
+
+import sys
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    run_bdd_cec,
+    run_membership_testing,
+    run_sat_cec,
+)
+from repro.experiments.tables import format_table
+from repro.generators.catalog import TABLE1_ARCHITECTURES, TABLE2_ARCHITECTURES
+
+
+def main() -> None:
+    width = int(sys.argv[1]) if len(sys.argv) > 1 and sys.argv[1].isdigit() else 8
+    include_baselines = "--baselines" in sys.argv
+    config = ExperimentConfig(widths=(width,), time_budget_s=30.0,
+                              sat_conflict_budget=30_000)
+
+    rows = []
+    for architecture in TABLE1_ARCHITECTURES + TABLE2_ARCHITECTURES:
+        row = {"benchmark": architecture, "bits": f"{width}/{2 * width}"}
+        if include_baselines:
+            row["sat-cec"] = run_sat_cec(architecture, width, config)["time"]
+            row["bdd-cec"] = run_bdd_cec(architecture, width, config)["time"]
+        row["mt-fo"] = run_membership_testing(architecture, width, "mt-fo",
+                                              config)["time"]
+        mt_lr = run_membership_testing(architecture, width, "mt-lr", config)
+        row["mt-lr"] = mt_lr["time"]
+        row["#CVM"] = mt_lr.get("cancelled_vanishing_monomials", "-")
+        row["verified"] = mt_lr["verified"]
+        rows.append(row)
+        print(f"  finished {architecture}: mt-lr={row['mt-lr']} mt-fo={row['mt-fo']}")
+
+    print()
+    print(format_table(rows, title=f"Verification results for {width}-bit multipliers"))
+
+
+if __name__ == "__main__":
+    main()

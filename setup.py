@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that editable installs keep working on environments whose setuptools/pip
+combination cannot build PEP 660 editable wheels offline
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — formal verification of integer multipliers with Gröbner bases and logic reduction.
+
+A Python reproduction of *"Formal Verification of Integer Multipliers by
+Combining Gröbner Basis with Logic Reduction"* (Sayed-Ahmed, Große, Kühne,
+Soeken, Drechsler — DATE 2016).
+
+The package provides:
+
+* a gate-level netlist substrate and an arithmetic-circuit generator covering
+  the paper's benchmark architectures (``repro.circuit``, ``repro.generators``),
+* a multilinear polynomial algebra and Gröbner-basis machinery
+  (``repro.algebra``),
+* the membership-testing verification engines MT-Naive, MT-FO and MT-LR with
+  the XOR-AND vanishing rule (``repro.modeling``, ``repro.verification``),
+* SAT- and BDD-based equivalence-checking baselines (``repro.baselines``),
+* the benchmark harness regenerating the paper's Tables I–III
+  (``repro.experiments``).
+
+Quickstart::
+
+    from repro.generators import generate_multiplier
+    from repro.verification import verify_multiplier
+
+    netlist = generate_multiplier("BP-WT-CL", 8)
+    result = verify_multiplier(netlist, method="mt-lr")
+    assert result.verified
+"""
+
+from repro.errors import (
+    AlgebraError,
+    BddError,
+    BlowUpError,
+    CircuitError,
+    ModelingError,
+    ReproError,
+    SatError,
+    VerificationError,
+)
+from repro.generators import generate_adder, generate_multiplier
+from repro.verification import verify, verify_adder, verify_multiplier
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgebraError",
+    "BddError",
+    "BlowUpError",
+    "CircuitError",
+    "ModelingError",
+    "ReproError",
+    "SatError",
+    "VerificationError",
+    "__version__",
+    "generate_adder",
+    "generate_multiplier",
+    "verify",
+    "verify_adder",
+    "verify_multiplier",
+]

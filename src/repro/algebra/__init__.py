@@ -1,0 +1,34 @@
+"""Sparse multilinear polynomial algebra over Boolean variables.
+
+This subpackage implements the computer-algebra substrate used by the
+membership-testing verification algorithms: monomials over Boolean variables
+(``x^2`` is reduced to ``x``), polynomials with arbitrary-precision integer
+coefficients, lexicographic monomial orderings induced by a variable order,
+S-polynomials and Gröbner-basis utilities (Buchberger's algorithm, division,
+basis checks).
+"""
+
+from repro.algebra.monomial import Monomial
+from repro.algebra.ordering import MonomialOrder, lex_key
+from repro.algebra.polynomial import Polynomial
+from repro.algebra.ring import PolynomialRing
+from repro.algebra.groebner import (
+    buchberger,
+    divide,
+    is_groebner_basis,
+    leading_monomials_relatively_prime,
+    spoly,
+)
+
+__all__ = [
+    "Monomial",
+    "MonomialOrder",
+    "Polynomial",
+    "PolynomialRing",
+    "buchberger",
+    "divide",
+    "is_groebner_basis",
+    "leading_monomials_relatively_prime",
+    "lex_key",
+    "spoly",
+]

@@ -1,0 +1,144 @@
+"""Gröbner-basis primitives: S-polynomials, division, Buchberger's algorithm.
+
+The verification flow never needs to *compute* a Gröbner basis for circuit
+models — by construction the gate polynomials already form one (Definition 2)
+— but the general machinery is provided for completeness, for the paper's
+running examples and for testing the by-construction claim.
+
+Coefficients are integers; leading coefficients of circuit polynomials are
+always ``±1`` so all divisions stay in ``Z``.  The general routines check
+this and raise :class:`~repro.errors.AlgebraError` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.algebra.monomial import Monomial
+from repro.algebra.ordering import MonomialOrder, LEX
+from repro.algebra.polynomial import Polynomial
+from repro.errors import AlgebraError
+
+
+def spoly(p: Polynomial, g: Polynomial, order: MonomialOrder = LEX) -> Polynomial:
+    """S-polynomial ``Spoly(p, g)`` (Definition 1).
+
+    ``Spoly(p, g) = (L / lt(p)) * p - (L / lt(g)) * g`` with
+    ``L = lcm(lm(p), lm(g))``.  Requires the leading coefficients to divide
+    each other's contribution in ``Z``; for the unit leading coefficients used
+    throughout the circuit models this is always the case.
+    """
+    lm_p, lc_p = p.leading_term(order)
+    lm_g, lc_g = g.leading_term(order)
+    lcm = lm_p.lcm(lm_g)
+    if abs(lc_p) == 1 and abs(lc_g) == 1:
+        # 1 / (±1) = ±1, so the exact rational S-polynomial stays integral.
+        left = p.multiply_term(lc_p, lcm / lm_p)
+        right = g.multiply_term(lc_g, lcm / lm_g)
+        return left - right
+    # General integer coefficients: scale both sides by the leading
+    # coefficients (lc_p * lc_g times the rational S-polynomial).
+    left = p.multiply_term(lc_g, lcm / lm_p)
+    right = g.multiply_term(lc_p, lcm / lm_g)
+    return left - right
+
+
+def leading_monomials_relatively_prime(polys: Sequence[Polynomial],
+                                       order: MonomialOrder = LEX) -> bool:
+    """Check the pairwise relative primality of leading monomials (Lemma 1)."""
+    leads = [p.leading_monomial(order) for p in polys if not p.is_zero]
+    for i, lm_i in enumerate(leads):
+        for lm_j in leads[i + 1:]:
+            if not lm_i.relatively_prime(lm_j):
+                return False
+    return True
+
+
+def divide(p: Polynomial, divisors: Sequence[Polynomial],
+           order: MonomialOrder = LEX,
+           max_steps: int | None = None) -> tuple[list[Polynomial], Polynomial]:
+    """Multivariate division of ``p`` by an ordered list of divisors.
+
+    Returns ``(quotients, remainder)`` with
+    ``p = sum(q_i * divisors_i) + remainder`` and no monomial of the
+    remainder divisible by any divisor's leading monomial
+    (``p --G-->+ r`` in the paper's notation).
+    """
+    quotients = [Polynomial.zero() for _ in divisors]
+    remainder = Polynomial.zero()
+    work = p
+    leads = [d.leading_term(order) for d in divisors]
+    steps = 0
+    while not work.is_zero:
+        if max_steps is not None and steps > max_steps:
+            raise AlgebraError("division exceeded the maximum number of steps")
+        steps += 1
+        lm_w, lc_w = work.leading_term(order)
+        for i, (lm_d, lc_d) in enumerate(leads):
+            if lm_d.divides(lm_w) and lc_w % lc_d == 0:
+                factor_coeff = lc_w // lc_d
+                factor_mono = lm_w / lm_d
+                quotients[i] = quotients[i] + Polynomial.term(factor_coeff, factor_mono)
+                work = work - divisors[i].multiply_term(factor_coeff, factor_mono)
+                break
+        else:
+            remainder = remainder + Polynomial.term(lc_w, lm_w)
+            work = work - Polynomial.term(lc_w, lm_w)
+    return quotients, remainder
+
+
+def reduce(p: Polynomial, divisors: Sequence[Polynomial],
+           order: MonomialOrder = LEX,
+           max_steps: int | None = None) -> Polynomial:
+    """Remainder of dividing ``p`` by ``divisors`` (quotients discarded)."""
+    _, remainder = divide(p, divisors, order, max_steps=max_steps)
+    return remainder
+
+
+def is_groebner_basis(polys: Sequence[Polynomial], order: MonomialOrder = LEX,
+                      structural_only: bool = False) -> bool:
+    """Check whether ``polys`` is a Gröbner basis.
+
+    With ``structural_only=True`` only the relative-primality criterion of
+    Definition 2 is checked (sufficient by Lemma 1 / Buchberger's first
+    criterion).  Otherwise every S-polynomial is reduced and checked for a
+    zero remainder — exponential, only meant for small test systems.
+    """
+    polys = [p for p in polys if not p.is_zero]
+    if leading_monomials_relatively_prime(polys, order):
+        return True
+    if structural_only:
+        return False
+    for i, p in enumerate(polys):
+        for g in polys[i + 1:]:
+            s = spoly(p, g, order)
+            if not reduce(s, polys, order).is_zero:
+                return False
+    return True
+
+
+def buchberger(generators: Iterable[Polynomial], order: MonomialOrder = LEX,
+               max_basis_size: int = 256) -> list[Polynomial]:
+    """Buchberger's algorithm for small ideals (test/demo use only).
+
+    Repeatedly reduces S-polynomials and adds non-zero remainders to the
+    basis until every S-polynomial reduces to zero.  ``max_basis_size``
+    bounds run-away growth.
+    """
+    basis = [p for p in generators if not p.is_zero]
+    pairs = [(i, j) for i in range(len(basis)) for j in range(i + 1, len(basis))]
+    while pairs:
+        i, j = pairs.pop()
+        lm_i = basis[i].leading_monomial(order)
+        lm_j = basis[j].leading_monomial(order)
+        if lm_i.relatively_prime(lm_j):
+            continue  # Buchberger's first criterion (Lemma 1)
+        remainder = reduce(spoly(basis[i], basis[j], order), basis, order)
+        if remainder.is_zero:
+            continue
+        basis.append(remainder)
+        if len(basis) > max_basis_size:
+            raise AlgebraError("Buchberger basis exceeded the size limit")
+        new_index = len(basis) - 1
+        pairs.extend((k, new_index) for k in range(new_index))
+    return basis

@@ -1,0 +1,107 @@
+"""Monomials over Boolean variables.
+
+In the Boolean domain every variable satisfies ``x^2 = x`` (the ideal
+``<x^2 - x>`` is built into the representation, as in the paper), so a
+monomial is fully described by the *set* of variables it contains.  A
+:class:`Monomial` is therefore an immutable set of integer variable indices.
+The empty monomial is the constant ``1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Monomial(frozenset):
+    """An immutable product of distinct Boolean variables.
+
+    Variables are integer indices into a :class:`repro.algebra.ring.PolynomialRing`.
+    Multiplication is set union (Boolean idempotence), division is set
+    difference, and divisibility is the subset relation.
+    """
+
+    __slots__ = ()
+
+    ONE: "Monomial"
+
+    def __new__(cls, variables: Iterable[int] = ()) -> "Monomial":
+        return super().__new__(cls, variables)
+
+    # -- algebraic operations -------------------------------------------------
+
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        """Product of two monomials (``x^2`` collapses to ``x``)."""
+        return Monomial(frozenset.__or__(self, other))
+
+    def divides(self, other: "Monomial") -> bool:
+        """Return ``True`` if this monomial divides ``other``."""
+        return self.issubset(other)
+
+    def __truediv__(self, other: "Monomial") -> "Monomial":
+        """Exact division; ``other`` must divide ``self``."""
+        if not other.issubset(self):
+            raise ValueError(f"{other!r} does not divide {self!r}")
+        return Monomial(frozenset.__sub__(self, other))
+
+    def lcm(self, other: "Monomial") -> "Monomial":
+        """Least common multiple (set union for multilinear monomials)."""
+        return Monomial(frozenset.__or__(self, other))
+
+    def gcd(self, other: "Monomial") -> "Monomial":
+        """Greatest common divisor (set intersection)."""
+        return Monomial(frozenset.__and__(self, other))
+
+    def relatively_prime(self, other: "Monomial") -> bool:
+        """Return ``True`` if the two monomials share no variable (Lemma 1)."""
+        return self.isdisjoint(other)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Total degree, i.e. the number of distinct variables."""
+        return len(self)
+
+    @property
+    def is_constant(self) -> bool:
+        """Return ``True`` for the constant monomial ``1``."""
+        return not self
+
+    def variables(self) -> Iterator[int]:
+        """Iterate over the variable indices in ascending order."""
+        return iter(sorted(self))
+
+    def sort_key(self) -> tuple[int, ...]:
+        """Key realising the lexicographic order induced by the variable order.
+
+        Variable indices are compared from the largest downwards, so a
+        monomial containing a higher variable is larger than any monomial
+        over strictly lower variables — exactly the property required for
+        gate polynomials whose leading monomial must be the gate output.
+        """
+        return tuple(sorted(self, reverse=True))
+
+    def evaluate(self, assignment) -> int:
+        """Evaluate under a Boolean assignment (mapping or sequence)."""
+        for var in self:
+            if not assignment[var]:
+                return 0
+        return 1
+
+    # -- formatting -----------------------------------------------------------
+
+    def to_str(self, names=None) -> str:
+        """Render as ``a*b*c`` using ``names`` (or raw indices)."""
+        if not self:
+            return "1"
+        ordered = sorted(self, reverse=True)
+        if names is None:
+            return "*".join(f"x{v}" for v in ordered)
+        return "*".join(str(names(v)) if callable(names) else str(names[v])
+                        for v in ordered)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Monomial({sorted(self)})"
+
+
+Monomial.ONE = Monomial()

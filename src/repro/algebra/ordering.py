@@ -1,0 +1,68 @@
+"""Monomial orderings.
+
+The verification flow uses a *lexicographic* order induced by a total order
+on the variables: variables are numbered so that a gate output always has a
+larger index than any of its (transitive) inputs — the "reverse topological
+level" order of the paper.  Under this order the leading monomial of every
+gate polynomial is the single gate-output variable, which makes the circuit
+model a Gröbner basis by construction (Definition 2 / Lemma 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algebra.monomial import Monomial
+
+
+def lex_key(monomial: Monomial) -> tuple[int, ...]:
+    """Sort key realising lex order for multilinear monomials.
+
+    For multilinear (Boolean) monomials, comparing the descending tuples of
+    variable indices element-wise is equivalent to comparing exponent vectors
+    lexicographically with ``x_n > x_{n-1} > ... > x_0``.
+    """
+    return monomial.sort_key()
+
+
+def deglex_key(monomial: Monomial) -> tuple:
+    """Sort key for degree-lexicographic order (ties broken by lex)."""
+    return (monomial.degree, monomial.sort_key())
+
+
+class MonomialOrder:
+    """A monomial order given by a key function (larger key = larger monomial)."""
+
+    __slots__ = ("name", "_key")
+
+    def __init__(self, name: str = "lex",
+                 key: Callable[[Monomial], tuple] | None = None) -> None:
+        if key is None:
+            key = {"lex": lex_key, "deglex": deglex_key}.get(name)
+            if key is None:
+                raise ValueError(f"unknown monomial order {name!r}")
+        self.name = name
+        self._key = key
+
+    def key(self, monomial: Monomial) -> tuple:
+        """Return the comparison key of ``monomial``."""
+        return self._key(monomial)
+
+    def greater(self, a: Monomial, b: Monomial) -> bool:
+        """Return ``True`` if ``a > b`` in this order."""
+        return self._key(a) > self._key(b)
+
+    def max(self, monomials) -> Monomial:
+        """Return the largest monomial of a non-empty iterable."""
+        return max(monomials, key=self._key)
+
+    def sorted(self, monomials, reverse: bool = True) -> list[Monomial]:
+        """Sort monomials, largest first by default (paper's convention)."""
+        return sorted(monomials, key=self._key, reverse=reverse)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"MonomialOrder({self.name!r})"
+
+
+LEX = MonomialOrder("lex")
+DEGLEX = MonomialOrder("deglex")

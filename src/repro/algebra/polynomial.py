@@ -1,0 +1,363 @@
+"""Sparse multilinear polynomials with integer coefficients.
+
+A :class:`Polynomial` is a finite sum of terms ``c * M`` where ``c`` is a
+Python integer (arbitrary precision, as needed for the ``2^(2n)`` weights of
+multiplier specifications) and ``M`` is a :class:`~repro.algebra.monomial.Monomial`
+over Boolean variables.  All operations keep the representation multilinear,
+i.e. the Boolean ideal ``<x^2 - x>`` is applied implicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.algebra.monomial import Monomial
+from repro.algebra.ordering import MonomialOrder, LEX
+from repro.errors import AlgebraError
+
+
+class Polynomial:
+    """An immutable sparse polynomial ``c1*M1 + ... + ct*Mt``.
+
+    Terms with zero coefficient are never stored.  The class is designed for
+    the two hot operations of the verification flow: term-wise addition and
+    substitution of a single variable by another polynomial.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Monomial, int] | None = None) -> None:
+        clean: dict[Monomial, int] = {}
+        if terms:
+            for mono, coeff in terms.items():
+                if coeff:
+                    if not isinstance(mono, Monomial):
+                        mono = Monomial(mono)
+                    clean[mono] = clean.get(mono, 0) + coeff
+                    if clean[mono] == 0:
+                        del clean[mono]
+        self._terms = clean
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """The zero polynomial."""
+        return cls()
+
+    @classmethod
+    def constant(cls, value: int) -> "Polynomial":
+        """The constant polynomial ``value``."""
+        if value == 0:
+            return cls()
+        return cls({Monomial.ONE: value})
+
+    @classmethod
+    def variable(cls, var: int, coefficient: int = 1) -> "Polynomial":
+        """The polynomial ``coefficient * x_var``."""
+        return cls({Monomial((var,)): coefficient})
+
+    @classmethod
+    def term(cls, coefficient: int, variables: Iterable[int]) -> "Polynomial":
+        """A single term ``coefficient * prod(variables)``."""
+        return cls({Monomial(variables): coefficient})
+
+    @classmethod
+    def from_terms(cls, terms: Iterable[tuple[int, Iterable[int]]]) -> "Polynomial":
+        """Build from ``(coefficient, variables)`` pairs, summing duplicates."""
+        acc: dict[Monomial, int] = {}
+        for coeff, variables in terms:
+            mono = Monomial(variables)
+            acc[mono] = acc.get(mono, 0) + coeff
+        return cls(acc)
+
+    # -- basic queries --------------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        """Return ``True`` if this is the zero polynomial."""
+        return not self._terms
+
+    @property
+    def is_constant(self) -> bool:
+        """Return ``True`` if the polynomial has no variables."""
+        return all(m.is_constant for m in self._terms)
+
+    @property
+    def num_terms(self) -> int:
+        """Number of monomials with non-zero coefficient (``#M`` per poly)."""
+        return len(self._terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __bool__(self) -> bool:
+        return bool(self._terms)
+
+    def terms(self) -> Iterator[tuple[Monomial, int]]:
+        """Iterate over ``(monomial, coefficient)`` pairs (unordered)."""
+        return iter(self._terms.items())
+
+    def monomials(self) -> Iterator[Monomial]:
+        """Iterate over the monomials (unordered)."""
+        return iter(self._terms.keys())
+
+    def coefficient(self, monomial: Monomial | Iterable[int]) -> int:
+        """Coefficient of ``monomial`` (0 if absent)."""
+        if not isinstance(monomial, Monomial):
+            monomial = Monomial(monomial)
+        return self._terms.get(monomial, 0)
+
+    def constant_term(self) -> int:
+        """Coefficient of the constant monomial ``1``."""
+        return self._terms.get(Monomial.ONE, 0)
+
+    def support(self) -> set[int]:
+        """Set of variables appearing in the polynomial (``Vars(p)``)."""
+        out: set[int] = set()
+        for mono in self._terms:
+            out.update(mono)
+        return out
+
+    def max_monomial_degree(self) -> int:
+        """Largest number of variables in any monomial (``#VM`` statistic)."""
+        if not self._terms:
+            return 0
+        return max(len(m) for m in self._terms)
+
+    def contains_variable(self, var: int) -> bool:
+        """Return ``True`` if ``var`` occurs in some monomial."""
+        return any(var in mono for mono in self._terms)
+
+    # -- leading term ---------------------------------------------------------
+
+    def leading_monomial(self, order: MonomialOrder = LEX) -> Monomial:
+        """``lm(p)`` — the largest monomial w.r.t. ``order``."""
+        if not self._terms:
+            raise AlgebraError("the zero polynomial has no leading monomial")
+        return order.max(self._terms.keys())
+
+    def leading_coefficient(self, order: MonomialOrder = LEX) -> int:
+        """``lc(p)`` — the coefficient of the leading monomial."""
+        return self._terms[self.leading_monomial(order)]
+
+    def leading_term(self, order: MonomialOrder = LEX) -> tuple[Monomial, int]:
+        """``lt(p)`` as a ``(monomial, coefficient)`` pair."""
+        mono = self.leading_monomial(order)
+        return mono, self._terms[mono]
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial._raw({m: -c for m, c in self._terms.items()})
+
+    def __add__(self, other: "Polynomial | int") -> "Polynomial":
+        if isinstance(other, int):
+            other = Polynomial.constant(other)
+        if len(self._terms) < len(other._terms):
+            small, big = self._terms, dict(other._terms)
+        else:
+            small, big = other._terms, dict(self._terms)
+        for mono, coeff in small.items():
+            new = big.get(mono, 0) + coeff
+            if new:
+                big[mono] = new
+            else:
+                big.pop(mono, None)
+        return Polynomial._raw(big)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Polynomial | int") -> "Polynomial":
+        if isinstance(other, int):
+            other = Polynomial.constant(other)
+        return self + (-other)
+
+    def __rsub__(self, other: int) -> "Polynomial":
+        return Polynomial.constant(other) + (-self)
+
+    def __mul__(self, other: "Polynomial | int") -> "Polynomial":
+        if isinstance(other, int):
+            if other == 0:
+                return Polynomial.zero()
+            if other == 1:
+                return self
+            return Polynomial._raw({m: c * other for m, c in self._terms.items()})
+        acc: dict[Monomial, int] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in other._terms.items():
+                prod = Monomial(frozenset.__or__(m1, m2))
+                new = acc.get(prod, 0) + c1 * c2
+                if new:
+                    acc[prod] = new
+                else:
+                    acc.pop(prod, None)
+        return Polynomial._raw(acc)
+
+    __rmul__ = __mul__
+
+    def multiply_term(self, coefficient: int, monomial: Monomial) -> "Polynomial":
+        """Multiply by a single term ``coefficient * monomial``."""
+        if coefficient == 0:
+            return Polynomial.zero()
+        acc: dict[Monomial, int] = {}
+        for mono, coeff in self._terms.items():
+            prod = Monomial(frozenset.__or__(mono, monomial))
+            new = acc.get(prod, 0) + coeff * coefficient
+            if new:
+                acc[prod] = new
+            else:
+                acc.pop(prod, None)
+        return Polynomial._raw(acc)
+
+    # -- substitution (the hot path of GB reduction / rewriting) --------------
+
+    def substitute(self, var: int, replacement: "Polynomial") -> "Polynomial":
+        """Substitute ``var := replacement`` and return the new polynomial.
+
+        This realises one division (S-polynomial) step against a gate
+        polynomial ``-var + tail`` whose leading monomial is the single
+        variable ``var``: every occurrence of ``var`` in a monomial is
+        replaced by the tail polynomial, with Boolean idempotence applied.
+        """
+        untouched: dict[Monomial, int] = {}
+        acc: dict[Monomial, int] = {}
+        rep_terms = replacement._terms
+        for mono, coeff in self._terms.items():
+            if var not in mono:
+                untouched[mono] = untouched.get(mono, 0) + coeff
+                continue
+            rest = Monomial(frozenset.difference(mono, (var,)))
+            for rep_mono, rep_coeff in rep_terms.items():
+                prod = Monomial(frozenset.__or__(rest, rep_mono))
+                new = acc.get(prod, 0) + coeff * rep_coeff
+                if new:
+                    acc[prod] = new
+                else:
+                    acc.pop(prod, None)
+        for mono, coeff in untouched.items():
+            new = acc.get(mono, 0) + coeff
+            if new:
+                acc[mono] = new
+            else:
+                acc.pop(mono, None)
+        return Polynomial._raw(acc)
+
+    def substitute_many(self, replacements: Mapping[int, "Polynomial"]) -> "Polynomial":
+        """Substitute several variables one after another (arbitrary order)."""
+        result = self
+        for var, poly in replacements.items():
+            result = result.substitute(var, poly)
+        return result
+
+    # -- coefficient filtering -------------------------------------------------
+
+    def drop_coefficient_multiples(self, modulus: int) -> "Polynomial":
+        """Remove terms whose coefficient is a multiple of ``modulus``.
+
+        This implements the paper's ``r <- r mod 2^(2n)`` step for multiplier
+        specifications: terms with coefficients that are multiples of
+        ``2^(2n)`` are removed from the remainder.
+        """
+        if modulus <= 0:
+            raise AlgebraError("modulus must be positive")
+        return Polynomial._raw(
+            {m: c for m, c in self._terms.items() if c % modulus != 0})
+
+    def reduce_coefficients(self, modulus: int) -> "Polynomial":
+        """Reduce every coefficient into the symmetric range modulo ``modulus``."""
+        if modulus <= 0:
+            raise AlgebraError("modulus must be positive")
+        acc: dict[Monomial, int] = {}
+        half = modulus // 2
+        for mono, coeff in self._terms.items():
+            red = coeff % modulus
+            if red > half:
+                red -= modulus
+            if red:
+                acc[mono] = red
+        return Polynomial._raw(acc)
+
+    def filter_monomials(self, keep: Callable[[Monomial], bool]) -> tuple["Polynomial", int]:
+        """Keep only monomials for which ``keep`` returns ``True``.
+
+        Returns the filtered polynomial and the number of removed terms
+        (used to count cancelled vanishing monomials, ``#CVM``).
+        """
+        kept: dict[Monomial, int] = {}
+        removed = 0
+        for mono, coeff in self._terms.items():
+            if keep(mono):
+                kept[mono] = coeff
+            else:
+                removed += 1
+        if removed == 0:
+            return self, 0
+        return Polynomial._raw(kept), removed
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[int, int]) -> int:
+        """Evaluate under a Boolean assignment of the support variables."""
+        total = 0
+        for mono, coeff in self._terms.items():
+            value = coeff
+            for var in mono:
+                if not assignment[var]:
+                    value = 0
+                    break
+            total += value
+        return total
+
+    # -- comparison / formatting ----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            if other == 0:
+                return not self._terms
+            other = Polynomial.constant(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._terms.items()))
+
+    def sorted_terms(self, order: MonomialOrder = LEX) -> list[tuple[Monomial, int]]:
+        """Terms sorted leading-first according to ``order``."""
+        return sorted(self._terms.items(), key=lambda kv: order.key(kv[0]),
+                      reverse=True)
+
+    def to_str(self, names=None, order: MonomialOrder = LEX) -> str:
+        """Render as a human-readable sum, leading term first."""
+        if not self._terms:
+            return "0"
+        parts: list[str] = []
+        for mono, coeff in self.sorted_terms(order):
+            if mono.is_constant:
+                text = str(abs(coeff))
+            else:
+                mono_str = mono.to_str(names)
+                text = mono_str if abs(coeff) == 1 else f"{abs(coeff)}*{mono_str}"
+            sign = "-" if coeff < 0 else "+"
+            if not parts:
+                parts.append(f"-{text}" if coeff < 0 else text)
+            else:
+                parts.append(f" {sign} {text}")
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Polynomial({self.to_str()})"
+
+    # -- internal -------------------------------------------------------------
+
+    @classmethod
+    def _raw(cls, terms: dict[Monomial, int]) -> "Polynomial":
+        """Wrap an already-clean term dict without re-normalising."""
+        poly = object.__new__(cls)
+        poly._terms = terms
+        return poly
+
+
+ZERO = Polynomial.zero()
+ONE = Polynomial.constant(1)

@@ -1,0 +1,97 @@
+"""Polynomial ring bookkeeping: variable names and their total order.
+
+A :class:`PolynomialRing` maps symbolic signal names to integer variable
+indices.  The *index* doubles as the position in the variable order used by
+the lexicographic monomial order: a larger index means a larger variable.
+The circuit modelling layer assigns indices so that every gate output is
+larger than all of its transitive inputs (reverse topological order), which
+makes the extracted gate polynomials a Gröbner basis by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.algebra.monomial import Monomial
+from repro.algebra.polynomial import Polynomial
+from repro.errors import AlgebraError
+
+
+class PolynomialRing:
+    """A ring ``Z[x_0, ..., x_{n-1}]`` over named Boolean variables."""
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._names: list[str] = []
+        self._index: dict[str, int] = {}
+        for name in names:
+            self.add_variable(name)
+
+    # -- variable management --------------------------------------------------
+
+    def add_variable(self, name: str) -> int:
+        """Append ``name`` as the new largest variable and return its index."""
+        if name in self._index:
+            raise AlgebraError(f"variable {name!r} already exists")
+        index = len(self._names)
+        self._names.append(name)
+        self._index[name] = index
+        return index
+
+    def extend(self, names: Iterable[str]) -> list[int]:
+        """Add several variables in the given (ascending) order."""
+        return [self.add_variable(name) for name in names]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables in the ring."""
+        return len(self._names)
+
+    def index(self, name: str) -> int:
+        """Index (order position) of a variable name."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise AlgebraError(f"unknown variable {name!r}") from None
+
+    def name(self, index: int) -> str:
+        """Name of the variable with the given index."""
+        try:
+            return self._names[index]
+        except IndexError:
+            raise AlgebraError(f"unknown variable index {index}") from None
+
+    def names(self) -> Iterator[str]:
+        """Iterate over variable names in ascending order of index."""
+        return iter(self._names)
+
+    def indices(self, names: Iterable[str]) -> list[int]:
+        """Map several names to indices."""
+        return [self.index(name) for name in names]
+
+    # -- polynomial construction ----------------------------------------------
+
+    def variable(self, name: str, coefficient: int = 1) -> Polynomial:
+        """The polynomial ``coefficient * name``."""
+        return Polynomial.variable(self.index(name), coefficient)
+
+    def monomial(self, names: Iterable[str]) -> Monomial:
+        """Monomial over the given variable names."""
+        return Monomial(self.index(name) for name in names)
+
+    def polynomial(self, terms: Iterable[tuple[int, Iterable[str]]]) -> Polynomial:
+        """Build a polynomial from ``(coefficient, variable-names)`` terms."""
+        return Polynomial.from_terms(
+            (coeff, (self.index(n) for n in names)) for coeff, names in terms)
+
+    def render(self, poly: Polynomial) -> str:
+        """Pretty-print a polynomial with this ring's variable names."""
+        return poly.to_str(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PolynomialRing({len(self._names)} variables)"

@@ -1,0 +1,15 @@
+"""Conventional equivalence-checking baselines (SAT miter, BDD).
+
+These stand in for the commercial equivalence checker, ABC ``cec`` and the
+CPP approach of the paper's comparison columns; see DESIGN.md §3.
+"""
+
+from repro.baselines.sat.miter import sat_equivalence_check, SatCheckResult
+from repro.baselines.bdd.equivalence import bdd_equivalence_check, BddCheckResult
+
+__all__ = [
+    "BddCheckResult",
+    "SatCheckResult",
+    "bdd_equivalence_check",
+    "sat_equivalence_check",
+]

@@ -1,0 +1,6 @@
+"""Reduced ordered binary decision diagram (ROBDD) baseline."""
+
+from repro.baselines.bdd.bdd import BddManager
+from repro.baselines.bdd.equivalence import bdd_equivalence_check, BddCheckResult
+
+__all__ = ["BddManager", "BddCheckResult", "bdd_equivalence_check"]

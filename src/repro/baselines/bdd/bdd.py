@@ -1,0 +1,172 @@
+"""A compact ROBDD package.
+
+Nodes are stored in a unique table keyed by ``(variable, low, high)``; the
+two terminal nodes are ``0`` and ``1``.  Negated edges are not used — the
+package favours clarity, its purpose in the reproduction being to exhibit
+the classical exponential blow-up of decision diagrams on multiplier
+outputs (one of the motivations cited in the paper's introduction).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BddError
+
+
+class BddManager:
+    """Manager owning the unique table and the ITE computed table."""
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, num_variables: int, node_budget: int | None = 2_000_000) -> None:
+        self.num_variables = num_variables
+        self.node_budget = node_budget
+        # node id -> (level, low, high); terminals use level = num_variables.
+        self._nodes: list[tuple[int, int, int]] = [
+            (num_variables, 0, 0), (num_variables, 1, 1)]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+
+    # -- node management --------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of allocated nodes (including the two terminals)."""
+        return len(self._nodes)
+
+    def level(self, node: int) -> int:
+        """Variable level of a node (``num_variables`` for terminals)."""
+        return self._nodes[node][0]
+
+    def low(self, node: int) -> int:
+        """Else-child."""
+        return self._nodes[node][1]
+
+    def high(self, node: int) -> int:
+        """Then-child."""
+        return self._nodes[node][2]
+
+    def _make_node(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if self.node_budget is not None and len(self._nodes) >= self.node_budget:
+            raise BddError(
+                f"BDD node budget of {self.node_budget} nodes exceeded")
+        node = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = node
+        return node
+
+    def variable(self, level: int) -> int:
+        """BDD for a single variable at the given level."""
+        if not 0 <= level < self.num_variables:
+            raise BddError(f"variable level {level} out of range")
+        return self._make_node(level, self.FALSE, self.TRUE)
+
+    # -- boolean operations -------------------------------------------------------
+
+    def ite(self, cond: int, then_node: int, else_node: int) -> int:
+        """If-then-else, the universal ROBDD operation."""
+        if cond == self.TRUE:
+            return then_node
+        if cond == self.FALSE:
+            return else_node
+        if then_node == self.TRUE and else_node == self.FALSE:
+            return cond
+        if then_node == else_node:
+            return then_node
+        key = (cond, then_node, else_node)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self.level(cond), self.level(then_node), self.level(else_node))
+
+        def cofactor(node: int, phase: bool) -> int:
+            if self.level(node) != top:
+                return node
+            return self.high(node) if phase else self.low(node)
+
+        high = self.ite(cofactor(cond, True), cofactor(then_node, True),
+                        cofactor(else_node, True))
+        low = self.ite(cofactor(cond, False), cofactor(then_node, False),
+                       cofactor(else_node, False))
+        result = self._make_node(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def not_(self, node: int) -> int:
+        """Negation."""
+        return self.ite(node, self.FALSE, self.TRUE)
+
+    def and_(self, a: int, b: int) -> int:
+        """Conjunction."""
+        return self.ite(a, b, self.FALSE)
+
+    def or_(self, a: int, b: int) -> int:
+        """Disjunction."""
+        return self.ite(a, self.TRUE, b)
+
+    def xor(self, a: int, b: int) -> int:
+        """Exclusive or."""
+        return self.ite(a, self.not_(b), b)
+
+    def apply_gate(self, kind: str, operands: list[int]) -> int:
+        """Fold a named gate function over BDD operands."""
+        if kind == "not":
+            return self.not_(operands[0])
+        if kind == "buf":
+            return operands[0]
+        if kind == "const0":
+            return self.FALSE
+        if kind == "const1":
+            return self.TRUE
+        fold = {"and": self.and_, "or": self.or_, "xor": self.xor,
+                "nand": self.and_, "nor": self.or_, "xnor": self.xor}.get(kind)
+        if fold is None:
+            raise BddError(f"unsupported gate kind {kind!r}")
+        result = operands[0]
+        for operand in operands[1:]:
+            result = fold(result, operand)
+        if kind in ("nand", "nor", "xnor"):
+            result = self.not_(result)
+        return result
+
+    # -- queries -------------------------------------------------------------------
+
+    def evaluate(self, node: int, assignment) -> bool:
+        """Evaluate a BDD under an assignment indexed by level."""
+        while node not in (self.FALSE, self.TRUE):
+            level = self.level(node)
+            node = self.high(node) if assignment[level] else self.low(node)
+        return node == self.TRUE
+
+    def satisfying_assignment(self, node: int) -> dict[int, int] | None:
+        """Return one satisfying assignment (levels to 0/1), or ``None``."""
+        if node == self.FALSE:
+            return None
+        assignment: dict[int, int] = {}
+        while node != self.TRUE:
+            if self.high(node) != self.FALSE:
+                assignment[self.level(node)] = 1
+                node = self.high(node)
+            else:
+                assignment[self.level(node)] = 0
+                node = self.low(node)
+        return assignment
+
+    def size(self, node: int) -> int:
+        """Number of distinct nodes reachable from ``node``."""
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in seen or current in (self.FALSE, self.TRUE):
+                continue
+            seen.add(current)
+            stack.append(self.low(current))
+            stack.append(self.high(current))
+        return len(seen) + 2

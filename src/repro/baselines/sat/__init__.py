@@ -1,0 +1,14 @@
+"""SAT-based combinational equivalence checking (CEC) baseline."""
+
+from repro.baselines.sat.cnf import CNF, tseitin_encode
+from repro.baselines.sat.solver import CdclSolver, SolverResult
+from repro.baselines.sat.miter import build_miter, sat_equivalence_check
+
+__all__ = [
+    "CNF",
+    "CdclSolver",
+    "SolverResult",
+    "build_miter",
+    "sat_equivalence_check",
+    "tseitin_encode",
+]

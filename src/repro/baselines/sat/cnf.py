@@ -1,0 +1,139 @@
+"""CNF formulas and Tseitin encoding of netlists.
+
+Literals follow the DIMACS convention: variables are positive integers,
+negative integers denote negated literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+from repro.errors import SatError
+
+
+@dataclass
+class CNF:
+    """A CNF formula: a list of clauses over integer variables."""
+
+    num_variables: int = 0
+    clauses: list[tuple[int, ...]] = field(default_factory=list)
+
+    def new_variable(self) -> int:
+        """Allocate a fresh variable."""
+        self.num_variables += 1
+        return self.num_variables
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add one clause, validating the literals."""
+        clause = tuple(literals)
+        if not clause:
+            raise SatError("cannot add an empty clause explicitly")
+        for literal in clause:
+            if literal == 0 or abs(literal) > self.num_variables:
+                raise SatError(f"literal {literal} out of range")
+        self.clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add several clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self.clauses)
+
+    def to_dimacs(self) -> str:
+        """Render in DIMACS format (for debugging / external solvers)."""
+        lines = [f"p cnf {self.num_variables} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+
+def _encode_and(cnf: CNF, output: int, inputs: list[int]) -> None:
+    for literal in inputs:
+        cnf.add_clause((-output, literal))
+    cnf.add_clause(tuple(-l for l in inputs) + (output,))
+
+
+def _encode_or(cnf: CNF, output: int, inputs: list[int]) -> None:
+    for literal in inputs:
+        cnf.add_clause((output, -literal))
+    cnf.add_clause(tuple(inputs) + (-output,))
+
+
+def _encode_xor2(cnf: CNF, output: int, a: int, b: int) -> None:
+    cnf.add_clause((-output, a, b))
+    cnf.add_clause((-output, -a, -b))
+    cnf.add_clause((output, -a, b))
+    cnf.add_clause((output, a, -b))
+
+
+def tseitin_encode(netlist: Netlist, cnf: CNF | None = None,
+                   variable_map: dict[str, int] | None = None
+                   ) -> tuple[CNF, dict[str, int]]:
+    """Tseitin-encode a netlist into CNF.
+
+    Returns the CNF and the mapping from signal names to CNF variables.  An
+    existing ``cnf``/``variable_map`` can be passed to encode two circuits
+    over shared primary-input variables (miter construction).
+    """
+    cnf = cnf or CNF()
+    variables = variable_map if variable_map is not None else {}
+
+    def var_of(signal: str) -> int:
+        if signal not in variables:
+            variables[signal] = cnf.new_variable()
+        return variables[signal]
+
+    for name in netlist.inputs:
+        var_of(name)
+
+    for gate in netlist.gates():
+        out = var_of(gate.output)
+        ins = [var_of(s) for s in gate.inputs]
+        kind = gate.gate_type
+        if kind is GateType.CONST0:
+            cnf.add_clause((-out,))
+        elif kind is GateType.CONST1:
+            cnf.add_clause((out,))
+        elif kind is GateType.BUF:
+            cnf.add_clause((-out, ins[0]))
+            cnf.add_clause((out, -ins[0]))
+        elif kind is GateType.NOT:
+            cnf.add_clause((-out, -ins[0]))
+            cnf.add_clause((out, ins[0]))
+        elif kind is GateType.AND:
+            _encode_and(cnf, out, ins)
+        elif kind is GateType.NAND:
+            aux = cnf.new_variable()
+            _encode_and(cnf, aux, ins)
+            cnf.add_clause((-out, -aux))
+            cnf.add_clause((out, aux))
+        elif kind is GateType.OR:
+            _encode_or(cnf, out, ins)
+        elif kind is GateType.NOR:
+            aux = cnf.new_variable()
+            _encode_or(cnf, aux, ins)
+            cnf.add_clause((-out, -aux))
+            cnf.add_clause((out, aux))
+        elif kind in (GateType.XOR, GateType.XNOR):
+            current = ins[0]
+            for operand in ins[1:-1]:
+                aux = cnf.new_variable()
+                _encode_xor2(cnf, aux, current, operand)
+                current = aux
+            if kind is GateType.XOR:
+                _encode_xor2(cnf, out, current, ins[-1])
+            else:
+                aux = cnf.new_variable()
+                _encode_xor2(cnf, aux, current, ins[-1])
+                cnf.add_clause((-out, -aux))
+                cnf.add_clause((out, aux))
+        else:  # pragma: no cover - defensive
+            raise SatError(f"unsupported gate type {kind!r}")
+    return cnf, variables

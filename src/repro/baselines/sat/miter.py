@@ -1,0 +1,106 @@
+"""Miter construction and SAT-based combinational equivalence checking.
+
+This is the stand-in for the commercial equivalence checker / ABC ``cec``
+column of the paper's tables (DESIGN.md §3): the circuit under verification
+is compared against a golden reference circuit by building a miter (XOR of
+corresponding outputs, OR-ed together) and asking a CDCL SAT solver whether
+the miter output can be 1.  ``UNSAT`` means the circuits are equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.sat.cnf import CNF, tseitin_encode
+from repro.baselines.sat.solver import CdclSolver
+from repro.circuit.netlist import Netlist
+from repro.errors import SatError
+
+
+@dataclass
+class SatCheckResult:
+    """Outcome of a SAT-based equivalence check."""
+
+    status: str                      # "equivalent", "different", "unknown"
+    conflicts: int = 0
+    decisions: int = 0
+    num_variables: int = 0
+    num_clauses: int = 0
+    elapsed_s: float = 0.0
+    counterexample: dict[str, int] | None = None
+
+    @property
+    def equivalent(self) -> bool:
+        """True iff the two circuits were proven equivalent."""
+        return self.status == "equivalent"
+
+    @property
+    def timed_out(self) -> bool:
+        """True iff the solver gave up (conflict or time budget exceeded)."""
+        return self.status == "unknown"
+
+
+def build_miter(left: Netlist, right: Netlist) -> tuple[CNF, dict[str, int], int]:
+    """Encode ``left`` and ``right`` over shared inputs and build the miter.
+
+    Returns the CNF, the shared signal-to-variable map of the *left* circuit
+    and the miter output variable (to be asserted true).  The circuits must
+    have identical primary input and output names.
+    """
+    if set(left.inputs) != set(right.inputs):
+        raise SatError("miter circuits must have the same primary inputs")
+    if set(left.outputs) != set(right.outputs):
+        raise SatError("miter circuits must have the same primary outputs")
+
+    cnf = CNF()
+    left_map: dict[str, int] = {}
+    cnf, left_map = tseitin_encode(left, cnf, left_map)
+    # Share input variables, keep separate variables for the right circuit's
+    # internal and output signals.
+    right_map: dict[str, int] = {name: left_map[name] for name in right.inputs}
+    cnf, right_map = tseitin_encode(right, cnf, right_map)
+
+    xor_outputs: list[int] = []
+    for name in left.outputs:
+        diff = cnf.new_variable()
+        a, b = left_map[name], right_map[name]
+        cnf.add_clause((-diff, a, b))
+        cnf.add_clause((-diff, -a, -b))
+        cnf.add_clause((diff, -a, b))
+        cnf.add_clause((diff, a, -b))
+        xor_outputs.append(diff)
+
+    miter = cnf.new_variable()
+    for diff in xor_outputs:
+        cnf.add_clause((miter, -diff))
+    cnf.add_clause(tuple(xor_outputs) + (-miter,))
+    cnf.add_clause((miter,))
+    return cnf, left_map, miter
+
+
+def sat_equivalence_check(circuit: Netlist, golden: Netlist,
+                          conflict_limit: int | None = 2_000_000,
+                          time_budget_s: float | None = None) -> SatCheckResult:
+    """Check equivalence of ``circuit`` against ``golden`` with CDCL SAT.
+
+    Returns ``equivalent`` on UNSAT, ``different`` (plus a counterexample
+    assignment of the primary inputs) on SAT, and ``unknown`` when the
+    conflict or time budget is exhausted — the latter corresponds to the
+    ``TO`` entries of the paper's tables.
+    """
+    cnf, left_map, _miter = build_miter(circuit, golden)
+    solver = CdclSolver(cnf, conflict_limit=conflict_limit,
+                        time_budget_s=time_budget_s)
+    outcome = solver.solve()
+    result = SatCheckResult(
+        status="unknown", conflicts=outcome.conflicts,
+        decisions=outcome.decisions, num_variables=cnf.num_variables,
+        num_clauses=cnf.num_clauses, elapsed_s=outcome.elapsed_s)
+    if outcome.is_unsat:
+        result.status = "equivalent"
+    elif outcome.is_sat:
+        result.status = "different"
+        result.counterexample = {
+            name: int(outcome.model.get(var, False))
+            for name, var in left_map.items() if circuit.is_input(name)}
+    return result

@@ -1,0 +1,302 @@
+"""A compact CDCL SAT solver.
+
+Implements the standard conflict-driven clause-learning loop with two-watched
+literals, first-UIP conflict analysis, VSIDS-style activity ordering, phase
+saving and geometric restarts.  It is intentionally written for clarity over
+raw speed — its role in the reproduction is to *be* the conventional
+SAT-based equivalence checker that multipliers defeat, so the qualitative
+blow-up matters more than constant factors.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.sat.cnf import CNF
+from repro.errors import SatError
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a SAT call."""
+
+    status: str                       # "sat", "unsat" or "unknown"
+    model: dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def is_sat(self) -> bool:
+        """True iff a satisfying assignment was found."""
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        """True iff the formula was proven unsatisfiable."""
+        return self.status == "unsat"
+
+
+class CdclSolver:
+    """Conflict-driven clause-learning solver for CNF formulas."""
+
+    def __init__(self, cnf: CNF, conflict_limit: int | None = None,
+                 time_budget_s: float | None = None) -> None:
+        self.num_vars = cnf.num_variables
+        self.conflict_limit = conflict_limit
+        self.time_budget_s = time_budget_s
+
+        self.clauses: list[list[int]] = []
+        self.watches: dict[int, list[int]] = {}
+        self.assignment: list[int] = [0] * (self.num_vars + 1)   # 0/1/-1
+        self.level: list[int] = [0] * (self.num_vars + 1)
+        self.reason: list[int | None] = [None] * (self.num_vars + 1)
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.activity: list[float] = [0.0] * (self.num_vars + 1)
+        self.phase: list[bool] = [False] * (self.num_vars + 1)
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self._unsat = False
+
+        for clause in cnf.clauses:
+            self._add_clause(list(dict.fromkeys(clause)))
+
+    # -- clause management ------------------------------------------------------
+
+    def _add_clause(self, literals: list[int]) -> None:
+        if any(-lit in literals for lit in literals):
+            return  # tautology
+        if not literals:
+            self._unsat = True
+            return
+        if len(literals) == 1:
+            lit = literals[0]
+            value = self._value(lit)
+            if value == -1:
+                self._unsat = True
+            elif value == 0:
+                self._enqueue(lit, None)
+            return
+        index = len(self.clauses)
+        self.clauses.append(literals)
+        for lit in literals[:2]:
+            self.watches.setdefault(-lit, []).append(index)
+
+    # -- assignment helpers -----------------------------------------------------
+
+    def _value(self, literal: int) -> int:
+        value = self.assignment[abs(literal)]
+        if value == 0:
+            return 0
+        return value if literal > 0 else -value
+
+    def _enqueue(self, literal: int, reason: int | None) -> None:
+        variable = abs(literal)
+        self.assignment[variable] = 1 if literal > 0 else -1
+        self.level[variable] = len(self.trail_lim)
+        self.reason[variable] = reason
+        self.phase[variable] = literal > 0
+        self.trail.append(literal)
+
+    def _current_level(self) -> int:
+        return len(self.trail_lim)
+
+    # -- propagation ------------------------------------------------------------
+
+    def _propagate(self) -> int | None:
+        """Unit propagation; returns a conflicting clause index or ``None``."""
+        queue_pos = getattr(self, "_qhead", 0)
+        while queue_pos < len(self.trail):
+            literal = self.trail[queue_pos]
+            queue_pos += 1
+            self.propagations += 1
+            watch_list = self.watches.get(literal, [])
+            new_watch_list = []
+            index_pos = 0
+            while index_pos < len(watch_list):
+                clause_index = watch_list[index_pos]
+                index_pos += 1
+                clause = self.clauses[clause_index]
+                # Ensure the falsified literal is in position 1.
+                if clause[0] == -literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    new_watch_list.append(clause_index)
+                    continue
+                # Search for a replacement watch.
+                replaced = False
+                for position in range(2, len(clause)):
+                    if self._value(clause[position]) != -1:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        self.watches.setdefault(-clause[1], []).append(clause_index)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                new_watch_list.append(clause_index)
+                if self._value(first) == -1:
+                    # Conflict: keep remaining watches and report.
+                    new_watch_list.extend(watch_list[index_pos:])
+                    self.watches[literal] = new_watch_list
+                    self._qhead = len(self.trail)
+                    return clause_index
+                self._enqueue(first, clause_index)
+            self.watches[literal] = new_watch_list
+        self._qhead = len(self.trail)
+        return None
+
+    # -- conflict analysis --------------------------------------------------------
+
+    def _analyze(self, conflict_index: int) -> tuple[list[int], int]:
+        learned: list[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        literal = None
+        clause = self.clauses[conflict_index]
+        trail_index = len(self.trail) - 1
+        current_level = self._current_level()
+
+        while True:
+            for lit in clause:
+                if literal is not None and lit == literal:
+                    continue
+                variable = abs(lit)
+                if seen[variable] or self.level[variable] == 0:
+                    continue
+                seen[variable] = True
+                self._bump(variable)
+                if self.level[variable] == current_level:
+                    counter += 1
+                else:
+                    learned.append(lit)
+            # Find the next literal to resolve on.
+            while not seen[abs(self.trail[trail_index])]:
+                trail_index -= 1
+            literal = self.trail[trail_index]
+            variable = abs(literal)
+            seen[variable] = False
+            counter -= 1
+            trail_index -= 1
+            if counter == 0:
+                learned.insert(0, -literal)
+                break
+            reason_index = self.reason[variable]
+            clause = self.clauses[reason_index] if reason_index is not None else []
+            literal = literal  # resolve on this literal
+        # Back-jump level = second highest level in the learned clause.
+        if len(learned) == 1:
+            backtrack_level = 0
+        else:
+            backtrack_level = max(self.level[abs(lit)] for lit in learned[1:])
+        return learned, backtrack_level
+
+    def _bump(self, variable: int) -> None:
+        self.activity[variable] += self.var_inc
+        if self.activity[variable] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _decay(self) -> None:
+        self.var_inc /= self.var_decay
+
+    # -- backtracking -------------------------------------------------------------
+
+    def _backtrack(self, target_level: int) -> None:
+        while self._current_level() > target_level:
+            mark = self.trail_lim.pop()
+            while len(self.trail) > mark:
+                literal = self.trail.pop()
+                self.assignment[abs(literal)] = 0
+                self.reason[abs(literal)] = None
+        self._qhead = len(self.trail)
+
+    # -- decisions ---------------------------------------------------------------
+
+    def _decide(self) -> int | None:
+        best_var = None
+        best_activity = -1.0
+        for variable in range(1, self.num_vars + 1):
+            if self.assignment[variable] == 0 and self.activity[variable] > best_activity:
+                best_var = variable
+                best_activity = self.activity[variable]
+        if best_var is None:
+            return None
+        return best_var if self.phase[best_var] else -best_var
+
+    # -- main loop ----------------------------------------------------------------
+
+    def solve(self, assumptions: list[int] | None = None) -> SolverResult:
+        """Run the CDCL loop and return the result."""
+        start = time.perf_counter()
+        if self._unsat:
+            return SolverResult("unsat", elapsed_s=time.perf_counter() - start)
+        self._qhead = 0
+        if assumptions:
+            for literal in assumptions:
+                if self._value(literal) == -1:
+                    return SolverResult("unsat",
+                                        elapsed_s=time.perf_counter() - start)
+                if self._value(literal) == 0:
+                    self._enqueue(literal, None)
+        restart_limit = 100
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                if self._current_level() == 0:
+                    return self._result("unsat", start)
+                learned, backtrack_level = self._analyze(conflict)
+                self._backtrack(backtrack_level)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None)
+                else:
+                    index = len(self.clauses)
+                    self.clauses.append(learned)
+                    self.watches.setdefault(-learned[0], []).append(index)
+                    self.watches.setdefault(-learned[1], []).append(index)
+                    self._enqueue(learned[0], index)
+                self._decay()
+                if (self.conflict_limit is not None
+                        and self.conflicts >= self.conflict_limit):
+                    return self._result("unknown", start)
+                if (self.time_budget_s is not None
+                        and time.perf_counter() - start > self.time_budget_s):
+                    return self._result("unknown", start)
+                if self.conflicts % restart_limit == 0:
+                    restart_limit = int(restart_limit * 1.5)
+                    self._backtrack(0)
+            else:
+                decision = self._decide()
+                if decision is None:
+                    return self._result("sat", start)
+                self.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(decision, None)
+
+    def _result(self, status: str, start: float) -> SolverResult:
+        model = {}
+        if status == "sat":
+            model = {v: self.assignment[v] > 0
+                     for v in range(1, self.num_vars + 1)}
+        return SolverResult(status=status, model=model, conflicts=self.conflicts,
+                            decisions=self.decisions,
+                            propagations=self.propagations,
+                            elapsed_s=time.perf_counter() - start)
+
+
+def solve_cnf(cnf: CNF, conflict_limit: int | None = None,
+              time_budget_s: float | None = None) -> SolverResult:
+    """Convenience wrapper: solve a CNF from scratch."""
+    if cnf.num_variables == 0:
+        return SolverResult("sat")
+    return CdclSolver(cnf, conflict_limit, time_budget_s).solve()

@@ -1,0 +1,28 @@
+"""Gate-level circuit substrate: netlists, analysis, simulation, Verilog I/O."""
+
+from repro.circuit.gates import GateType, Gate, evaluate_gate
+from repro.circuit.netlist import Netlist
+from repro.circuit.analysis import (
+    fanout_counts,
+    signal_levels,
+    topological_signals,
+    transitive_fanin,
+)
+from repro.circuit.simulate import simulate, simulate_words, exhaustive_check
+from repro.circuit.mutate import inject_bug, list_mutations
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "Netlist",
+    "evaluate_gate",
+    "exhaustive_check",
+    "fanout_counts",
+    "inject_bug",
+    "list_mutations",
+    "signal_levels",
+    "simulate",
+    "simulate_words",
+    "topological_signals",
+    "transitive_fanin",
+]

@@ -1,0 +1,104 @@
+"""Structural netlist analysis: topological order, levels, fanout, cones.
+
+These analyses feed both the variable order of the algebraic model (reverse
+topological levels) and the rewriting schemes (fanout counts for MT-FO,
+XOR-gate connectivity for MT-LR).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.circuit.netlist import Netlist
+from repro.errors import CircuitError
+
+
+def topological_signals(netlist: Netlist) -> list[str]:
+    """All signals in topological order (inputs first, outputs last).
+
+    Kahn's algorithm over the gate graph; raises
+    :class:`~repro.errors.CircuitError` on combinational loops.
+    """
+    indegree: dict[str, int] = {}
+    consumers: dict[str, list[str]] = {}
+    for gate in netlist.gates():
+        indegree[gate.output] = len(gate.inputs)
+        for signal in gate.inputs:
+            consumers.setdefault(signal, []).append(gate.output)
+
+    order: list[str] = []
+    ready = deque(netlist.inputs)
+    ready.extend(out for out, deg in indegree.items() if deg == 0)
+    seen = set(ready)
+    while ready:
+        signal = ready.popleft()
+        order.append(signal)
+        for consumer in consumers.get(signal, ()):  # gates reading this signal
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0 and consumer not in seen:
+                seen.add(consumer)
+                ready.append(consumer)
+    expected = len(netlist.inputs) + netlist.num_gates
+    if len(order) != expected:
+        raise CircuitError("netlist contains a combinational loop")
+    return order
+
+
+def signal_levels(netlist: Netlist) -> dict[str, int]:
+    """Longest-path level of every signal (primary inputs have level 0).
+
+    The level induces the paper's reverse topological variable order: gate
+    outputs always have a strictly larger level than their inputs.
+    """
+    levels: dict[str, int] = {name: 0 for name in netlist.inputs}
+    for signal in topological_signals(netlist):
+        if signal in levels:
+            continue
+        gate = netlist.gate_of(signal)
+        if not gate.inputs:
+            levels[signal] = 0
+        else:
+            levels[signal] = 1 + max(levels[s] for s in gate.inputs)
+    return levels
+
+
+def fanout_counts(netlist: Netlist) -> dict[str, int]:
+    """Number of gate inputs each signal drives (primary outputs add one)."""
+    counts: dict[str, int] = {name: 0 for name in netlist.signals()}
+    for gate in netlist.gates():
+        for signal in gate.inputs:
+            counts[signal] = counts.get(signal, 0) + 1
+    for output in netlist.outputs:
+        counts[output] = counts.get(output, 0) + 1
+    return counts
+
+
+def multi_fanout_signals(netlist: Netlist) -> set[str]:
+    """Signals read by more than one gate (the fanout variables of MT-FO)."""
+    return {signal for signal, count in fanout_counts(netlist).items() if count > 1}
+
+
+def transitive_fanin(netlist: Netlist, signals: Iterable[str]) -> set[str]:
+    """All signals in the input cone of ``signals`` (including themselves)."""
+    cone: set[str] = set()
+    stack = list(signals)
+    while stack:
+        signal = stack.pop()
+        if signal in cone:
+            continue
+        cone.add(signal)
+        if not netlist.is_input(signal) and netlist.has_signal(signal):
+            stack.extend(netlist.gate_of(signal).inputs)
+    return cone
+
+
+def input_support(netlist: Netlist, signal: str) -> set[str]:
+    """Primary inputs in the cone of ``signal``."""
+    return {s for s in transitive_fanin(netlist, [signal]) if netlist.is_input(s)}
+
+
+def circuit_depth(netlist: Netlist) -> int:
+    """Longest combinational path length in gates."""
+    levels = signal_levels(netlist)
+    return max(levels.values(), default=0)

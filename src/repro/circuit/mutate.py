@@ -1,0 +1,79 @@
+"""Bug injection for negative testing.
+
+The membership-testing algorithm must not only prove correct multipliers but
+also *detect* faulty ones (non-zero remainder).  This module produces
+single-gate mutations — the classic gate-substitution fault model — that are
+used by the negative tests and by ``examples/buggy_multiplier.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.circuit.gates import Gate, GateType
+from repro.circuit.netlist import Netlist
+from repro.errors import CircuitError
+
+#: Gate types a mutation may map between (same arity, different function).
+_SWAPPABLE: dict[GateType, tuple[GateType, ...]] = {
+    GateType.AND: (GateType.OR, GateType.XOR, GateType.NAND),
+    GateType.OR: (GateType.AND, GateType.XOR, GateType.NOR),
+    GateType.XOR: (GateType.AND, GateType.OR, GateType.XNOR),
+    GateType.NAND: (GateType.AND, GateType.NOR),
+    GateType.NOR: (GateType.OR, GateType.NAND),
+    GateType.XNOR: (GateType.XOR,),
+    GateType.NOT: (GateType.BUF,),
+    GateType.BUF: (GateType.NOT,),
+}
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """Description of a single-gate fault."""
+
+    signal: str
+    original: GateType
+    mutated: GateType
+
+    def describe(self) -> str:
+        """Human-readable description."""
+        return (f"gate driving {self.signal!r} changed from "
+                f"{self.original.value} to {self.mutated.value}")
+
+
+def list_mutations(netlist: Netlist) -> list[Mutation]:
+    """All single-gate gate-type substitutions applicable to the netlist."""
+    mutations: list[Mutation] = []
+    for gate in netlist.gates():
+        for target in _SWAPPABLE.get(gate.gate_type, ()):
+            mutations.append(Mutation(gate.output, gate.gate_type, target))
+    return mutations
+
+
+def apply_mutation(netlist: Netlist, mutation: Mutation) -> Netlist:
+    """Return a copy of the netlist with ``mutation`` applied."""
+    mutated = netlist.copy(f"{netlist.name}_buggy")
+    gate = mutated.gate_of(mutation.signal)
+    if gate.gate_type is not mutation.original:
+        raise CircuitError(
+            f"mutation expects {mutation.original.value} at {mutation.signal!r}, "
+            f"found {gate.gate_type.value}")
+    mutated.replace_gate(mutation.signal,
+                         Gate(output=gate.output, gate_type=mutation.mutated,
+                              inputs=gate.inputs, name=gate.name))
+    return mutated
+
+
+def inject_bug(netlist: Netlist, seed: int = 0) -> tuple[Netlist, Mutation]:
+    """Apply one pseudo-random gate-substitution fault.
+
+    Returns the mutated netlist and the mutation description.  The choice is
+    deterministic for a given seed so tests are reproducible.
+    """
+    mutations = list_mutations(netlist)
+    if not mutations:
+        raise CircuitError("netlist has no mutable gates")
+    rng = random.Random(seed)
+    mutation = rng.choice(mutations)
+    return apply_mutation(netlist, mutation), mutation

@@ -1,0 +1,274 @@
+"""The :class:`Netlist` container for gate-level circuits.
+
+A netlist is a directed acyclic graph of gates.  Signals are identified by
+name; each internal signal is driven by exactly one gate, primary inputs are
+driven externally.  Word-level helpers (``add_input_word`` and friends) make
+the arithmetic generators concise while keeping everything bit-level.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+from repro.circuit.gates import Gate, GateType
+from repro.errors import CircuitError
+
+
+class Netlist:
+    """A combinational gate-level circuit."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._inputs: list[str] = []
+        self._outputs: list[str] = []
+        self._gates: dict[str, Gate] = {}
+        self._input_set: set[str] = set()
+        self._fresh_counter = 0
+
+    # -- construction ----------------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input signal and return its name."""
+        if name in self._input_set or name in self._gates:
+            raise CircuitError(f"signal {name!r} is already driven")
+        self._inputs.append(name)
+        self._input_set.add(name)
+        return name
+
+    def add_input_word(self, prefix: str, width: int) -> list[str]:
+        """Declare ``width`` primary inputs named ``prefix0 .. prefix{width-1}``."""
+        return [self.add_input(f"{prefix}{i}") for i in range(width)]
+
+    def add_output(self, name: str) -> str:
+        """Mark an existing signal as primary output."""
+        if name in self._outputs:
+            raise CircuitError(f"output {name!r} declared twice")
+        self._outputs.append(name)
+        return name
+
+    def add_output_word(self, signals: Sequence[str]) -> list[str]:
+        """Mark a list of signals as primary outputs (LSB first)."""
+        return [self.add_output(signal) for signal in signals]
+
+    def add_gate(self, gate_type: GateType, inputs: Sequence[str],
+                 output: str | None = None, name: str = "") -> str:
+        """Add a gate; auto-generate the output signal name if not given."""
+        if output is None:
+            output = self.fresh_signal(gate_type.value)
+        if output in self._gates or output in self._input_set:
+            raise CircuitError(f"signal {output!r} is already driven")
+        gate = Gate(output=output, gate_type=gate_type, inputs=tuple(inputs),
+                    name=name or output)
+        self._gates[output] = gate
+        return output
+
+    def fresh_signal(self, hint: str = "w") -> str:
+        """Return a signal name that is not used yet."""
+        while True:
+            candidate = f"{hint}_{self._fresh_counter}"
+            self._fresh_counter += 1
+            if candidate not in self._gates and candidate not in self._input_set:
+                return candidate
+
+    # Convenience wrappers used heavily by the generators -----------------------
+
+    def const0(self, output: str | None = None) -> str:
+        """Constant-0 driver."""
+        return self.add_gate(GateType.CONST0, (), output)
+
+    def const1(self, output: str | None = None) -> str:
+        """Constant-1 driver."""
+        return self.add_gate(GateType.CONST1, (), output)
+
+    def buf(self, a: str, output: str | None = None) -> str:
+        """Buffer ``output = a``."""
+        return self.add_gate(GateType.BUF, (a,), output)
+
+    def not_(self, a: str, output: str | None = None) -> str:
+        """Inverter ``output = ¬a``."""
+        return self.add_gate(GateType.NOT, (a,), output)
+
+    def and_(self, a: str, b: str, output: str | None = None) -> str:
+        """Two-input AND."""
+        return self.add_gate(GateType.AND, (a, b), output)
+
+    def or_(self, a: str, b: str, output: str | None = None) -> str:
+        """Two-input OR."""
+        return self.add_gate(GateType.OR, (a, b), output)
+
+    def xor(self, a: str, b: str, output: str | None = None) -> str:
+        """Two-input XOR."""
+        return self.add_gate(GateType.XOR, (a, b), output)
+
+    def nand(self, a: str, b: str, output: str | None = None) -> str:
+        """Two-input NAND."""
+        return self.add_gate(GateType.NAND, (a, b), output)
+
+    def nor(self, a: str, b: str, output: str | None = None) -> str:
+        """Two-input NOR."""
+        return self.add_gate(GateType.NOR, (a, b), output)
+
+    def xnor(self, a: str, b: str, output: str | None = None) -> str:
+        """Two-input XNOR."""
+        return self.add_gate(GateType.XNOR, (a, b), output)
+
+    def and_tree(self, signals: Sequence[str], output: str | None = None) -> str:
+        """Balanced AND of any number of signals (≥ 1)."""
+        return self._tree(GateType.AND, signals, output)
+
+    def or_tree(self, signals: Sequence[str], output: str | None = None) -> str:
+        """Balanced OR of any number of signals (≥ 1)."""
+        return self._tree(GateType.OR, signals, output)
+
+    def xor_tree(self, signals: Sequence[str], output: str | None = None) -> str:
+        """Balanced XOR of any number of signals (≥ 1)."""
+        return self._tree(GateType.XOR, signals, output)
+
+    def _tree(self, gate_type: GateType, signals: Sequence[str],
+              output: str | None) -> str:
+        if not signals:
+            raise CircuitError("cannot build a gate tree over zero signals")
+        level = list(signals)
+        while len(level) > 1:
+            nxt: list[str] = []
+            for i in range(0, len(level) - 1, 2):
+                last_pair = len(level) <= 2
+                out = output if (last_pair and output is not None) else None
+                nxt.append(self.add_gate(gate_type, (level[i], level[i + 1]), out))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        if output is not None and level[0] != output:
+            return self.buf(level[0], output)
+        return level[0]
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def inputs(self) -> list[str]:
+        """Primary input names (construction order)."""
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> list[str]:
+        """Primary output names (LSB-first for arithmetic words)."""
+        return list(self._outputs)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gates."""
+        return len(self._gates)
+
+    def is_input(self, signal: str) -> bool:
+        """Return ``True`` if ``signal`` is a primary input."""
+        return signal in self._input_set
+
+    def is_output(self, signal: str) -> bool:
+        """Return ``True`` if ``signal`` is a primary output."""
+        return signal in self._outputs
+
+    def has_signal(self, signal: str) -> bool:
+        """Return ``True`` if ``signal`` is driven by a gate or is an input."""
+        return signal in self._gates or signal in self._input_set
+
+    def gate_of(self, signal: str) -> Gate:
+        """The gate driving ``signal`` (raises for primary inputs)."""
+        try:
+            return self._gates[signal]
+        except KeyError:
+            raise CircuitError(f"signal {signal!r} is not driven by a gate") from None
+
+    def gates(self) -> Iterator[Gate]:
+        """Iterate over all gates (insertion order)."""
+        return iter(self._gates.values())
+
+    def signals(self) -> Iterator[str]:
+        """Iterate over all signals: inputs first, then gate outputs."""
+        yield from self._inputs
+        yield from self._gates.keys()
+
+    def gate_type_histogram(self) -> Counter:
+        """Count gates per type (useful for reporting circuit sizes)."""
+        return Counter(g.gate_type for g in self._gates.values())
+
+    def input_word(self, prefix: str) -> list[str]:
+        """All primary inputs named ``prefix<i>`` ordered by index."""
+        return _select_word(self._inputs, prefix)
+
+    def output_word(self, prefix: str) -> list[str]:
+        """All primary outputs named ``prefix<i>`` ordered by index."""
+        return _select_word(self._outputs, prefix)
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural sanity: drivers exist, outputs exist, no cycles."""
+        for gate in self._gates.values():
+            for signal in gate.inputs:
+                if not self.has_signal(signal):
+                    raise CircuitError(
+                        f"gate {gate.name!r} reads undriven signal {signal!r}")
+        for output in self._outputs:
+            if not self.has_signal(output):
+                raise CircuitError(f"primary output {output!r} is undriven")
+        # Cycle check via iterative DFS over gate outputs.
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict[str, int] = {}
+        for start in self._gates:
+            if colour.get(start, WHITE) != WHITE:
+                continue
+            stack: list[tuple[str, Iterator[str]]] = [
+                (start, iter(self._gates[start].inputs))]
+            colour[start] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt in self._input_set or nxt not in self._gates:
+                        continue
+                    state = colour.get(nxt, WHITE)
+                    if state == GREY:
+                        raise CircuitError(
+                            f"combinational loop through signal {nxt!r}")
+                    if state == WHITE:
+                        colour[nxt] = GREY
+                        stack.append((nxt, iter(self._gates[nxt].inputs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+
+    # -- transformation --------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "Netlist":
+        """Deep copy of the netlist."""
+        clone = Netlist(name or self.name)
+        clone._inputs = list(self._inputs)
+        clone._input_set = set(self._input_set)
+        clone._outputs = list(self._outputs)
+        clone._gates = dict(self._gates)
+        clone._fresh_counter = self._fresh_counter
+        return clone
+
+    def replace_gate(self, output: str, gate: Gate) -> None:
+        """Replace the gate driving ``output`` (used for bug injection)."""
+        if output not in self._gates:
+            raise CircuitError(f"signal {output!r} is not driven by a gate")
+        if gate.output != output:
+            raise CircuitError("replacement gate must drive the same signal")
+        self._gates[output] = gate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"Netlist({self.name!r}, inputs={len(self._inputs)}, "
+                f"outputs={len(self._outputs)}, gates={len(self._gates)})")
+
+
+def _select_word(names: Iterable[str], prefix: str) -> list[str]:
+    """Select ``prefix<i>`` signals and order them by the integer suffix."""
+    selected: list[tuple[int, str]] = []
+    for name in names:
+        if name.startswith(prefix) and name[len(prefix):].isdigit():
+            selected.append((int(name[len(prefix):]), name))
+    return [name for _, name in sorted(selected)]

@@ -1,0 +1,106 @@
+"""Bit-true simulation of netlists.
+
+Simulation serves two purposes: validating the arithmetic generators against
+the integer functions they are supposed to implement, and providing the
+ground truth used by property-based tests of the vanishing-monomial rule
+(every monomial removed by the rule must evaluate to zero on the circuit).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Mapping, Sequence
+
+from repro.circuit.analysis import topological_signals
+from repro.circuit.gates import evaluate_gate
+from repro.circuit.netlist import Netlist
+from repro.errors import CircuitError
+
+
+def simulate(netlist: Netlist, inputs: Mapping[str, int]) -> dict[str, int]:
+    """Evaluate every signal under the given primary-input assignment."""
+    values: dict[str, int] = {}
+    for name in netlist.inputs:
+        if name not in inputs:
+            raise CircuitError(f"missing value for primary input {name!r}")
+        values[name] = inputs[name] & 1
+    for signal in topological_signals(netlist):
+        if signal in values:
+            continue
+        gate = netlist.gate_of(signal)
+        values[signal] = evaluate_gate(gate.gate_type,
+                                       [values[s] for s in gate.inputs])
+    return values
+
+
+def word_to_bits(value: int, width: int) -> list[int]:
+    """Little-endian bit decomposition of ``value`` on ``width`` bits."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_word(bits: Sequence[int]) -> int:
+    """Compose a little-endian bit list into an integer."""
+    return sum(bit << i for i, bit in enumerate(bits))
+
+
+def simulate_words(netlist: Netlist, words: Mapping[str, int],
+                   scalars: Mapping[str, int] | None = None,
+                   output_prefix: str = "s") -> int:
+    """Simulate with word-level operands and return an output word.
+
+    ``words`` maps an input prefix (e.g. ``"a"``) to an integer value that is
+    decomposed over the inputs ``a0, a1, ...``.  ``scalars`` assigns
+    individual input signals (e.g. a carry-in).  The output word is read from
+    the primary outputs named ``output_prefix<i>``.
+    """
+    assignment: dict[str, int] = {}
+    for prefix, value in words.items():
+        bits = netlist.input_word(prefix)
+        if not bits:
+            raise CircuitError(f"no primary inputs with prefix {prefix!r}")
+        for i, name in enumerate(bits):
+            assignment[name] = (value >> i) & 1
+    if scalars:
+        assignment.update({k: v & 1 for k, v in scalars.items()})
+    values = simulate(netlist, assignment)
+    out_bits = netlist.output_word(output_prefix)
+    if not out_bits:
+        raise CircuitError(f"no primary outputs with prefix {output_prefix!r}")
+    return bits_to_word([values[name] for name in out_bits])
+
+
+def exhaustive_check(netlist: Netlist, reference: Callable[..., int],
+                     word_prefixes: Sequence[str], widths: Sequence[int],
+                     output_prefix: str = "s", output_width: int | None = None,
+                     max_vectors: int | None = None,
+                     seed: int = 0) -> tuple[bool, tuple[int, ...] | None]:
+    """Compare the netlist against a reference integer function.
+
+    Enumerates all operand combinations when feasible (or ``max_vectors``
+    random vectors otherwise) and checks
+    ``netlist(prefix values...) == reference(values...) mod 2^output_width``.
+    Returns ``(ok, first_failing_operands)``.
+    """
+    out_bits = netlist.output_word(output_prefix)
+    width_out = output_width if output_width is not None else len(out_bits)
+    modulus = 1 << width_out
+    total = 1
+    for width in widths:
+        total *= 1 << width
+    rng = random.Random(seed)
+
+    def vectors():
+        if max_vectors is None or total <= max_vectors:
+            yield from itertools.product(*[range(1 << w) for w in widths])
+        else:
+            for _ in range(max_vectors):
+                yield tuple(rng.randrange(1 << w) for w in widths)
+
+    for operands in vectors():
+        words = dict(zip(word_prefixes, operands))
+        got = simulate_words(netlist, words, output_prefix=output_prefix) % modulus
+        expected = reference(*operands) % modulus
+        if got != expected:
+            return False, operands
+    return True, None

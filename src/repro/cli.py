@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+Examples
+--------
+
+Generate and verify a multiplier::
+
+    repro-verify verify --architecture BP-WT-CL --width 8 --method mt-lr
+
+Verify a gate-level Verilog netlist::
+
+    repro-verify verify-verilog mult.v --spec multiplier
+
+Export a generated multiplier as Verilog::
+
+    repro-verify generate --architecture SP-CT-BK --width 16 --output mult.v
+
+Print one of the paper's tables::
+
+    repro-verify table table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.circuit.verilog import load_verilog, save_verilog
+from repro.errors import BlowUpError, ReproError
+from repro.experiments.tables import main as tables_main
+from repro.generators.adders import generate_adder
+from repro.generators.multipliers import generate_multiplier
+from repro.verification.engine import verify, verify_adder, verify_multiplier
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--method", default="mt-lr",
+                        choices=["mt-lr", "mt-fo", "mt-naive", "mt-xor"],
+                        help="verification method (default: mt-lr)")
+    parser.add_argument("--monomial-budget", type=int, default=2_000_000,
+                        help="abort when the remainder exceeds this many monomials")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        help="abort after this many seconds")
+
+
+def _report(result) -> int:
+    print(result.summary())
+    if not result.verified:
+        print("remainder:", result.remainder_text or "(non-zero)")
+        if result.counterexample:
+            assignment = ", ".join(f"{k}={v}" for k, v in
+                                   sorted(result.counterexample.items()))
+            print("counterexample:", assignment)
+        return 2
+    stats = result.model_statistics
+    print(f"model: #P={stats.num_polynomials} #M={stats.num_monomials} "
+          f"#MP={stats.max_polynomial_terms} #VM={stats.max_monomial_variables}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.adder:
+        netlist = generate_adder(args.architecture, args.width)
+        result = verify_adder(netlist, method=args.method,
+                              monomial_budget=args.monomial_budget,
+                              time_budget_s=args.time_budget)
+    else:
+        netlist = generate_multiplier(args.architecture, args.width)
+        result = verify_multiplier(netlist, method=args.method,
+                                   monomial_budget=args.monomial_budget,
+                                   time_budget_s=args.time_budget)
+    return _report(result)
+
+
+def _cmd_verify_verilog(args: argparse.Namespace) -> int:
+    netlist = load_verilog(args.netlist)
+    result = verify(netlist, specification=args.spec, method=args.method,
+                    monomial_budget=args.monomial_budget,
+                    time_budget_s=args.time_budget)
+    return _report(result)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.adder:
+        netlist = generate_adder(args.architecture, args.width)
+    else:
+        netlist = generate_multiplier(args.architecture, args.width)
+    if args.output:
+        save_verilog(netlist, args.output)
+        print(f"wrote {netlist.num_gates} gates to {args.output}")
+    else:
+        from repro.circuit.verilog import write_verilog
+        sys.stdout.write(write_verilog(netlist))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    return tables_main([args.name])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Formal verification of integer multipliers by combining "
+                    "Gröbner basis with logic reduction (DATE 2016 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_verify = sub.add_parser("verify", help="generate and verify an architecture")
+    p_verify.add_argument("--architecture", "-a", default="SP-AR-RC",
+                          help="architecture name, e.g. BP-WT-CL, or adder kind with --adder")
+    p_verify.add_argument("--width", "-w", type=int, default=8,
+                          help="operand width in bits")
+    p_verify.add_argument("--adder", action="store_true",
+                          help="verify a standalone adder instead of a multiplier")
+    _add_budget_arguments(p_verify)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_vv = sub.add_parser("verify-verilog",
+                          help="verify a gate-level Verilog netlist")
+    p_vv.add_argument("netlist", help="path to the Verilog file")
+    p_vv.add_argument("--spec", default="multiplier",
+                      choices=["multiplier", "adder"])
+    _add_budget_arguments(p_vv)
+    p_vv.set_defaults(func=_cmd_verify_verilog)
+
+    p_gen = sub.add_parser("generate", help="generate a circuit and export Verilog")
+    p_gen.add_argument("--architecture", "-a", default="SP-AR-RC")
+    p_gen.add_argument("--width", "-w", type=int, default=8)
+    p_gen.add_argument("--adder", action="store_true")
+    p_gen.add_argument("--output", "-o", default=None)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_table = sub.add_parser("table", help="print one of the paper's tables")
+    p_table.add_argument("name", choices=["table1", "table2", "table3",
+                                          "adders", "ablation"])
+    p_table.set_defaults(func=_cmd_table)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BlowUpError as error:
+        print(f"TIMEOUT/BLOW-UP: {error}", file=sys.stderr)
+        return 3
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Exception hierarchy shared across the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by this package."""
+
+
+class AlgebraError(ReproError):
+    """Raised for inconsistent algebraic operations (unknown variables, bad orders)."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed netlists (duplicate drivers, combinational loops, ...)."""
+
+
+class ModelingError(ReproError):
+    """Raised when a circuit cannot be translated into a polynomial model."""
+
+
+class VerificationError(ReproError):
+    """Raised when a verification engine is misconfigured."""
+
+
+class BlowUpError(ReproError):
+    """Raised when a computation exceeds its monomial or time budget.
+
+    The experiment runner converts this into a ``TO`` (time-out) table entry,
+    mirroring the 100-hour timeout used in the paper's evaluation.
+    """
+
+    def __init__(self, message: str, *, monomials: int | None = None,
+                 elapsed_s: float | None = None) -> None:
+        super().__init__(message)
+        self.monomials = monomials
+        self.elapsed_s = elapsed_s
+
+
+class SatError(ReproError):
+    """Raised by the SAT baseline for malformed CNF or solver misuse."""
+
+
+class BddError(ReproError):
+    """Raised by the BDD baseline (e.g. node budget exceeded)."""

@@ -1,0 +1,29 @@
+"""Experiment harness regenerating the paper's evaluation tables."""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    run_bdd_cec,
+    run_membership_testing,
+    run_sat_cec,
+)
+from repro.experiments.tables import (
+    format_table,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    adder_blowup_rows,
+    ablation_rows,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ablation_rows",
+    "adder_blowup_rows",
+    "format_table",
+    "run_bdd_cec",
+    "run_membership_testing",
+    "run_sat_cec",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+]

@@ -1,0 +1,144 @@
+"""Single-experiment runners shared by the benchmark harness and the CLI.
+
+Every runner returns a plain dictionary so the benchmark scripts can both
+assert on the outcome and print the paper-style table rows.  A run that
+exceeds its monomial/conflict/node/time budget is reported with
+``time = "TO"`` exactly like the 100-hour timeouts in the paper's tables.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.bdd.equivalence import bdd_equivalence_check
+from repro.baselines.sat.miter import sat_equivalence_check
+from repro.errors import BlowUpError
+from repro.generators.multipliers import generate_multiplier
+from repro.verification.engine import verify_multiplier
+
+
+@dataclass
+class ExperimentConfig:
+    """Budgets shared by all experiment runs (environment-overridable).
+
+    Environment variables:
+
+    * ``REPRO_BENCH_BITS`` — comma-separated operand widths (default ``4,8``),
+    * ``REPRO_BENCH_TIMEOUT`` — per-run wall-clock budget in seconds,
+    * ``REPRO_BENCH_MONOMIAL_BUDGET`` — remainder-size budget of GB reduction,
+    * ``REPRO_BENCH_SAT_CONFLICTS`` — CDCL conflict budget,
+    * ``REPRO_BENCH_BDD_NODES`` — ROBDD node budget.
+    """
+
+    widths: tuple[int, ...] = (4, 8)
+    time_budget_s: float = 60.0
+    monomial_budget: int = 2_000_000
+    sat_conflict_budget: int = 200_000
+    bdd_node_budget: int = 1_000_000
+    golden_architecture: str = "SP-AR-RC"
+
+    @classmethod
+    def from_environment(cls) -> "ExperimentConfig":
+        """Build a configuration from the ``REPRO_BENCH_*`` environment variables."""
+        config = cls()
+        bits = os.environ.get("REPRO_BENCH_BITS")
+        if bits:
+            config.widths = tuple(int(b) for b in bits.split(",") if b.strip())
+        config.time_budget_s = float(
+            os.environ.get("REPRO_BENCH_TIMEOUT", config.time_budget_s))
+        config.monomial_budget = int(
+            os.environ.get("REPRO_BENCH_MONOMIAL_BUDGET", config.monomial_budget))
+        config.sat_conflict_budget = int(
+            os.environ.get("REPRO_BENCH_SAT_CONFLICTS", config.sat_conflict_budget))
+        config.bdd_node_budget = int(
+            os.environ.get("REPRO_BENCH_BDD_NODES", config.bdd_node_budget))
+        return config
+
+
+def _format_seconds(seconds: float) -> str:
+    hours = int(seconds // 3600)
+    minutes = int((seconds % 3600) // 60)
+    secs = seconds % 60
+    return f"{hours:02d}:{minutes:02d}:{secs:05.2f}"
+
+
+def run_membership_testing(architecture: str, width: int, method: str,
+                           config: ExperimentConfig) -> dict:
+    """Run one MT-LR / MT-FO / MT-Naive verification and report a table row."""
+    netlist = generate_multiplier(architecture, width)
+    start = time.perf_counter()
+    try:
+        result = verify_multiplier(
+            netlist, method=method, monomial_budget=config.monomial_budget,
+            time_budget_s=config.time_budget_s, find_counterexample=False)
+    except BlowUpError as error:
+        elapsed = time.perf_counter() - start
+        return {
+            "architecture": architecture, "width": width, "method": method,
+            "status": "TO", "time": "TO", "time_s": elapsed,
+            "verified": None, "reason": str(error),
+        }
+    return {
+        "architecture": architecture, "width": width, "method": method,
+        "status": "ok" if result.verified else "mismatch",
+        "time": _format_seconds(result.total_time_s),
+        "time_s": result.total_time_s,
+        "verified": result.verified,
+        "cancelled_vanishing_monomials": result.cancelled_vanishing_monomials,
+        "reduction_time_s": result.reduction_time_s,
+        "rewrite_time_s": result.rewrite_time_s,
+        "num_polynomials": result.model_statistics.num_polynomials,
+        "num_monomials": result.model_statistics.num_monomials,
+        "max_polynomial_terms": result.model_statistics.max_polynomial_terms,
+        "max_monomial_variables": result.model_statistics.max_monomial_variables,
+        "peak_remainder": result.reduction_trace.peak_monomials,
+    }
+
+
+def run_sat_cec(architecture: str, width: int, config: ExperimentConfig,
+                booth_supported: bool = True) -> dict:
+    """Run the SAT-miter equivalence check against the golden array multiplier.
+
+    With ``booth_supported=False`` the run is reported as not applicable for
+    Booth multipliers — mirroring the "-" entries of the CPP column in
+    Table II.
+    """
+    if not booth_supported and architecture.upper().startswith("BP"):
+        return {"architecture": architecture, "width": width,
+                "method": "sat-cec", "status": "n/a", "time": "-",
+                "time_s": None, "verified": None}
+    netlist = generate_multiplier(architecture, width)
+    golden = generate_multiplier(config.golden_architecture, width)
+    result = sat_equivalence_check(netlist, golden,
+                                   conflict_limit=config.sat_conflict_budget,
+                                   time_budget_s=config.time_budget_s)
+    status = {"equivalent": "ok", "different": "mismatch",
+              "unknown": "TO"}[result.status]
+    return {
+        "architecture": architecture, "width": width, "method": "sat-cec",
+        "status": status,
+        "time": "TO" if result.timed_out else _format_seconds(result.elapsed_s),
+        "time_s": result.elapsed_s,
+        "verified": result.equivalent if not result.timed_out else None,
+        "conflicts": result.conflicts,
+        "clauses": result.num_clauses,
+    }
+
+
+def run_bdd_cec(architecture: str, width: int, config: ExperimentConfig) -> dict:
+    """Run the BDD equivalence check against the word-level product."""
+    netlist = generate_multiplier(architecture, width)
+    result = bdd_equivalence_check(netlist, "multiply",
+                                   node_budget=config.bdd_node_budget)
+    status = {"equivalent": "ok", "different": "mismatch",
+              "unknown": "TO"}[result.status]
+    return {
+        "architecture": architecture, "width": width, "method": "bdd-cec",
+        "status": status,
+        "time": "TO" if result.timed_out else _format_seconds(result.elapsed_s),
+        "time_s": result.elapsed_s,
+        "verified": result.equivalent if not result.timed_out else None,
+        "bdd_nodes": result.num_nodes,
+    }

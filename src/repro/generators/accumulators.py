@@ -1,0 +1,207 @@
+"""Partial-product accumulators: array, Wallace, Dadda and (4,2) compressor trees.
+
+An accumulator reduces the weighted columns produced by a partial-product
+generator down to (at most) two signals per column; the two resulting
+addends are then summed by the final-stage adder.  The four reduction
+strategies correspond to the paper's ``AR``, ``WT``, ``DT`` and ``CT``
+accumulator types; ``RT`` (redundant-binary tree) is mapped to the
+compressor tree as documented in DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.circuit.netlist import Netlist
+from repro.errors import CircuitError
+from repro.generators.components import compressor_42, full_adder, half_adder
+
+Columns = list
+
+
+def _max_height(columns: Columns) -> int:
+    return max((len(col) for col in columns), default=0)
+
+
+def _ensure_width(columns: Columns, width: int) -> Columns:
+    grown = [list(col) for col in columns]
+    while len(grown) < width:
+        grown.append([])
+    return grown
+
+
+def reduce_array(netlist: Netlist, columns: Columns, prefix: str = "ar") -> Columns:
+    """Array (carry-save, row-by-row) accumulation.
+
+    Repeatedly applies one carry-save level that reduces every column to at
+    most its previous height minus one — the linear-depth structure of a
+    classical array multiplier.
+    """
+    width = len(columns)
+    current = [list(col) for col in columns]
+    stage = 0
+    while _max_height(current) > 2:
+        nxt: Columns = [[] for _ in range(width + 1)]
+        for k, column in enumerate(current):
+            queue = list(column)
+            # One adder per column per stage (array = linear accumulation).
+            if len(queue) >= 3:
+                s, c = full_adder(netlist, queue[0], queue[1], queue[2],
+                                  prefix=f"{prefix}{stage}_{k}")
+                queue = queue[3:]
+                nxt[k].append(s)
+                nxt[k + 1].append(c)
+            elif len(queue) == 2 and k + 1 < width and len(current[k + 1]) > 2:
+                s, c = half_adder(netlist, queue[0], queue[1],
+                                  prefix=f"{prefix}{stage}_{k}")
+                queue = queue[2:]
+                nxt[k].append(s)
+                nxt[k + 1].append(c)
+            nxt[k].extend(queue)
+        current = _ensure_width(nxt[:width], width)
+        stage += 1
+    return current
+
+
+def reduce_wallace(netlist: Netlist, columns: Columns,
+                   prefix: str = "wt") -> Columns:
+    """Wallace-tree accumulation: greedy full/half adders in every column."""
+    width = len(columns)
+    current = [list(col) for col in columns]
+    stage = 0
+    while _max_height(current) > 2:
+        nxt: Columns = [[] for _ in range(width + 1)]
+        for k, column in enumerate(current):
+            queue = list(column)
+            while len(queue) >= 3:
+                s, c = full_adder(netlist, queue[0], queue[1], queue[2],
+                                  prefix=f"{prefix}{stage}_{k}")
+                queue = queue[3:]
+                nxt[k].append(s)
+                nxt[k + 1].append(c)
+            if len(queue) == 2:
+                s, c = half_adder(netlist, queue[0], queue[1],
+                                  prefix=f"{prefix}{stage}h_{k}")
+                queue = queue[2:]
+                nxt[k].append(s)
+                nxt[k + 1].append(c)
+            nxt[k].extend(queue)
+        current = _ensure_width(nxt[:width], width)
+        stage += 1
+    return current
+
+
+#: Dadda height sequence d_1 = 2, d_{j+1} = floor(1.5 * d_j).
+def _dadda_limits(max_height: int) -> list[int]:
+    limits = [2]
+    while limits[-1] < max_height:
+        limits.append(int(limits[-1] * 3 / 2))
+    return limits
+
+
+def reduce_dadda(netlist: Netlist, columns: Columns, prefix: str = "dt") -> Columns:
+    """Dadda-tree accumulation: reduce lazily to the next Dadda height limit."""
+    width = len(columns)
+    current = [list(col) for col in columns]
+    height = _max_height(current)
+    if height <= 2:
+        return current
+    limits = [limit for limit in _dadda_limits(height) if limit < height]
+    stage = 0
+    for target in reversed(limits):
+        nxt: Columns = [[] for _ in range(width + 1)]
+        for k in range(width):
+            queue = list(current[k]) + nxt[k]
+            nxt[k] = []
+            while len(queue) > target:
+                if len(queue) == target + 1:
+                    s, c = half_adder(netlist, queue[0], queue[1],
+                                      prefix=f"{prefix}{stage}h_{k}")
+                    queue = queue[2:] + [s]
+                else:
+                    s, c = full_adder(netlist, queue[0], queue[1], queue[2],
+                                      prefix=f"{prefix}{stage}_{k}")
+                    queue = queue[3:] + [s]
+                nxt[k + 1].append(c)
+            nxt[k] = queue + nxt[k]
+        current = _ensure_width(nxt[:width], width)
+        stage += 1
+    return current
+
+
+def reduce_compressor_tree(netlist: Netlist, columns: Columns,
+                           prefix: str = "ct") -> Columns:
+    """(4,2) compressor tree accumulation.
+
+    Each stage compresses groups of four signals per column with (4,2)
+    compressors whose intermediate carries (``cout``) feed the next column's
+    compressor within the same stage; left-over groups of three use a full
+    adder.  Stages repeat until every column holds at most two signals.
+    """
+    width = len(columns)
+    current = [list(col) for col in columns]
+    stage = 0
+    while _max_height(current) > 2:
+        nxt: Columns = [[] for _ in range(width + 1)]
+        chained: list[list[str]] = [[] for _ in range(width + 1)]
+        for k, column in enumerate(current):
+            queue = list(column) + chained[k]
+            while len(queue) >= 4:
+                cin = None
+                sum_, carry, cout = compressor_42(
+                    netlist, queue[0], queue[1], queue[2], queue[3], cin,
+                    prefix=f"{prefix}{stage}_{k}")
+                queue = queue[4:]
+                nxt[k].append(sum_)
+                nxt[k + 1].append(carry)
+                if k + 1 < width:
+                    chained[k + 1].append(cout)
+                else:
+                    nxt[k + 1].append(cout)
+            if len(queue) == 3:
+                s, c = full_adder(netlist, queue[0], queue[1], queue[2],
+                                  prefix=f"{prefix}{stage}f_{k}")
+                queue = queue[3:]
+                nxt[k].append(s)
+                nxt[k + 1].append(c)
+            nxt[k].extend(queue)
+        # Any chained carries that never fed a compressor keep their weight.
+        for k in range(width):
+            pass
+        current = _ensure_width(nxt[:width], width)
+        stage += 1
+    return current
+
+
+def finalize_addends(netlist: Netlist, columns: Columns,
+                     prefix: str = "acc") -> tuple[list[str], list[str]]:
+    """Split ≤2-high columns into two equal-width addend vectors.
+
+    Columns with fewer than two signals are padded with constant-0 drivers so
+    both vectors have the full output width.
+    """
+    if _max_height(columns) > 2:
+        raise CircuitError("columns must be reduced to height <= 2 first")
+    first: list[str] = []
+    second: list[str] = []
+    for k, column in enumerate(columns):
+        if len(column) >= 1:
+            first.append(column[0])
+        else:
+            first.append(netlist.const0(netlist.fresh_signal(f"{prefix}_z0_{k}")))
+        if len(column) >= 2:
+            second.append(column[1])
+        else:
+            second.append(netlist.const0(netlist.fresh_signal(f"{prefix}_z1_{k}")))
+    return first, second
+
+
+ACCUMULATOR_BUILDERS: dict[str, Callable[[Netlist, Columns], Columns]] = {
+    "AR": reduce_array,
+    "WT": reduce_wallace,
+    "DT": reduce_dadda,
+    "CT": reduce_compressor_tree,
+    # The paper's redundant-binary addition tree (RT) is substituted by the
+    # (4,2) compressor tree; see DESIGN.md §3 for the rationale.
+    "RT": reduce_compressor_tree,
+}

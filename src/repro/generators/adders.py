@@ -1,0 +1,319 @@
+"""Adder generators: ripple-carry, carry look-ahead and parallel-prefix adders.
+
+Two kinds of entry points are provided:
+
+* ``build_*`` functions append an adder to an existing netlist, consuming two
+  equal-width bit vectors (LSB first) and returning the sum bits including
+  the final carry — these are used as the last-stage adder of the multiplier
+  generators;
+* ``*_adder(width)`` functions build a standalone adder netlist with primary
+  inputs ``a<i>``/``b<i>`` and outputs ``s<i>`` — these are used for the
+  parallel-adder blow-up experiments (Section III of the paper).
+
+The parallel-prefix adders (Kogge-Stone ``KS``, Brent-Kung ``BK``,
+Han-Carlson ``HC``) and the carry look-ahead adder (``CL``) all expose the
+propagate/generate structure (``p = a xor b``, ``g = a and b``) whose
+vanishing monomials motivate the paper's logic-reduction rewriting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.circuit.netlist import Netlist
+from repro.errors import CircuitError
+from repro.generators.components import full_adder, half_adder
+
+
+# ---------------------------------------------------------------------------
+# Ripple-carry
+# ---------------------------------------------------------------------------
+
+def build_ripple_carry(netlist: Netlist, a: Sequence[str], b: Sequence[str],
+                       cin: str | None = None, prefix: str = "rc") -> list[str]:
+    """Append a ripple-carry adder; returns ``width + 1`` sum bits (LSB first)."""
+    _check_operands(a, b)
+    sums: list[str] = []
+    carry = cin
+    for i, (ai, bi) in enumerate(zip(a, b)):
+        if carry is None:
+            s, carry = half_adder(netlist, ai, bi, prefix=f"{prefix}{i}")
+        else:
+            s, carry = full_adder(netlist, ai, bi, carry, prefix=f"{prefix}{i}")
+        sums.append(s)
+    sums.append(carry)
+    return sums
+
+
+# ---------------------------------------------------------------------------
+# Carry look-ahead (4-bit blocks, ripple between blocks)
+# ---------------------------------------------------------------------------
+
+def build_carry_lookahead(netlist: Netlist, a: Sequence[str], b: Sequence[str],
+                          cin: str | None = None, block_size: int = 4,
+                          prefix: str = "cla") -> list[str]:
+    """Append a block carry look-ahead adder; returns ``width + 1`` sum bits.
+
+    Inside each block the carries are computed by two-level look-ahead logic
+    over the propagate (XOR) and generate (AND) signals; blocks are chained
+    through their carry-out.
+    """
+    _check_operands(a, b)
+    width = len(a)
+    prop = [netlist.xor(a[i], b[i], netlist.fresh_signal(f"{prefix}_p{i}"))
+            for i in range(width)]
+    gen = [netlist.and_(a[i], b[i], netlist.fresh_signal(f"{prefix}_g{i}"))
+           for i in range(width)]
+
+    carries: list[str | None] = [None] * (width + 1)
+    carries[0] = cin
+    for start in range(0, width, block_size):
+        end = min(start + block_size, width)
+        block_cin = carries[start]
+        for i in range(start, end):
+            # c_{i+1} = g_i | p_i g_{i-1} | ... | p_i..p_start * block_cin
+            or_terms: list[str] = []
+            for k in range(i, start - 1, -1):
+                factors = [prop[j] for j in range(i, k, -1)] + [gen[k]]
+                or_terms.append(netlist.and_tree(factors) if len(factors) > 1
+                                else factors[0])
+            if block_cin is not None:
+                factors = [prop[j] for j in range(i, start - 1, -1)] + [block_cin]
+                or_terms.append(netlist.and_tree(factors))
+            carries[i + 1] = netlist.or_tree(
+                or_terms, netlist.fresh_signal(f"{prefix}_c{i + 1}"))
+
+    sums: list[str] = []
+    for i in range(width):
+        if carries[i] is None:
+            sums.append(netlist.buf(prop[i], netlist.fresh_signal(f"{prefix}_s{i}")))
+        else:
+            sums.append(netlist.xor(prop[i], carries[i],
+                                    netlist.fresh_signal(f"{prefix}_s{i}")))
+    sums.append(carries[width])
+    return sums
+
+
+# ---------------------------------------------------------------------------
+# Parallel-prefix adders
+# ---------------------------------------------------------------------------
+
+def _prefix_schedule_kogge_stone(width: int) -> list[list[tuple[int, int]]]:
+    """Kogge-Stone schedule: distance doubles every stage, all nodes update."""
+    stages: list[list[tuple[int, int]]] = []
+    distance = 1
+    while distance < width:
+        stages.append([(i, distance) for i in range(width - 1, distance - 1, -1)])
+        distance *= 2
+    return stages
+
+
+def _prefix_schedule_brent_kung(width: int) -> list[list[tuple[int, int]]]:
+    """Brent-Kung schedule: logarithmic up-sweep followed by a down-sweep."""
+    stages: list[list[tuple[int, int]]] = []
+    distance = 1
+    while distance < width:
+        stage = [(i, distance)
+                 for i in range(width - 1, 2 * distance - 2, -1)
+                 if (i - (2 * distance - 1)) % (2 * distance) == 0]
+        if stage:
+            stages.append(stage)
+        distance *= 2
+    distance //= 2
+    while distance >= 1:
+        stage = [(i, distance)
+                 for i in range(width - 1, 3 * distance - 2, -1)
+                 if (i - (3 * distance - 1)) % (2 * distance) == 0]
+        if stage:
+            stages.append(stage)
+        distance //= 2
+    return stages
+
+
+def _prefix_schedule_han_carlson(width: int) -> list[list[tuple[int, int]]]:
+    """Han-Carlson schedule: Kogge-Stone on the odd positions plus a fix-up stage."""
+    stages: list[list[tuple[int, int]]] = []
+    if width > 1:
+        stages.append([(i, 1) for i in range(width - 1, 0, -1) if i % 2 == 1])
+    distance = 2
+    while distance < width:
+        stage = [(i, distance)
+                 for i in range(width - 1, distance, -1) if i % 2 == 1]
+        if stage:
+            stages.append(stage)
+        distance *= 2
+    fixup = [(i, 1) for i in range(width - 1, 1, -1) if i % 2 == 0]
+    if fixup:
+        stages.append(fixup)
+    return stages
+
+
+_PREFIX_SCHEDULES: dict[str, Callable[[int], list[list[tuple[int, int]]]]] = {
+    "KS": _prefix_schedule_kogge_stone,
+    "BK": _prefix_schedule_brent_kung,
+    "HC": _prefix_schedule_han_carlson,
+}
+
+
+def _build_prefix_adder(netlist: Netlist, a: Sequence[str], b: Sequence[str],
+                        schedule_name: str, cin: str | None = None,
+                        prefix: str = "ppa") -> list[str]:
+    """Shared parallel-prefix adder construction with coverage checking."""
+    _check_operands(a, b)
+    width = len(a)
+    prop = [netlist.xor(a[i], b[i], netlist.fresh_signal(f"{prefix}_p{i}"))
+            for i in range(width)]
+    gen = [netlist.and_(a[i], b[i], netlist.fresh_signal(f"{prefix}_g{i}"))
+           for i in range(width)]
+
+    group_g = list(gen)
+    group_p = list(prop)
+    cover = [(i, i) for i in range(width)]
+    schedule = _PREFIX_SCHEDULES[schedule_name](width)
+    for stage_no, stage in enumerate(schedule):
+        for i, distance in stage:
+            j = i - distance
+            hi_i, lo_i = cover[i]
+            hi_j, lo_j = cover[j]
+            if lo_i != hi_j + 1:
+                raise CircuitError(
+                    f"{schedule_name} prefix schedule is not adjacent at node {i} "
+                    f"stage {stage_no} (covers {cover[i]} and {cover[j]})")
+            tag = f"{prefix}_{schedule_name.lower()}{stage_no}_{i}"
+            t = netlist.and_(group_p[i], group_g[j],
+                             netlist.fresh_signal(f"{tag}_t"))
+            group_g[i] = netlist.or_(group_g[i], t,
+                                     netlist.fresh_signal(f"{tag}_g"))
+            group_p[i] = netlist.and_(group_p[i], group_p[j],
+                                      netlist.fresh_signal(f"{tag}_p"))
+            cover[i] = (hi_i, lo_j)
+    for i in range(width):
+        if cover[i] != (i, 0):
+            raise CircuitError(
+                f"{schedule_name} prefix network incomplete at bit {i}: "
+                f"covers {cover[i]}")
+
+    # Carries out of every position, optionally folding in the carry-in.
+    carries: list[str] = []
+    for i in range(width):
+        if cin is None:
+            carries.append(group_g[i])
+        else:
+            t = netlist.and_(group_p[i], cin,
+                             netlist.fresh_signal(f"{prefix}_cint{i}"))
+            carries.append(netlist.or_(group_g[i], t,
+                                       netlist.fresh_signal(f"{prefix}_cin{i}")))
+
+    sums: list[str] = []
+    for i in range(width):
+        if i == 0:
+            if cin is None:
+                sums.append(netlist.buf(prop[0],
+                                        netlist.fresh_signal(f"{prefix}_s0")))
+            else:
+                sums.append(netlist.xor(prop[0], cin,
+                                        netlist.fresh_signal(f"{prefix}_s0")))
+        else:
+            sums.append(netlist.xor(prop[i], carries[i - 1],
+                                    netlist.fresh_signal(f"{prefix}_s{i}")))
+    sums.append(carries[width - 1])
+    return sums
+
+
+def build_kogge_stone(netlist: Netlist, a: Sequence[str], b: Sequence[str],
+                      cin: str | None = None, prefix: str = "ks") -> list[str]:
+    """Append a Kogge-Stone parallel-prefix adder."""
+    return _build_prefix_adder(netlist, a, b, "KS", cin, prefix)
+
+
+def build_brent_kung(netlist: Netlist, a: Sequence[str], b: Sequence[str],
+                     cin: str | None = None, prefix: str = "bk") -> list[str]:
+    """Append a Brent-Kung parallel-prefix adder."""
+    return _build_prefix_adder(netlist, a, b, "BK", cin, prefix)
+
+
+def build_han_carlson(netlist: Netlist, a: Sequence[str], b: Sequence[str],
+                      cin: str | None = None, prefix: str = "hc") -> list[str]:
+    """Append a Han-Carlson parallel-prefix adder."""
+    return _build_prefix_adder(netlist, a, b, "HC", cin, prefix)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch tables and standalone adder netlists
+# ---------------------------------------------------------------------------
+
+#: Builders keyed by the paper's final-stage-adder abbreviations.
+ADDER_BUILDERS: dict[str, Callable[..., list[str]]] = {
+    "RC": build_ripple_carry,
+    "CL": build_carry_lookahead,
+    "KS": build_kogge_stone,
+    "BK": build_brent_kung,
+    "HC": build_han_carlson,
+}
+
+#: Human-readable names of the supported adder kinds.
+ADDER_KINDS: dict[str, str] = {
+    "RC": "ripple-carry adder",
+    "CL": "carry look-ahead adder",
+    "KS": "Kogge-Stone adder",
+    "BK": "Brent-Kung adder",
+    "HC": "Han-Carlson adder",
+}
+
+
+def _check_operands(a: Sequence[str], b: Sequence[str]) -> None:
+    if len(a) != len(b):
+        raise CircuitError("adder operands must have the same width")
+    if not a:
+        raise CircuitError("adder operands must have at least one bit")
+
+
+def _standalone(kind: str, width: int, with_carry_in: bool = False,
+                name: str | None = None) -> Netlist:
+    """Build a standalone adder netlist with inputs ``a``/``b`` and outputs ``s``."""
+    if width < 1:
+        raise CircuitError("adder width must be at least 1")
+    if kind not in ADDER_BUILDERS:
+        raise CircuitError(f"unknown adder kind {kind!r}")
+    netlist = Netlist(name or f"{kind.lower()}_adder_{width}")
+    a = netlist.add_input_word("a", width)
+    b = netlist.add_input_word("b", width)
+    cin = netlist.add_input("cin") if with_carry_in else None
+    sums = ADDER_BUILDERS[kind](netlist, a, b, cin=cin)
+    for i, signal in enumerate(sums):
+        if netlist.is_input(signal):
+            signal = netlist.buf(signal)
+        netlist.buf(signal, f"s{i}")
+        netlist.add_output(f"s{i}")
+    netlist.validate()
+    return netlist
+
+
+def ripple_carry_adder(width: int, with_carry_in: bool = False) -> Netlist:
+    """Standalone ripple-carry adder netlist."""
+    return _standalone("RC", width, with_carry_in)
+
+
+def carry_lookahead_adder(width: int, with_carry_in: bool = False) -> Netlist:
+    """Standalone block carry look-ahead adder netlist."""
+    return _standalone("CL", width, with_carry_in)
+
+
+def kogge_stone_adder(width: int, with_carry_in: bool = False) -> Netlist:
+    """Standalone Kogge-Stone adder netlist."""
+    return _standalone("KS", width, with_carry_in)
+
+
+def brent_kung_adder(width: int, with_carry_in: bool = False) -> Netlist:
+    """Standalone Brent-Kung adder netlist."""
+    return _standalone("BK", width, with_carry_in)
+
+
+def han_carlson_adder(width: int, with_carry_in: bool = False) -> Netlist:
+    """Standalone Han-Carlson adder netlist."""
+    return _standalone("HC", width, with_carry_in)
+
+
+def generate_adder(kind: str, width: int, with_carry_in: bool = False) -> Netlist:
+    """Generate a standalone adder by its paper abbreviation (RC/CL/KS/BK/HC)."""
+    return _standalone(kind.upper(), width, with_carry_in)

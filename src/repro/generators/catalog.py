@@ -1,0 +1,97 @@
+"""Architecture catalog and naming scheme.
+
+Multiplier architectures are named as in the paper's benchmark tables:
+``<partial products>-<accumulator>-<final adder>``, for example
+``SP-AR-RC`` (simple partial products, array accumulation, ripple-carry
+final adder) or ``BP-WT-CL`` (Booth partial products, Wallace tree, carry
+look-ahead final adder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CircuitError
+from repro.generators.accumulators import ACCUMULATOR_BUILDERS
+from repro.generators.adders import ADDER_KINDS
+from repro.generators.partial_products import PARTIAL_PRODUCT_BUILDERS
+
+#: Partial-product generator abbreviations used in the paper.
+PARTIAL_PRODUCT_KINDS: dict[str, str] = {
+    "SP": "simple partial products",
+    "BP": "Booth (radix-4) partial products",
+}
+
+#: Accumulator abbreviations used in the paper.
+ACCUMULATOR_KINDS: dict[str, str] = {
+    "AR": "array accumulator",
+    "WT": "Wallace tree",
+    "DT": "Dadda tree",
+    "CT": "(4,2) compressor tree",
+    "RT": "redundant addition tree (mapped to the compressor tree, see DESIGN.md)",
+}
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A parsed multiplier architecture descriptor."""
+
+    partial_products: str
+    accumulator: str
+    final_adder: str
+
+    @property
+    def name(self) -> str:
+        """The paper-style architecture name, e.g. ``"SP-CT-BK"``."""
+        return f"{self.partial_products}-{self.accumulator}-{self.final_adder}"
+
+    def describe(self) -> str:
+        """Long human-readable description."""
+        return (f"{PARTIAL_PRODUCT_KINDS[self.partial_products]}, "
+                f"{ACCUMULATOR_KINDS[self.accumulator]}, "
+                f"{ADDER_KINDS[self.final_adder]}")
+
+
+def parse_architecture(name: str) -> Architecture:
+    """Parse a ``PP-ACC-ADDER`` architecture name (case insensitive)."""
+    parts = name.upper().split("-")
+    if len(parts) != 3:
+        raise CircuitError(
+            f"architecture name {name!r} must have the form PP-ACC-ADDER")
+    pp, acc, adder = parts
+    if pp not in PARTIAL_PRODUCT_BUILDERS:
+        raise CircuitError(f"unknown partial-product generator {pp!r} "
+                           f"(expected one of {sorted(PARTIAL_PRODUCT_KINDS)})")
+    if acc not in ACCUMULATOR_BUILDERS:
+        raise CircuitError(f"unknown accumulator {acc!r} "
+                           f"(expected one of {sorted(ACCUMULATOR_KINDS)})")
+    if adder not in ADDER_KINDS:
+        raise CircuitError(f"unknown final adder {adder!r} "
+                           f"(expected one of {sorted(ADDER_KINDS)})")
+    return Architecture(pp, acc, adder)
+
+
+def architecture_names() -> list[str]:
+    """All supported architecture names (cartesian product of the features)."""
+    names = []
+    for pp in PARTIAL_PRODUCT_KINDS:
+        for acc in ACCUMULATOR_KINDS:
+            for adder in ADDER_KINDS:
+                names.append(f"{pp}-{acc}-{adder}")
+    return names
+
+
+#: The architecture grid of Table I (simple partial products).
+TABLE1_ARCHITECTURES: tuple[str, ...] = (
+    "SP-AR-RC", "SP-WT-CL", "SP-RT-KS", "SP-CT-BK", "SP-DT-HC",
+)
+
+#: The architecture grid of Table II (Booth partial products).
+TABLE2_ARCHITECTURES: tuple[str, ...] = (
+    "BP-AR-RC", "BP-WT-CL", "BP-RT-KS", "BP-CT-BK", "BP-DT-HC",
+)
+
+#: The architectures reported in the statistics table (Table III).
+TABLE3_ARCHITECTURES: tuple[str, ...] = (
+    "BP-WT-CL", "BP-RT-KS", "SP-DT-HC", "SP-CT-BK",
+)

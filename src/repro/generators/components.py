@@ -1,0 +1,77 @@
+"""Basic arithmetic cells: half adders, full adders, (4,2) compressors.
+
+All cells are built from two-input gates using the XOR/AND decomposition that
+synthesised netlists exhibit — which is exactly the structure the XOR-AND
+vanishing rule of the paper exploits.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Netlist
+
+
+def half_adder(netlist: Netlist, a: str, b: str,
+               prefix: str | None = None) -> tuple[str, str]:
+    """Half adder: returns ``(sum, carry)`` with ``a + b = sum + 2*carry``."""
+    hint = prefix or "ha"
+    sum_ = netlist.xor(a, b, netlist.fresh_signal(f"{hint}_s"))
+    carry = netlist.and_(a, b, netlist.fresh_signal(f"{hint}_c"))
+    return sum_, carry
+
+
+def full_adder(netlist: Netlist, a: str, b: str, cin: str,
+               prefix: str | None = None) -> tuple[str, str]:
+    """Full adder: returns ``(sum, carry)`` with ``a + b + cin = sum + 2*carry``.
+
+    Uses the propagate/generate decomposition
+    ``p = a xor b``, ``g = a and b``, ``sum = p xor cin``,
+    ``carry = g or (p and cin)`` — the same five-gate structure as the
+    paper's Fig. 1 full adder.
+    """
+    hint = prefix or "fa"
+    p = netlist.xor(a, b, netlist.fresh_signal(f"{hint}_p"))
+    g = netlist.and_(a, b, netlist.fresh_signal(f"{hint}_g"))
+    sum_ = netlist.xor(p, cin, netlist.fresh_signal(f"{hint}_s"))
+    t = netlist.and_(p, cin, netlist.fresh_signal(f"{hint}_t"))
+    carry = netlist.or_(g, t, netlist.fresh_signal(f"{hint}_c"))
+    return sum_, carry
+
+
+def compressor_42(netlist: Netlist, x1: str, x2: str, x3: str, x4: str,
+                  cin: str | None = None,
+                  prefix: str | None = None) -> tuple[str, str, str]:
+    """(4,2) compressor: ``x1+x2+x3+x4+cin = sum + 2*(carry + cout)``.
+
+    Implemented as two stacked full adders; ``cout`` only depends on
+    ``x1..x3`` so chaining ``cout`` into the next column's ``cin`` within the
+    same reduction stage does not create a ripple path.  When ``cin`` is
+    ``None`` the second stage degenerates to a half adder.
+    """
+    hint = prefix or "cp"
+    s1, cout = full_adder(netlist, x1, x2, x3, prefix=f"{hint}_u")
+    if cin is None:
+        sum_, carry = half_adder(netlist, s1, x4, prefix=f"{hint}_l")
+    else:
+        sum_, carry = full_adder(netlist, s1, x4, cin, prefix=f"{hint}_l")
+    return sum_, carry, cout
+
+
+def majority3(netlist: Netlist, a: str, b: str, c: str,
+              prefix: str | None = None) -> str:
+    """Majority of three signals (carry function of a full adder)."""
+    hint = prefix or "maj"
+    ab = netlist.and_(a, b, netlist.fresh_signal(f"{hint}_ab"))
+    ac = netlist.and_(a, c, netlist.fresh_signal(f"{hint}_ac"))
+    bc = netlist.and_(b, c, netlist.fresh_signal(f"{hint}_bc"))
+    t = netlist.or_(ab, ac, netlist.fresh_signal(f"{hint}_t"))
+    return netlist.or_(t, bc, netlist.fresh_signal(f"{hint}_o"))
+
+
+def mux2(netlist: Netlist, sel: str, when1: str, when0: str,
+         prefix: str | None = None) -> str:
+    """Two-way multiplexer ``sel ? when1 : when0`` built from AND/OR/NOT."""
+    hint = prefix or "mux"
+    nsel = netlist.not_(sel, netlist.fresh_signal(f"{hint}_n"))
+    hi = netlist.and_(sel, when1, netlist.fresh_signal(f"{hint}_hi"))
+    lo = netlist.and_(nsel, when0, netlist.fresh_signal(f"{hint}_lo"))
+    return netlist.or_(hi, lo, netlist.fresh_signal(f"{hint}_o"))

@@ -1,0 +1,81 @@
+"""Multiplier generator composing partial products, accumulator and final adder.
+
+``generate_multiplier("BP-WT-CL", 8)`` builds an 8x8 unsigned multiplier with
+Booth partial products, a Wallace-tree accumulator and a carry look-ahead
+final-stage adder.  Inputs are ``a0..a{n-1}`` and ``b0..b{n-1}``, outputs are
+``s0..s{2n-1}``, and the circuit computes ``A*B mod 2^(2n)`` (which equals
+``A*B`` exactly — the modulo only matters for the *specification* of
+redundant architectures, as discussed in the paper's evaluation section).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Netlist
+from repro.errors import CircuitError
+from repro.generators.accumulators import ACCUMULATOR_BUILDERS, finalize_addends
+from repro.generators.adders import ADDER_BUILDERS
+from repro.generators.catalog import Architecture, parse_architecture
+from repro.generators.partial_products import PARTIAL_PRODUCT_BUILDERS
+
+
+@dataclass(frozen=True)
+class MultiplierSpec:
+    """Description of a generated multiplier instance."""
+
+    architecture: Architecture
+    width: int
+
+    @property
+    def name(self) -> str:
+        """Instance name, e.g. ``"SP-AR-RC_8x8"``."""
+        return f"{self.architecture.name}_{self.width}x{self.width}"
+
+    @property
+    def output_width(self) -> int:
+        """Number of product bits (``2n``)."""
+        return 2 * self.width
+
+    def reference(self, a: int, b: int) -> int:
+        """Reference integer function the circuit must implement."""
+        return (a * b) % (1 << self.output_width)
+
+
+def generate_multiplier(architecture: str | Architecture, width: int) -> Netlist:
+    """Generate an unsigned ``width x width`` multiplier netlist.
+
+    ``architecture`` uses the paper's naming scheme (``SP-AR-RC`` etc.);
+    see :mod:`repro.generators.catalog` for the supported feature values.
+    """
+    if width < 2:
+        raise CircuitError("multiplier width must be at least 2")
+    if isinstance(architecture, str):
+        architecture = parse_architecture(architecture)
+    spec = MultiplierSpec(architecture, width)
+
+    netlist = Netlist(spec.name)
+    a = netlist.add_input_word("a", width)
+    b = netlist.add_input_word("b", width)
+
+    pp_builder = PARTIAL_PRODUCT_BUILDERS[architecture.partial_products]
+    accumulate = ACCUMULATOR_BUILDERS[architecture.accumulator]
+    final_adder = ADDER_BUILDERS[architecture.final_adder]
+
+    columns = pp_builder(netlist, a, b)
+    reduced = accumulate(netlist, columns)
+    addend0, addend1 = finalize_addends(netlist, reduced)
+    sums = final_adder(netlist, addend0, addend1)
+
+    for i in range(spec.output_width):
+        netlist.buf(sums[i], f"s{i}")
+        netlist.add_output(f"s{i}")
+    netlist.validate()
+    return netlist
+
+
+def multiplier_spec(architecture: str | Architecture, width: int) -> MultiplierSpec:
+    """Return the :class:`MultiplierSpec` without building the netlist."""
+    if isinstance(architecture, str):
+        architecture = parse_architecture(architecture)
+    return MultiplierSpec(architecture, width)

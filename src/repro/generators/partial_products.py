@@ -1,0 +1,166 @@
+"""Partial-product generators: simple AND matrix and radix-4 Booth recoding.
+
+Both generators return the partial products organised as *columns*:
+``columns[k]`` is the list of signals with weight ``2^k``; the accumulator
+generators reduce these columns to two addends for the final-stage adder.
+
+The Booth generator implements unsigned radix-4 Booth recoding with
+full-width sign encoding: every partial-product row is the bitwise XOR of the
+selected magnitude (``1*A`` or ``2*A``) with the row's ``neg`` signal, plus a
+``neg`` correction bit in the row's least-significant column.  Summed modulo
+``2^(2n)`` the rows equal ``A*B`` — which is exactly why the paper adds the
+``mod 2^(2n)`` reduction to the multiplier specification for Booth (and other
+redundant) architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.circuit.netlist import Netlist
+from repro.errors import CircuitError
+
+#: Columns of weighted signals; ``columns[k]`` holds all signals of weight ``2^k``.
+Columns = list
+
+
+@dataclass(frozen=True)
+class BoothDigit:
+    """Control signals of one radix-4 Booth digit."""
+
+    index: int
+    one: str
+    two: str
+    neg: str
+
+
+def simple_partial_products(netlist: Netlist, a: Sequence[str],
+                            b: Sequence[str]) -> Columns:
+    """AND-matrix partial products ``pp_ij = a_i AND b_j`` (columns of weight i+j)."""
+    if not a or not b:
+        raise CircuitError("partial products need non-empty operands")
+    width = len(a) + len(b)
+    columns: Columns = [[] for _ in range(width)]
+    for j, bj in enumerate(b):
+        for i, ai in enumerate(a):
+            pp = netlist.and_(ai, bj, netlist.fresh_signal(f"pp_{i}_{j}"))
+            columns[i + j].append(pp)
+    return columns
+
+
+def booth_digit(netlist: Netlist, b: Sequence[str], index: int) -> BoothDigit:
+    """Build the recoding signals of Booth digit ``index``.
+
+    The digit value is ``d = b[2j-1] + b[2j] - 2*b[2j+1]`` with out-of-range
+    bits read as 0.  ``one`` selects ``±1*A``, ``two`` selects ``±2*A`` and
+    ``neg`` is the sign (``b[2j+1]``).
+    """
+    def bit(position: int) -> str | None:
+        if 0 <= position < len(b):
+            return b[position]
+        return None
+
+    lo = bit(2 * index - 1)
+    mid = bit(2 * index)
+    hi = bit(2 * index + 1)
+    tag = f"bd{index}"
+
+    if mid is None and lo is None:
+        one = netlist.const0(netlist.fresh_signal(f"{tag}_one"))
+    elif mid is None:
+        one = netlist.buf(lo, netlist.fresh_signal(f"{tag}_one"))
+    elif lo is None:
+        one = netlist.buf(mid, netlist.fresh_signal(f"{tag}_one"))
+    else:
+        one = netlist.xor(mid, lo, netlist.fresh_signal(f"{tag}_one"))
+
+    if hi is None and mid is None:
+        pair = netlist.const0(netlist.fresh_signal(f"{tag}_pair"))
+    elif hi is None:
+        pair = netlist.buf(mid, netlist.fresh_signal(f"{tag}_pair"))
+    elif mid is None:
+        pair = netlist.buf(hi, netlist.fresh_signal(f"{tag}_pair"))
+    else:
+        pair = netlist.xor(hi, mid, netlist.fresh_signal(f"{tag}_pair"))
+
+    not_one = netlist.not_(one, netlist.fresh_signal(f"{tag}_notone"))
+    two = netlist.and_(pair, not_one, netlist.fresh_signal(f"{tag}_two"))
+
+    if hi is None:
+        neg = netlist.const0(netlist.fresh_signal(f"{tag}_neg"))
+    else:
+        neg = netlist.buf(hi, netlist.fresh_signal(f"{tag}_neg"))
+    return BoothDigit(index=index, one=one, two=two, neg=neg)
+
+
+def booth_partial_products(netlist: Netlist, a: Sequence[str],
+                           b: Sequence[str]) -> Columns:
+    """Radix-4 Booth partial products for unsigned operands.
+
+    Produces ``floor(len(b)/2) + 1`` rows.  Row ``j`` contributes, at columns
+    ``2j .. 2n-1``, the bits ``neg_j XOR mag_i`` (``mag`` being the selected
+    ``1*A``/``2*A`` magnitude, zero beyond bit ``len(a)``), plus the ``neg_j``
+    two's-complement correction bit at column ``2j``.
+    """
+    if not a or not b:
+        raise CircuitError("partial products need non-empty operands")
+    n_a = len(a)
+    n_b = len(b)
+    width = n_a + n_b
+    num_digits = n_b // 2 + 1
+    columns: Columns = [[] for _ in range(width)]
+
+    for j in range(num_digits):
+        digit = booth_digit(netlist, b, j)
+        base = 2 * j
+        if base >= width:
+            continue
+        tag = f"bpp{j}"
+        for offset in range(width - base):
+            column = base + offset
+            mag = _booth_magnitude(netlist, a, digit, offset, tag)
+            if mag is None:
+                # Sign extension region: the row bit is just ``neg``.
+                columns[column].append(digit.neg)
+            else:
+                bit = netlist.xor(mag, digit.neg,
+                                  netlist.fresh_signal(f"{tag}_b{offset}"))
+                columns[column].append(bit)
+        # Two's-complement correction (+1 when the row is negated).
+        columns[base].append(digit.neg)
+    return columns
+
+
+def _booth_magnitude(netlist: Netlist, a: Sequence[str], digit: BoothDigit,
+                     offset: int, tag: str) -> str | None:
+    """Magnitude bit ``offset`` of ``(one ? A : 0) + (two ? 2A : 0)`` selection.
+
+    Returns ``None`` when the bit is structurally zero (beyond ``len(a)``),
+    so the caller can treat the row bit as pure sign extension.
+    """
+    n_a = len(a)
+    terms: list[str] = []
+    if offset < n_a:
+        terms.append(netlist.and_(digit.one, a[offset],
+                                  netlist.fresh_signal(f"{tag}_m1_{offset}")))
+    if 0 <= offset - 1 < n_a:
+        terms.append(netlist.and_(digit.two, a[offset - 1],
+                                  netlist.fresh_signal(f"{tag}_m2_{offset}")))
+    if not terms:
+        return None
+    if len(terms) == 1:
+        return terms[0]
+    return netlist.or_(terms[0], terms[1],
+                       netlist.fresh_signal(f"{tag}_m_{offset}"))
+
+
+def column_heights(columns: Columns) -> list[int]:
+    """Number of signals per column (used by tests and reduction statistics)."""
+    return [len(column) for column in columns]
+
+
+PARTIAL_PRODUCT_BUILDERS = {
+    "SP": simple_partial_products,
+    "BP": booth_partial_products,
+}

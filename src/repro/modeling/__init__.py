@@ -1,0 +1,19 @@
+"""Algebraic modelling of gate-level circuits (Step 1 of the MT algorithm)."""
+
+from repro.modeling.gate_polys import gate_polynomial, gate_tail
+from repro.modeling.model import AlgebraicModel, GateRecord
+from repro.modeling.spec import (
+    adder_specification,
+    multiplier_specification,
+    Specification,
+)
+
+__all__ = [
+    "AlgebraicModel",
+    "GateRecord",
+    "Specification",
+    "adder_specification",
+    "gate_polynomial",
+    "gate_tail",
+    "multiplier_specification",
+]

@@ -1,0 +1,91 @@
+"""Translation of logic gates into polynomials over the Boolean domain.
+
+Each gate with output ``z`` and inputs ``a, b, ...`` is modelled as
+``g := -z + tail`` where ``tail`` is the unique multilinear polynomial that
+agrees with the gate function on Boolean inputs (Section II-B, Step 1 of the
+paper):
+
+====== =============================
+NOT    ``1 - a``
+AND    ``a*b``
+OR     ``a + b - a*b``
+XOR    ``a + b - 2*a*b``
+====== =============================
+
+Multi-input gates are folded two inputs at a time; the inverting variants are
+``1 - tail`` of their non-inverting counterpart.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algebra.polynomial import Polynomial
+from repro.circuit.gates import Gate, GateType
+from repro.errors import ModelingError
+
+
+def _and_tail(inputs: Sequence[Polynomial]) -> Polynomial:
+    result = inputs[0]
+    for operand in inputs[1:]:
+        result = result * operand
+    return result
+
+
+def _or_tail(inputs: Sequence[Polynomial]) -> Polynomial:
+    result = inputs[0]
+    for operand in inputs[1:]:
+        result = result + operand - result * operand
+    return result
+
+
+def _xor_tail(inputs: Sequence[Polynomial]) -> Polynomial:
+    result = inputs[0]
+    for operand in inputs[1:]:
+        result = result + operand - 2 * (result * operand)
+    return result
+
+
+def gate_tail(gate_type: GateType, input_vars: Sequence[int]) -> Polynomial:
+    """Polynomial in the gate inputs that equals the gate function.
+
+    The returned polynomial is the ``tail`` of the gate polynomial
+    ``-z + tail``; substituting a gate-output variable during Gröbner-basis
+    reduction replaces it by exactly this polynomial.
+    """
+    operands = [Polynomial.variable(v) for v in input_vars]
+    if gate_type is GateType.CONST0:
+        return Polynomial.zero()
+    if gate_type is GateType.CONST1:
+        return Polynomial.constant(1)
+    if not operands:
+        raise ModelingError(f"gate type {gate_type.value!r} requires inputs")
+    if gate_type is GateType.BUF:
+        return operands[0]
+    if gate_type is GateType.NOT:
+        return Polynomial.constant(1) - operands[0]
+    if gate_type is GateType.AND:
+        return _and_tail(operands)
+    if gate_type is GateType.NAND:
+        return Polynomial.constant(1) - _and_tail(operands)
+    if gate_type is GateType.OR:
+        return _or_tail(operands)
+    if gate_type is GateType.NOR:
+        return Polynomial.constant(1) - _or_tail(operands)
+    if gate_type is GateType.XOR:
+        return _xor_tail(operands)
+    if gate_type is GateType.XNOR:
+        return Polynomial.constant(1) - _xor_tail(operands)
+    raise ModelingError(f"unsupported gate type {gate_type!r}")
+
+
+def gate_polynomial(output_var: int, gate_type: GateType,
+                    input_vars: Sequence[int]) -> Polynomial:
+    """Full gate polynomial ``-z + tail`` with leading variable ``z``."""
+    return Polynomial.variable(output_var, -1) + gate_tail(gate_type, input_vars)
+
+
+def gate_polynomial_for(gate: Gate, var_index) -> Polynomial:
+    """Gate polynomial for a netlist gate, mapping signal names with ``var_index``."""
+    return gate_polynomial(var_index(gate.output), gate.gate_type,
+                           [var_index(s) for s in gate.inputs])

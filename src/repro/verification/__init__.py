@@ -1,0 +1,29 @@
+"""Verification engines: membership testing with rewriting and logic reduction."""
+
+from repro.verification.engine import verify, verify_multiplier, verify_adder
+from repro.verification.result import VerificationResult, ModelStatistics
+from repro.verification.reduction import groebner_basis_reduction, ReductionOptions
+from repro.verification.rewriting import (
+    RewriteStatistics,
+    common_rewriting_variables,
+    fanout_rewriting_variables,
+    gb_rewrite,
+    xor_rewriting_variables,
+)
+from repro.verification.vanishing import VanishingRules
+
+__all__ = [
+    "ModelStatistics",
+    "ReductionOptions",
+    "RewriteStatistics",
+    "VanishingRules",
+    "VerificationResult",
+    "common_rewriting_variables",
+    "fanout_rewriting_variables",
+    "gb_rewrite",
+    "groebner_basis_reduction",
+    "verify",
+    "verify_adder",
+    "verify_multiplier",
+    "xor_rewriting_variables",
+]

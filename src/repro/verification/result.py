@@ -1,0 +1,86 @@
+"""Result and statistics containers of the verification engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.polynomial import Polynomial
+from repro.verification.reduction import ReductionTrace
+from repro.verification.rewriting import RewriteStatistics
+
+
+@dataclass
+class ModelStatistics:
+    """Size statistics of a (rewritten) polynomial model — the columns of Table III.
+
+    Attributes
+    ----------
+    num_polynomials:
+        ``#P`` — number of polynomials in the model.
+    num_monomials:
+        ``#M`` — total number of monomials over all polynomials.
+    max_polynomial_terms:
+        ``#MP`` — size of the largest polynomial (in monomials).
+    max_monomial_variables:
+        ``#VM`` — size of the largest monomial (in variables).
+    """
+
+    num_polynomials: int = 0
+    num_monomials: int = 0
+    max_polynomial_terms: int = 0
+    max_monomial_variables: int = 0
+
+    @classmethod
+    def from_tails(cls, tails: dict[int, Polynomial]) -> "ModelStatistics":
+        """Compute the statistics of a tail map (each poly is ``-x + tail``)."""
+        stats = cls()
+        stats.num_polynomials = len(tails)
+        for tail in tails.values():
+            terms = tail.num_terms + 1          # +1 for the leading term
+            stats.num_monomials += terms
+            stats.max_polynomial_terms = max(stats.max_polynomial_terms, terms)
+            stats.max_monomial_variables = max(stats.max_monomial_variables,
+                                               tail.max_monomial_degree())
+        return stats
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one membership-testing run."""
+
+    #: ``True`` iff the remainder reduced to zero (circuit matches the spec).
+    verified: bool
+    #: Verification method (``mt-lr``, ``mt-fo``, ``mt-naive``).
+    method: str
+    #: Name of the circuit that was verified.
+    circuit: str
+    #: Human-readable description of the specification.
+    specification: str
+    #: Final remainder of the Gröbner-basis reduction (zero iff verified).
+    remainder: Polynomial = field(default_factory=Polynomial.zero)
+    #: Remainder rendered with signal names (only populated on failure).
+    remainder_text: str = ""
+    #: A primary-input assignment exposing the bug, if one was found.
+    counterexample: dict[str, int] | None = None
+    #: Number of vanishing monomials cancelled by the XOR-AND rule (``#CVM``).
+    cancelled_vanishing_monomials: int = 0
+    #: Statistics of the rewritten model (Table III columns).
+    model_statistics: ModelStatistics = field(default_factory=ModelStatistics)
+    #: Per-pass rewriting statistics.
+    rewrite_statistics: list[RewriteStatistics] = field(default_factory=list)
+    #: Trace of the Gröbner-basis reduction.
+    reduction_trace: ReductionTrace = field(default_factory=ReductionTrace)
+    #: Wall-clock seconds spent in rewriting (Step 2).
+    rewrite_time_s: float = 0.0
+    #: Wall-clock seconds spent in GB reduction (Step 3).
+    reduction_time_s: float = 0.0
+    #: Total wall-clock seconds including modelling.
+    total_time_s: float = 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        verdict = "VERIFIED" if self.verified else "MISMATCH"
+        return (f"[{self.method}] {self.circuit}: {verdict} "
+                f"(total {self.total_time_s:.2f}s, rewrite {self.rewrite_time_s:.2f}s, "
+                f"reduction {self.reduction_time_s:.2f}s, "
+                f"#CVM={self.cancelled_vanishing_monomials})")

@@ -1,0 +1,238 @@
+"""Gröbner-basis rewriting (Step 2 of the MT algorithm, Algorithms 2 and 3).
+
+Rewriting substitutes "uninteresting" variables out of the circuit model so
+that the subsequent Gröbner-basis reduction only has to deal with variables
+that either carry shared sub-terms (enabling early cancellation) or belong
+to the XOR skeleton of the circuit (enabling the vanishing rule):
+
+* **fanout rewriting** (MT-FO, Farahmandi & Alizadeh): keep variables with
+  more than one reader plus primary inputs/outputs;
+* **XOR rewriting** (MT-LR step 1): keep inputs and outputs of XOR gates
+  plus primary inputs/outputs, applying the XOR-AND vanishing rule after
+  every substitution;
+* **common rewriting** (MT-LR step 2): keep variables used by more than one
+  polynomial of the already-rewritten model.
+
+All three share the same generic :func:`gb_rewrite` procedure (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.algebra.polynomial import Polynomial
+from repro.errors import BlowUpError
+from repro.modeling.model import AlgebraicModel
+from repro.verification.vanishing import VanishingRules
+
+
+@dataclass
+class RewriteStatistics:
+    """Bookkeeping of one rewriting pass."""
+
+    scheme: str = ""
+    kept_variables: int = 0
+    substituted_variables: int = 0
+    cancelled_vanishing_monomials: int = 0
+    elapsed_s: float = 0.0
+    peak_tail_terms: int = 0
+
+
+@dataclass
+class RewrittenModel:
+    """The result of rewriting: the reduced polynomial set plus statistics."""
+
+    model: AlgebraicModel
+    tails: dict[int, Polynomial]
+    keep_variables: set[int]
+    statistics: list[RewriteStatistics] = field(default_factory=list)
+
+    @property
+    def cancelled_vanishing_monomials(self) -> int:
+        """Total ``#CVM`` over all rewriting passes."""
+        return sum(s.cancelled_vanishing_monomials for s in self.statistics)
+
+
+# ---------------------------------------------------------------------------
+# Variable selection schemes
+# ---------------------------------------------------------------------------
+
+def fanout_rewriting_variables(model: AlgebraicModel) -> set[int]:
+    """Variables kept by fanout rewriting: fanout > 1, primary inputs, outputs."""
+    keep = model.fanout_variables()
+    keep.update(model.input_vars)
+    keep.update(model.output_vars)
+    return keep
+
+
+def xor_rewriting_variables(model: AlgebraicModel,
+                            include_xnor: bool = True) -> set[int]:
+    """Variables kept by XOR rewriting: XOR inputs/outputs, primary inputs, outputs."""
+    keep = model.xor_variables(include_xnor=include_xnor)
+    keep.update(model.input_vars)
+    keep.update(model.output_vars)
+    return keep
+
+
+def common_rewriting_variables(tails: dict[int, Polynomial],
+                               model: AlgebraicModel) -> set[int]:
+    """Variables kept by common rewriting: used in more than one polynomial.
+
+    Counts, over the current (already rewritten) polynomial set, how many
+    tails reference each variable; variables referenced at least twice are
+    shared and therefore enable cancellations during GB reduction.  Primary
+    inputs and outputs are always kept.
+    """
+    usage: dict[int, int] = {}
+    for tail in tails.values():
+        for var in tail.support():
+            usage[var] = usage.get(var, 0) + 1
+    keep = {var for var, count in usage.items() if count >= 2}
+    keep.update(model.input_vars)
+    keep.update(model.output_vars)
+    return keep
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 2: generic Gröbner-basis rewriting
+# ---------------------------------------------------------------------------
+
+def gb_rewrite(tails: dict[int, Polynomial], keep_variables: set[int],
+               model: AlgebraicModel,
+               vanishing: VanishingRules | None = None,
+               scheme: str = "",
+               monomial_budget: int | None = None,
+               deadline: float | None = None,
+               growth_limit: int | None = None) -> tuple[dict[int, Polynomial],
+                                                         RewriteStatistics]:
+    """Rewrite the model so every tail only references ``keep_variables``.
+
+    Polynomials are processed in ascending order of their leading variables
+    (the "reverse order of leading monomials" of Algorithm 2), so a
+    substituted variable's polynomial has itself already been rewritten.
+    Within one polynomial, the variable whose defining tail has the fewest
+    terms is substituted first, matching the paper's substitution ordering.
+    If ``vanishing`` is given, vanishing monomials are removed after every
+    substitution (and once up-front).
+
+    ``growth_limit`` (used by common rewriting) is an anti-blow-up guard:
+    when inlining a variable would grow the polynomial being rewritten beyond
+    ``max(growth_limit, 4x its current size)``, the variable is kept in the
+    model instead (added to ``keep_variables``, which is updated in place).
+    Rewriting only exists to make the subsequent reduction cheaper, so
+    keeping a variable is always sound; without the guard, chains of
+    single-use XOR cells (e.g. the sign-extension columns of Booth
+    multipliers) would be expanded into exponentially large polynomials.
+    """
+    start = time.perf_counter()
+    stats = RewriteStatistics(scheme=scheme)
+    removed_before = vanishing.removed_count if vanishing else 0
+    rewritten: dict[int, Polynomial] = dict(tails)
+
+    for lead_var in sorted(rewritten):
+        tail = rewritten[lead_var]
+        if vanishing is not None:
+            tail = vanishing.remove_vanishing(tail)
+        rejected: set[int] = set()
+        while True:
+            outside = [var for var in tail.support()
+                       if var not in keep_variables and var in rewritten
+                       and var not in rejected]
+            if not outside:
+                break
+            # Substitute the variable with the smallest defining tail first.
+            target = min(outside, key=lambda var: rewritten[var].num_terms)
+            candidate = tail.substitute(target, rewritten[target])
+            if vanishing is not None:
+                candidate = vanishing.remove_vanishing(candidate)
+            if growth_limit is not None and candidate.num_terms > max(
+                    growth_limit, 4 * tail.num_terms):
+                # Inlining this variable would blow the polynomial up; keep it
+                # as a model variable instead.
+                keep_variables.add(target)
+                rejected.add(target)
+                continue
+            tail = candidate
+            stats.peak_tail_terms = max(stats.peak_tail_terms, tail.num_terms)
+            if monomial_budget is not None and tail.num_terms > monomial_budget:
+                raise BlowUpError(
+                    f"{scheme or 'rewriting'} exceeded the monomial budget "
+                    f"({tail.num_terms} > {monomial_budget}) while rewriting "
+                    f"{model.ring.name(lead_var)}",
+                    monomials=tail.num_terms)
+            if deadline is not None and time.perf_counter() > deadline:
+                raise BlowUpError(
+                    f"{scheme or 'rewriting'} exceeded the time budget",
+                    elapsed_s=time.perf_counter() - start)
+        rewritten[lead_var] = tail
+
+    # UpdateModel: drop polynomials whose leading variable was substituted
+    # away (not kept and not a primary output).
+    output_vars = set(model.output_vars)
+    kept = {var: tail for var, tail in rewritten.items()
+            if var in keep_variables or var in output_vars}
+
+    stats.kept_variables = len(kept)
+    stats.substituted_variables = len(rewritten) - len(kept)
+    stats.cancelled_vanishing_monomials = (
+        (vanishing.removed_count - removed_before) if vanishing else 0)
+    stats.elapsed_s = time.perf_counter() - start
+    return kept, stats
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 3: logic reduction rewriting (XOR rewriting, then common rewriting)
+# ---------------------------------------------------------------------------
+
+def logic_reduction_rewriting(model: AlgebraicModel,
+                              vanishing: VanishingRules | None = None,
+                              apply_common: bool = True,
+                              monomial_budget: int | None = None,
+                              deadline: float | None = None) -> RewrittenModel:
+    """The paper's rewriting scheme: XOR rewriting followed by common rewriting."""
+    if vanishing is None:
+        vanishing = VanishingRules(model)
+    statistics: list[RewriteStatistics] = []
+
+    xor_keep = xor_rewriting_variables(model)
+    tails, stats = gb_rewrite(model.tails, xor_keep, model, vanishing,
+                              scheme="xor-rewriting",
+                              monomial_budget=monomial_budget,
+                              deadline=deadline)
+    statistics.append(stats)
+
+    keep = xor_keep
+    if apply_common:
+        keep = common_rewriting_variables(tails, model)
+        # Only variables that still own a polynomial can stay leading variables.
+        keep &= set(tails) | set(model.input_vars) | set(model.output_vars)
+        tails, stats = gb_rewrite(tails, keep, model, vanishing=None,
+                                  scheme="common-rewriting",
+                                  monomial_budget=monomial_budget,
+                                  deadline=deadline,
+                                  growth_limit=64)
+        statistics.append(stats)
+
+    return RewrittenModel(model=model, tails=tails, keep_variables=keep,
+                          statistics=statistics)
+
+
+def fanout_rewriting(model: AlgebraicModel,
+                     monomial_budget: int | None = None,
+                     deadline: float | None = None) -> RewrittenModel:
+    """The baseline rewriting of MT-FO: keep fanout variables only."""
+    keep = fanout_rewriting_variables(model)
+    tails, stats = gb_rewrite(model.tails, keep, model, vanishing=None,
+                              scheme="fanout-rewriting",
+                              monomial_budget=monomial_budget,
+                              deadline=deadline)
+    return RewrittenModel(model=model, tails=tails, keep_variables=keep,
+                          statistics=[stats])
+
+
+def no_rewriting(model: AlgebraicModel) -> RewrittenModel:
+    """Keep the raw gate-level model (the MT-Naive baseline)."""
+    keep = set(model.tails) | set(model.input_vars)
+    return RewrittenModel(model=model, tails=dict(model.tails),
+                          keep_variables=keep, statistics=[])

@@ -1,0 +1,204 @@
+"""The XOR-AND vanishing rule and its structural generalisation.
+
+A *vanishing monomial* always evaluates to zero on the circuit.  The paper's
+core observation is the XOR-AND rule: a monomial containing both
+``X = a xor b`` and ``D = a and b`` vanishes because ``(a xor b)(a and b) = 0``.
+
+During rewriting the same contradiction can surface through slightly
+different variable sets (``X*a*b`` once ``D`` has been inlined, or the
+``one/two`` select signals of a Booth cell, where ``two = x2 and (not one)``).
+To catch these soundly this module derives, once per model, a set of
+*implied literals* for every variable:
+
+* ``must1(v)``  — literals that are forced when ``v = 1``;
+* ``must0(v)``  — literals that are forced when ``v = 0``.
+
+For a monomial ``M`` (a conjunction of its variables) the union of
+``must1(v)`` over ``v in M`` must be consistent; if it contains both
+polarities of some signal, or if it violates the XOR/XNOR constraint of a
+gate whose output is in ``M``, the monomial is identically zero and can be
+removed.  The paper's rule is the special case "XOR output + AND output over
+the same input pair".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.monomial import Monomial
+from repro.circuit.gates import GateType
+from repro.modeling.model import AlgebraicModel
+
+#: A literal is ``(variable, polarity)`` with polarity ``True`` for positive.
+Literal = tuple[int, bool]
+
+
+@dataclass
+class VanishingRules:
+    """Structural vanishing-monomial detector for one circuit model.
+
+    Parameters
+    ----------
+    model:
+        The algebraic model whose gate structure is used.
+    xor_and_only:
+        Restrict detection to the paper's literal XOR-AND rule (an XOR output
+        and an AND output over the same two inputs).  The default ``False``
+        enables the sound implied-literal generalisation described in
+        DESIGN.md §4, which is required to catch the Booth-cell vanishing
+        monomials once their AND gates have been inlined.
+    max_implied_literals:
+        Cap on the size of the implied-literal sets (memory guard for very
+        deep AND/OR chains); truncation only weakens the rule, never makes it
+        unsound.
+    """
+
+    model: AlgebraicModel
+    xor_and_only: bool = False
+    max_implied_literals: int = 256
+    removed_count: int = 0
+    _must1: dict[int, frozenset[Literal]] = field(default_factory=dict, repr=False)
+    _must0: dict[int, frozenset[Literal]] = field(default_factory=dict, repr=False)
+    _xor_support: dict[int, tuple[int, ...]] = field(default_factory=dict, repr=False)
+    _xnor_support: dict[int, tuple[int, ...]] = field(default_factory=dict, repr=False)
+    _and_support: dict[int, frozenset[int]] = field(default_factory=dict, repr=False)
+    _cache: dict[Monomial, bool] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._build_structural_tables()
+
+    # -- construction of the structural tables ---------------------------------
+
+    def _build_structural_tables(self) -> None:
+        records = self.model.records
+        for var in sorted(records):
+            record = records[var]
+            gate = record.gate_type
+            if gate is GateType.XOR and len(record.inputs) == 2:
+                self._xor_support[var] = record.inputs
+            elif gate is GateType.XNOR and len(record.inputs) == 2:
+                self._xnor_support[var] = record.inputs
+            if gate is GateType.AND and len(record.inputs) == 2:
+                self._and_support[var] = frozenset(record.inputs)
+            self._must1[var] = self._compute_must(var, value=True)
+            self._must0[var] = self._compute_must(var, value=False)
+
+    def _compute_must(self, var: int, value: bool) -> frozenset[Literal]:
+        record = self.model.records[var]
+        gate = record.gate_type
+        literals: set[Literal] = {(var, value)}
+        if gate is None or self.xor_and_only:
+            return frozenset(literals)
+
+        def implied_when_true(child: int) -> frozenset[Literal]:
+            return self._must1.get(child, frozenset({(child, True)}))
+
+        def implied_when_false(child: int) -> frozenset[Literal]:
+            return self._must0.get(child, frozenset({(child, False)}))
+
+        if value:
+            if gate in (GateType.AND, GateType.BUF):
+                for child in record.inputs:
+                    literals |= implied_when_true(child)
+            elif gate is GateType.NOT:
+                literals |= implied_when_false(record.inputs[0])
+            elif gate is GateType.NOR:
+                for child in record.inputs:
+                    literals |= implied_when_false(child)
+            elif gate is GateType.CONST0:
+                # A constant-0 output can never be 1: mark as self-contradictory.
+                literals.add((var, False))
+        else:
+            if gate in (GateType.OR, GateType.BUF):
+                for child in record.inputs:
+                    literals |= implied_when_false(child)
+            elif gate is GateType.NOT:
+                literals |= implied_when_true(record.inputs[0])
+            elif gate is GateType.NAND:
+                for child in record.inputs:
+                    literals |= implied_when_true(child)
+            elif gate is GateType.CONST1:
+                literals.add((var, True))
+        if len(literals) > self.max_implied_literals:
+            literals = {(var, value)}
+        return frozenset(literals)
+
+    # -- the vanishing test ------------------------------------------------------
+
+    def is_vanishing(self, monomial: Monomial) -> bool:
+        """Return ``True`` if the monomial always evaluates to zero."""
+        if len(monomial) < 2:
+            return False
+        cached = self._cache.get(monomial)
+        if cached is not None:
+            return cached
+        result = (self._xor_and_rule(monomial) if self.xor_and_only
+                  else self._implied_literal_rule(monomial))
+        self._cache[monomial] = result
+        return result
+
+    def _xor_and_rule(self, monomial: Monomial) -> bool:
+        """The literal rule from the paper: XOR and AND over the same pair."""
+        xor_pairs = [frozenset(self._xor_support[v]) for v in monomial
+                     if v in self._xor_support]
+        if not xor_pairs:
+            return False
+        and_pairs = {self._and_support[v] for v in monomial
+                     if v in self._and_support}
+        return any(pair in and_pairs for pair in xor_pairs)
+
+    def _implied_literal_rule(self, monomial: Monomial) -> bool:
+        """Sound generalisation via implied-literal consistency."""
+        positive: set[int] = set()
+        negative: set[int] = set()
+        for var in monomial:
+            for lit_var, polarity in self._must1.get(
+                    var, frozenset({(var, True)})):
+                if polarity:
+                    if lit_var in negative:
+                        return True
+                    positive.add(lit_var)
+                else:
+                    if lit_var in positive:
+                        return True
+                    negative.add(lit_var)
+        # XOR/XNOR consistency of gates whose output is implied positive.
+        for var in positive:
+            support = self._xor_support.get(var)
+            if support is not None:
+                a, b = support
+                if (a in positive and b in positive) or (a in negative and b in negative):
+                    return True
+            support = self._xnor_support.get(var)
+            if support is not None:
+                a, b = support
+                if (a in positive and b in negative) or (a in negative and b in positive):
+                    return True
+        # XOR gates implied *negative* force equal inputs; contradiction if
+        # the monomial also forces the inputs to differ.
+        for var in negative:
+            support = self._xor_support.get(var)
+            if support is not None:
+                a, b = support
+                if (a in positive and b in negative) or (a in negative and b in positive):
+                    return True
+            support = self._xnor_support.get(var)
+            if support is not None:
+                a, b = support
+                if (a in positive and b in positive) or (a in negative and b in negative):
+                    return True
+        return False
+
+    # -- polynomial filtering ------------------------------------------------------
+
+    def remove_vanishing(self, polynomial):
+        """Remove vanishing monomials from a polynomial, counting removals.
+
+        Returns the filtered polynomial; the running total of removed
+        monomials is accumulated in :attr:`removed_count` (the ``#CVM``
+        statistic of Table III).
+        """
+        filtered, removed = polynomial.filter_monomials(
+            lambda mono: not self.is_vanishing(mono))
+        self.removed_count += removed
+        return filtered

@@ -1,0 +1,70 @@
+"""Unit tests for Boolean-domain monomials."""
+
+import pytest
+
+from repro.algebra.monomial import Monomial
+
+
+def test_empty_monomial_is_constant_one():
+    assert Monomial.ONE.is_constant
+    assert Monomial.ONE.degree == 0
+    assert Monomial.ONE.evaluate({}) == 1
+
+
+def test_multiplication_is_set_union_idempotent():
+    m1 = Monomial([1, 2])
+    m2 = Monomial([2, 3])
+    product = m1 * m2
+    assert product == Monomial([1, 2, 3])
+    # Boolean idempotence: squaring does not change the monomial.
+    assert m1 * m1 == m1
+
+
+def test_divides_and_division():
+    small = Monomial([1])
+    big = Monomial([1, 2, 3])
+    assert small.divides(big)
+    assert not big.divides(small)
+    assert big / small == Monomial([2, 3])
+
+
+def test_division_by_non_divisor_raises():
+    with pytest.raises(ValueError):
+        Monomial([1]) / Monomial([2])
+
+
+def test_lcm_and_gcd():
+    m1 = Monomial([1, 2])
+    m2 = Monomial([2, 3])
+    assert m1.lcm(m2) == Monomial([1, 2, 3])
+    assert m1.gcd(m2) == Monomial([2])
+
+
+def test_relatively_prime():
+    assert Monomial([1, 2]).relatively_prime(Monomial([3, 4]))
+    assert not Monomial([1, 2]).relatively_prime(Monomial([2, 3]))
+
+
+def test_evaluation_requires_all_variables_true():
+    m = Monomial([0, 2])
+    assert m.evaluate({0: 1, 1: 0, 2: 1}) == 1
+    assert m.evaluate({0: 1, 1: 1, 2: 0}) == 0
+
+
+def test_sort_key_realises_lex_order():
+    # x3 > x2*x1 and x3*x2 > x3*x1 under lex with x3 > x2 > x1.
+    assert Monomial([3]).sort_key() > Monomial([2, 1]).sort_key()
+    assert Monomial([3, 2]).sort_key() > Monomial([3, 1]).sort_key()
+    # A monomial is smaller than any proper multiple of itself.
+    assert Monomial([3]).sort_key() < Monomial([3, 1]).sort_key()
+
+
+def test_to_str_with_names():
+    names = {0: "a", 1: "b", 2: "c"}
+    assert Monomial([0, 2]).to_str(names) == "c*a"
+    assert Monomial().to_str(names) == "1"
+
+
+def test_monomials_are_hashable_and_equal_to_frozensets_with_same_content():
+    assert hash(Monomial([1, 2])) == hash(frozenset({1, 2}))
+    assert Monomial([1, 2]) == frozenset({1, 2})

@@ -1,0 +1,35 @@
+"""Tests for monomial orderings."""
+
+import pytest
+
+from repro.algebra.monomial import Monomial
+from repro.algebra.ordering import DEGLEX, LEX, MonomialOrder
+
+
+def test_lex_order_prefers_higher_variables():
+    assert LEX.greater(Monomial([5]), Monomial([4, 3, 2, 1]))
+    assert LEX.greater(Monomial([5, 1]), Monomial([5]))
+    assert not LEX.greater(Monomial([2, 1]), Monomial([3]))
+
+
+def test_deglex_order_prefers_higher_degree():
+    assert DEGLEX.greater(Monomial([2, 1]), Monomial([5]))
+    assert DEGLEX.greater(Monomial([5, 1]), Monomial([4, 2]))
+
+
+def test_max_and_sorted():
+    monos = [Monomial([1]), Monomial([3]), Monomial([2, 1])]
+    assert LEX.max(monos) == Monomial([3])
+    ordered = LEX.sorted(monos)
+    assert ordered[0] == Monomial([3])
+    assert ordered[-1] == Monomial([1])
+
+
+def test_unknown_order_name_rejected():
+    with pytest.raises(ValueError):
+        MonomialOrder("mystery")
+
+
+def test_custom_key_function():
+    by_degree = MonomialOrder("bydeg", key=lambda m: (m.degree,))
+    assert by_degree.greater(Monomial([1, 2]), Monomial([9]))

@@ -1,0 +1,153 @@
+"""Unit tests for sparse multilinear polynomials."""
+
+import pytest
+
+from repro.algebra.monomial import Monomial
+from repro.algebra.ordering import LEX
+from repro.algebra.polynomial import Polynomial
+from repro.errors import AlgebraError
+
+
+def poly(*terms):
+    """Helper: build a polynomial from (coefficient, [vars]) tuples."""
+    return Polynomial.from_terms(terms)
+
+
+def test_zero_and_constant_construction():
+    assert Polynomial.zero().is_zero
+    assert Polynomial.constant(0).is_zero
+    five = Polynomial.constant(5)
+    assert five.constant_term() == 5
+    assert five.is_constant
+
+
+def test_duplicate_terms_are_merged():
+    p = poly((2, [1]), (3, [1]), (-5, [1]))
+    assert p.is_zero
+
+
+def test_addition_and_subtraction():
+    p = poly((1, [1]), (2, [2]))
+    q = poly((3, [1]), (-2, [2]), (7, []))
+    total = p + q
+    assert total.coefficient([1]) == 4
+    assert total.coefficient([2]) == 0
+    assert total.constant_term() == 7
+    assert (total - q) == p
+
+
+def test_integer_operands_are_accepted():
+    p = Polynomial.variable(0)
+    assert (p + 1).constant_term() == 1
+    assert (1 - p).coefficient([0]) == -1
+    assert (3 * p).coefficient([0]) == 3
+
+
+def test_multiplication_applies_boolean_idempotence():
+    x = Polynomial.variable(1)
+    # x * x = x in the Boolean domain.
+    assert x * x == x
+    p = poly((1, [1]), (1, [2]))
+    q = poly((1, [1]), (-1, [2]))
+    product = p * q
+    # (x1 + x2)(x1 - x2) = x1^2 - x2^2 = x1 - x2.
+    assert product == poly((1, [1]), (-1, [2]))
+
+
+def test_xor_gate_polynomial_identity():
+    # a + b - 2ab evaluates to a xor b on Boolean inputs.
+    a, b = Polynomial.variable(0), Polynomial.variable(1)
+    xor = a + b - 2 * (a * b)
+    for va in (0, 1):
+        for vb in (0, 1):
+            assert xor.evaluate({0: va, 1: vb}) == (va ^ vb)
+
+
+def test_substitute_replaces_variable_with_tail():
+    # p = x4*x3 + x1, substitute x4 := x2*x1 -> x3*x2*x1 + x1 (paper Section II-B).
+    p = poly((1, [4, 3]), (1, [1]))
+    replacement = poly((1, [2, 1]))
+    result = p.substitute(4, replacement)
+    assert result == poly((1, [3, 2, 1]), (1, [1]))
+
+
+def test_substitute_cancels_terms():
+    p = poly((1, [3]), (-1, [2]))
+    result = p.substitute(3, Polynomial.variable(2))
+    assert result.is_zero
+
+
+def test_substitute_many():
+    p = poly((1, [3, 2]))
+    result = p.substitute_many({3: Polynomial.variable(1),
+                                2: Polynomial.constant(1)})
+    assert result == Polynomial.variable(1)
+
+
+def test_leading_term_with_lex_order():
+    p = poly((5, [3]), (7, [2, 1]), (1, []))
+    mono, coeff = p.leading_term(LEX)
+    assert mono == Monomial([3])
+    assert coeff == 5
+
+
+def test_leading_term_of_zero_raises():
+    with pytest.raises(AlgebraError):
+        Polynomial.zero().leading_monomial()
+
+
+def test_drop_coefficient_multiples():
+    p = poly((8, [1]), (4, [2]), (3, [3]))
+    reduced = p.drop_coefficient_multiples(4)
+    assert reduced.coefficient([1]) == 0
+    assert reduced.coefficient([2]) == 0
+    assert reduced.coefficient([3]) == 3
+    with pytest.raises(AlgebraError):
+        p.drop_coefficient_multiples(0)
+
+
+def test_reduce_coefficients_symmetric_range():
+    p = poly((7, [1]), (9, [2]))
+    reduced = p.reduce_coefficients(8)
+    assert reduced.coefficient([1]) == -1
+    assert reduced.coefficient([2]) == 1
+
+
+def test_filter_monomials_counts_removals():
+    p = poly((1, [1, 2]), (1, [3]), (1, []))
+    filtered, removed = p.filter_monomials(lambda m: len(m) < 2)
+    assert removed == 1
+    assert filtered.coefficient([1, 2]) == 0
+    assert filtered.coefficient([3]) == 1
+
+
+def test_support_and_degree_statistics():
+    p = poly((1, [1, 2, 3]), (4, [5]))
+    assert p.support() == {1, 2, 3, 5}
+    assert p.max_monomial_degree() == 3
+    assert p.num_terms == 2
+    assert p.contains_variable(5)
+    assert not p.contains_variable(4)
+
+
+def test_evaluate_sums_terms():
+    p = poly((3, [0]), (2, [1]), (-1, []))
+    assert p.evaluate({0: 1, 1: 0}) == 2
+    assert p.evaluate({0: 1, 1: 1}) == 4
+
+
+def test_to_str_sorted_leading_first():
+    p = poly((-2, [2]), (1, [3]), (5, []))
+    text = p.to_str()
+    assert text.startswith("x3")
+    assert "2*x2" in text
+    assert text.endswith("5")
+
+
+def test_equality_and_hash():
+    p = poly((1, [1]), (2, [2]))
+    q = poly((2, [2]), (1, [1]))
+    assert p == q
+    assert hash(p) == hash(q)
+    assert p != poly((1, [1]))
+    assert Polynomial.zero() == 0

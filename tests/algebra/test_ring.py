@@ -1,0 +1,47 @@
+"""Tests for the polynomial ring / variable manager."""
+
+import pytest
+
+from repro.algebra.ring import PolynomialRing
+from repro.errors import AlgebraError
+
+
+def test_variables_are_ordered_by_insertion():
+    ring = PolynomialRing(["a", "b", "c"])
+    assert ring.index("a") == 0
+    assert ring.index("c") == 2
+    assert ring.name(1) == "b"
+    assert list(ring.names()) == ["a", "b", "c"]
+    assert len(ring) == 3
+
+
+def test_duplicate_variable_rejected():
+    ring = PolynomialRing(["a"])
+    with pytest.raises(AlgebraError):
+        ring.add_variable("a")
+
+
+def test_unknown_lookup_raises():
+    ring = PolynomialRing(["a"])
+    with pytest.raises(AlgebraError):
+        ring.index("missing")
+    with pytest.raises(AlgebraError):
+        ring.name(7)
+
+
+def test_polynomial_construction_and_rendering():
+    ring = PolynomialRing(["a", "b", "s"])
+    poly = ring.polynomial([(-1, ["s"]), (1, ["a"]), (1, ["b"]), (-2, ["a", "b"])])
+    text = ring.render(poly)
+    assert text.startswith("-s")
+    assert "2*b*a" in text
+    assert poly.evaluate({ring.index("a"): 1, ring.index("b"): 1,
+                          ring.index("s"): 0}) == 0
+
+
+def test_monomial_and_variable_helpers():
+    ring = PolynomialRing(["a", "b"])
+    assert ring.variable("b", -3).coefficient([1]) == -3
+    assert ring.monomial(["a", "b"]) == frozenset({0, 1})
+    assert ring.indices(["b", "a"]) == [1, 0]
+    assert "a" in ring and "z" not in ring

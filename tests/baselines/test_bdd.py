@@ -1,0 +1,91 @@
+"""Tests for the ROBDD package and BDD-based equivalence checking."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.bdd.bdd import BddManager
+from repro.baselines.bdd.equivalence import bdd_equivalence_check
+from repro.circuit.mutate import apply_mutation, list_mutations
+from repro.errors import BddError
+from repro.generators.adders import generate_adder
+from repro.generators.multipliers import generate_multiplier
+
+
+def test_terminal_nodes_and_variables():
+    manager = BddManager(3)
+    x = manager.variable(0)
+    assert manager.level(x) == 0
+    assert manager.low(x) == manager.FALSE
+    assert manager.high(x) == manager.TRUE
+    with pytest.raises(BddError):
+        manager.variable(5)
+
+
+def test_boolean_operations_match_truth_tables():
+    manager = BddManager(2)
+    x, y = manager.variable(0), manager.variable(1)
+    table = {
+        "and": (manager.and_(x, y), lambda a, b: a & b),
+        "or": (manager.or_(x, y), lambda a, b: a | b),
+        "xor": (manager.xor(x, y), lambda a, b: a ^ b),
+    }
+    for node, reference in table.values():
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert manager.evaluate(node, {0: a, 1: b}) == bool(reference(a, b))
+    assert manager.not_(manager.TRUE) == manager.FALSE
+
+
+def test_reduction_rules_give_canonical_nodes():
+    manager = BddManager(2)
+    x = manager.variable(0)
+    # x AND x == x, x OR NOT x == TRUE: canonicity means identical node ids.
+    assert manager.and_(x, x) == x
+    assert manager.or_(x, manager.not_(x)) == manager.TRUE
+    assert manager.ite(x, manager.TRUE, manager.FALSE) == x
+
+
+def test_satisfying_assignment():
+    manager = BddManager(3)
+    x, y, z = (manager.variable(i) for i in range(3))
+    f = manager.and_(x, manager.and_(manager.not_(y), z))
+    assignment = manager.satisfying_assignment(f)
+    assert assignment == {0: 1, 1: 0, 2: 1}
+    assert manager.satisfying_assignment(manager.FALSE) is None
+
+
+def test_node_budget_enforced():
+    manager = BddManager(8, node_budget=10)
+    with pytest.raises(BddError):
+        node = manager.FALSE
+        for i in range(8):
+            node = manager.xor(manager.variable(i), node)
+
+
+def test_bdd_equivalence_on_adders_and_multipliers():
+    assert bdd_equivalence_check(generate_adder("BK", 8), "add").equivalent
+    assert bdd_equivalence_check(generate_multiplier("SP-WT-CL", 3),
+                                 "multiply").equivalent
+
+
+def test_bdd_detects_buggy_circuit():
+    netlist = generate_multiplier("SP-AR-RC", 3)
+    buggy = apply_mutation(netlist, [m for m in list_mutations(netlist)
+                                     if m.signal.startswith("pp")][0])
+    result = bdd_equivalence_check(buggy, "multiply")
+    assert result.status == "different"
+    assert result.failing_output is not None
+
+
+def test_bdd_node_budget_reports_unknown():
+    result = bdd_equivalence_check(generate_multiplier("SP-WT-CL", 6),
+                                   "multiply", node_budget=200)
+    assert result.timed_out
+
+
+def test_multiplier_bdds_grow_much_faster_than_adder_bdds():
+    """The classical blow-up: product BDDs explode, sum BDDs stay linear."""
+    adder_nodes = bdd_equivalence_check(generate_adder("RC", 6), "add").num_nodes
+    mult_nodes = bdd_equivalence_check(generate_multiplier("SP-AR-RC", 6),
+                                       "multiply").num_nodes
+    assert mult_nodes > 10 * adder_nodes

@@ -1,0 +1,83 @@
+"""Tests for CNF construction and Tseitin encoding."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.sat.cnf import CNF, tseitin_encode
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+from repro.circuit.simulate import simulate
+from repro.errors import SatError
+
+
+def test_cnf_basic_operations():
+    cnf = CNF()
+    x = cnf.new_variable()
+    y = cnf.new_variable()
+    cnf.add_clause((x, -y))
+    cnf.extend([(y,), (-x, y)])
+    assert cnf.num_variables == 2
+    assert cnf.num_clauses == 3
+    dimacs = cnf.to_dimacs()
+    assert dimacs.startswith("p cnf 2 3")
+    assert "1 -2 0" in dimacs
+
+
+def test_cnf_rejects_bad_literals():
+    cnf = CNF()
+    cnf.new_variable()
+    with pytest.raises(SatError):
+        cnf.add_clause((0,))
+    with pytest.raises(SatError):
+        cnf.add_clause((5,))
+    with pytest.raises(SatError):
+        cnf.add_clause(())
+
+
+def _clause_satisfied(clause, assignment):
+    return any((lit > 0) == assignment[abs(lit)] for lit in clause)
+
+
+@pytest.mark.parametrize("gate_type", [
+    GateType.AND, GateType.OR, GateType.XOR, GateType.NAND, GateType.NOR,
+    GateType.XNOR, GateType.NOT, GateType.BUF, GateType.CONST0, GateType.CONST1,
+])
+def test_tseitin_encoding_is_consistent_with_simulation(gate_type):
+    netlist = Netlist(f"gate_{gate_type.value}")
+    arity = gate_type.min_arity
+    inputs = [netlist.add_input(f"x{i}") for i in range(arity)]
+    netlist.add_gate(gate_type, inputs, "z")
+    netlist.add_output("z")
+    cnf, variables = tseitin_encode(netlist)
+
+    for bits in itertools.product((0, 1), repeat=arity):
+        values = simulate(netlist, dict(zip(inputs, bits)))
+        assignment = {variables[name]: bool(value)
+                      for name, value in values.items() if name in variables}
+        # Fill any auxiliary Tseitin variables consistently by checking that
+        # some completion satisfies all clauses: here gates are single-level,
+        # so every CNF variable is a circuit signal already.
+        assert all(_clause_satisfied(clause, assignment)
+                   for clause in cnf.clauses
+                   if all(abs(lit) in assignment for lit in clause))
+
+
+def test_tseitin_three_input_xor_uses_auxiliary_variable():
+    netlist = Netlist()
+    inputs = [netlist.add_input(f"x{i}") for i in range(3)]
+    netlist.add_gate(GateType.XOR, inputs, "z")
+    netlist.add_output("z")
+    cnf, variables = tseitin_encode(netlist)
+    assert cnf.num_variables > len(variables) or len(variables) == cnf.num_variables
+    assert cnf.num_clauses >= 8
+
+
+def test_tseitin_shared_inputs_for_miter_style_encoding(tiny_and_netlist):
+    cnf, variables = tseitin_encode(tiny_and_netlist)
+    before = cnf.num_variables
+    second = tiny_and_netlist.copy("copy")
+    shared = {name: variables[name] for name in second.inputs}
+    cnf, second_vars = tseitin_encode(second, cnf, shared)
+    assert cnf.num_variables == before + 1          # only the new output
+    assert second_vars["a"] == variables["a"]

@@ -1,0 +1,90 @@
+"""Tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines.sat.cnf import CNF
+from repro.baselines.sat.solver import CdclSolver, solve_cnf
+
+
+def _cnf_from_clauses(num_vars, clauses):
+    cnf = CNF()
+    for _ in range(num_vars):
+        cnf.new_variable()
+    cnf.extend(clauses)
+    return cnf
+
+
+def _brute_force_sat(num_vars, clauses):
+    for bits in itertools.product((False, True), repeat=num_vars):
+        assignment = {i + 1: bits[i] for i in range(num_vars)}
+        if all(any((lit > 0) == assignment[abs(lit)] for lit in clause)
+               for clause in clauses):
+            return True
+    return False
+
+
+def test_trivially_satisfiable_and_unsatisfiable():
+    sat = solve_cnf(_cnf_from_clauses(1, [(1,)]))
+    assert sat.is_sat and sat.model[1] is True
+    unsat = solve_cnf(_cnf_from_clauses(1, [(1,), (-1,)]))
+    assert unsat.is_unsat
+
+
+def test_empty_formula_is_satisfiable():
+    assert solve_cnf(CNF()).is_sat
+
+
+def test_unit_propagation_chain():
+    clauses = [(1,), (-1, 2), (-2, 3), (-3, 4)]
+    result = solve_cnf(_cnf_from_clauses(4, clauses))
+    assert result.is_sat
+    assert all(result.model[v] for v in (1, 2, 3, 4))
+
+
+def test_pigeonhole_3_into_2_is_unsat():
+    # Variables p_{i,j}: pigeon i in hole j (i in 0..2, j in 0..1).
+    def var(i, j):
+        return i * 2 + j + 1
+    clauses = []
+    for i in range(3):
+        clauses.append((var(i, 0), var(i, 1)))
+    for j in range(2):
+        for i1 in range(3):
+            for i2 in range(i1 + 1, 3):
+                clauses.append((-var(i1, j), -var(i2, j)))
+    result = solve_cnf(_cnf_from_clauses(6, clauses))
+    assert result.is_unsat
+    assert result.conflicts > 0
+
+
+def test_model_satisfies_all_clauses_on_random_formulas():
+    rng = random.Random(42)
+    for trial in range(30):
+        num_vars = rng.randint(3, 10)
+        num_clauses = rng.randint(3, 30)
+        clauses = []
+        for _ in range(num_clauses):
+            size = rng.randint(1, 3)
+            clause = tuple(rng.choice([-1, 1]) * rng.randint(1, num_vars)
+                           for _ in range(size))
+            clauses.append(clause)
+        result = solve_cnf(_cnf_from_clauses(num_vars, clauses))
+        expected = _brute_force_sat(num_vars, clauses)
+        assert result.is_sat == expected, (clauses, trial)
+        if result.is_sat:
+            assert all(any((lit > 0) == result.model[abs(lit)] for lit in clause)
+                       for clause in clauses)
+
+
+def test_assumptions_and_conflict_limit():
+    cnf = _cnf_from_clauses(2, [(1, 2)])
+    solver = CdclSolver(cnf)
+    result = solver.solve(assumptions=[-1])
+    assert result.is_sat and result.model[2] is True
+
+    limited = CdclSolver(_cnf_from_clauses(1, [(1,), (-1,)]), conflict_limit=0)
+    outcome = limited.solve()
+    assert outcome.status in ("unsat", "unknown")

@@ -1,0 +1,53 @@
+"""Tests for bug injection."""
+
+import pytest
+
+from repro.circuit.mutate import Mutation, apply_mutation, inject_bug, list_mutations
+from repro.circuit.gates import GateType
+from repro.circuit.simulate import exhaustive_check
+from repro.errors import CircuitError
+from repro.generators.multipliers import generate_multiplier
+
+
+def test_list_mutations_covers_every_gate(paper_full_adder):
+    mutations = list_mutations(paper_full_adder)
+    mutated_signals = {m.signal for m in mutations}
+    assert mutated_signals == {"x1", "x2", "s", "x4", "c"}
+    assert all(m.original is not m.mutated for m in mutations)
+
+
+def test_apply_mutation_changes_function(paper_full_adder):
+    mutation = Mutation("x2", GateType.AND, GateType.OR)
+    mutated = apply_mutation(paper_full_adder, mutation)
+    assert mutated.gate_of("x2").gate_type is GateType.OR
+    # The original netlist is untouched.
+    assert paper_full_adder.gate_of("x2").gate_type is GateType.AND
+
+
+def test_apply_mutation_validates_original_type(paper_full_adder):
+    with pytest.raises(CircuitError):
+        apply_mutation(paper_full_adder,
+                       Mutation("x2", GateType.OR, GateType.AND))
+
+
+def test_injected_bug_changes_multiplier_function():
+    netlist = generate_multiplier("SP-AR-RC", 3)
+    observable = 0
+    for seed in range(8):
+        buggy, mutation = inject_bug(netlist, seed=seed)
+        assert mutation.describe()
+        ok, counterexample = exhaustive_check(buggy, lambda a, b: a * b,
+                                              ["a", "b"], [3, 3])
+        if not ok:
+            observable += 1
+            assert counterexample is not None
+    # The occasional mutation can be functionally masked (e.g. a gate feeding
+    # a truncated carry), but the vast majority must change the function.
+    assert observable >= 6
+
+
+def test_inject_bug_is_deterministic():
+    netlist = generate_multiplier("SP-AR-RC", 3)
+    _, first = inject_bug(netlist, seed=3)
+    _, second = inject_bug(netlist, seed=3)
+    assert first == second

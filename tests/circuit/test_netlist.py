@@ -1,0 +1,129 @@
+"""Unit tests for the netlist container."""
+
+import pytest
+
+from repro.circuit.gates import Gate, GateType
+from repro.circuit.netlist import Netlist
+from repro.errors import CircuitError
+
+
+def test_basic_construction_and_queries():
+    netlist = Netlist("demo")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    z = netlist.and_(a, b, "z")
+    netlist.add_output(z)
+    assert netlist.inputs == ["a", "b"]
+    assert netlist.outputs == ["z"]
+    assert netlist.num_gates == 1
+    assert netlist.is_input("a") and not netlist.is_input("z")
+    assert netlist.is_output("z")
+    assert netlist.gate_of("z").gate_type is GateType.AND
+    netlist.validate()
+
+
+def test_duplicate_driver_rejected():
+    netlist = Netlist()
+    netlist.add_input("a")
+    with pytest.raises(CircuitError):
+        netlist.add_input("a")
+    netlist.not_("a", "z")
+    with pytest.raises(CircuitError):
+        netlist.and_("a", "a", "z")
+
+
+def test_fresh_signal_names_never_collide():
+    netlist = Netlist()
+    netlist.add_input("a")
+    names = {netlist.not_("a") for _ in range(10)}
+    assert len(names) == 10
+
+
+def test_word_helpers_order_by_index():
+    netlist = Netlist()
+    word = netlist.add_input_word("a", 11)
+    assert word[0] == "a0" and word[10] == "a10"
+    assert netlist.input_word("a") == word
+    for name in word:
+        netlist.buf(name, f"s{word.index(name)}")
+    netlist.add_output_word([f"s{i}" for i in range(11)])
+    assert netlist.output_word("s")[10] == "s10"
+
+
+def test_gate_trees():
+    netlist = Netlist()
+    inputs = netlist.add_input_word("x", 5)
+    out = netlist.and_tree(inputs, "all")
+    assert out == "all"
+    netlist.add_output(out)
+    netlist.validate()
+    single = netlist.or_tree([inputs[0]], "just_one")
+    assert netlist.gate_of(single).gate_type is GateType.BUF
+    with pytest.raises(CircuitError):
+        netlist.xor_tree([])
+
+
+def test_validate_detects_undriven_signal():
+    netlist = Netlist()
+    netlist.add_input("a")
+    netlist._gates["z"] = Gate(output="z", gate_type=GateType.AND,
+                               inputs=("a", "ghost"))
+    with pytest.raises(CircuitError):
+        netlist.validate()
+
+
+def test_validate_detects_combinational_loop():
+    netlist = Netlist()
+    netlist.add_input("a")
+    netlist._gates["x"] = Gate(output="x", gate_type=GateType.AND, inputs=("a", "y"))
+    netlist._gates["y"] = Gate(output="y", gate_type=GateType.AND, inputs=("a", "x"))
+    with pytest.raises(CircuitError):
+        netlist.validate()
+
+
+def test_copy_is_independent():
+    netlist = Netlist("original")
+    netlist.add_input("a")
+    netlist.not_("a", "z")
+    netlist.add_output("z")
+    clone = netlist.copy("clone")
+    clone.buf("z", "extra")
+    assert clone.num_gates == 2
+    assert netlist.num_gates == 1
+
+
+def test_replace_gate_checks_target():
+    netlist = Netlist()
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.and_("a", "b", "z")
+    netlist.replace_gate("z", Gate(output="z", gate_type=GateType.OR,
+                                   inputs=("a", "b")))
+    assert netlist.gate_of("z").gate_type is GateType.OR
+    with pytest.raises(CircuitError):
+        netlist.replace_gate("z", Gate(output="other", gate_type=GateType.OR,
+                                       inputs=("a", "b")))
+    with pytest.raises(CircuitError):
+        netlist.replace_gate("a", Gate(output="a", gate_type=GateType.OR,
+                                       inputs=("a", "b")))
+
+
+def test_gate_type_histogram():
+    netlist = Netlist()
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.and_("a", "b")
+    netlist.and_("a", "b")
+    netlist.xor("a", "b")
+    histogram = netlist.gate_type_histogram()
+    assert histogram[GateType.AND] == 2
+    assert histogram[GateType.XOR] == 1
+
+
+def test_gate_arity_validation():
+    with pytest.raises(CircuitError):
+        Gate(output="z", gate_type=GateType.AND, inputs=("a",))
+    with pytest.raises(CircuitError):
+        Gate(output="z", gate_type=GateType.NOT, inputs=("a", "b"))
+    with pytest.raises(CircuitError):
+        Gate(output="z", gate_type=GateType.XOR, inputs=("a", "a"))

@@ -1,0 +1,87 @@
+"""Tests for bit-true netlist simulation."""
+
+import pytest
+
+from repro.circuit.gates import GateType, evaluate_gate
+from repro.circuit.netlist import Netlist
+from repro.circuit.simulate import (
+    bits_to_word,
+    exhaustive_check,
+    simulate,
+    simulate_words,
+    word_to_bits,
+)
+from repro.errors import CircuitError
+
+
+def test_evaluate_gate_truth_tables():
+    assert evaluate_gate(GateType.AND, [1, 1]) == 1
+    assert evaluate_gate(GateType.AND, [1, 0]) == 0
+    assert evaluate_gate(GateType.NAND, [1, 1]) == 0
+    assert evaluate_gate(GateType.OR, [0, 0]) == 0
+    assert evaluate_gate(GateType.NOR, [0, 0]) == 1
+    assert evaluate_gate(GateType.XOR, [1, 1, 1]) == 1
+    assert evaluate_gate(GateType.XNOR, [1, 0]) == 0
+    assert evaluate_gate(GateType.NOT, [0]) == 1
+    assert evaluate_gate(GateType.BUF, [1]) == 1
+    assert evaluate_gate(GateType.CONST0, []) == 0
+    assert evaluate_gate(GateType.CONST1, []) == 1
+
+
+def test_simulate_full_adder_truth_table(paper_full_adder):
+    for a in (0, 1):
+        for b in (0, 1):
+            for cin in (0, 1):
+                values = simulate(paper_full_adder, {"a": a, "b": b, "cin": cin})
+                assert values["s"] + 2 * values["c"] == a + b + cin
+
+
+def test_simulate_missing_input_raises(paper_full_adder):
+    with pytest.raises(CircuitError):
+        simulate(paper_full_adder, {"a": 1, "b": 0})
+
+
+def test_word_bit_conversions_roundtrip():
+    for value in (0, 1, 5, 127, 200):
+        assert bits_to_word(word_to_bits(value, 8)) == value
+
+
+def test_simulate_words_on_small_adder():
+    netlist = Netlist("adder1")
+    a = netlist.add_input_word("a", 1)
+    b = netlist.add_input_word("b", 1)
+    netlist.xor(a[0], b[0], "s0")
+    netlist.and_(a[0], b[0], "s1")
+    netlist.add_output("s0")
+    netlist.add_output("s1")
+    assert simulate_words(netlist, {"a": 1, "b": 1}) == 2
+    assert simulate_words(netlist, {"a": 1, "b": 0}) == 1
+    with pytest.raises(CircuitError):
+        simulate_words(netlist, {"q": 1})
+
+
+def test_exhaustive_check_detects_wrong_reference():
+    netlist = Netlist("adder1")
+    a = netlist.add_input_word("a", 1)
+    b = netlist.add_input_word("b", 1)
+    netlist.xor(a[0], b[0], "s0")
+    netlist.and_(a[0], b[0], "s1")
+    netlist.add_output("s0")
+    netlist.add_output("s1")
+    ok, _ = exhaustive_check(netlist, lambda x, y: x + y, ["a", "b"], [1, 1])
+    assert ok
+    bad, failing = exhaustive_check(netlist, lambda x, y: x * y, ["a", "b"], [1, 1])
+    assert not bad
+    assert failing is not None
+
+
+def test_exhaustive_check_random_sampling_path():
+    netlist = Netlist("wide_xor")
+    a = netlist.add_input_word("a", 6)
+    b = netlist.add_input_word("b", 6)
+    for i in range(6):
+        netlist.xor(a[i], b[i], f"s{i}")
+        netlist.add_output(f"s{i}")
+    ok, _ = exhaustive_check(netlist, lambda x, y: x ^ y, ["a", "b"], [6, 6],
+                             max_vectors=64)
+    assert ok

@@ -1,0 +1,36 @@
+"""Shared pytest fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.netlist import Netlist
+
+
+@pytest.fixture
+def paper_full_adder() -> Netlist:
+    """The full adder of the paper's Fig. 1 (five gates, XOR/AND/OR structure)."""
+    netlist = Netlist("paper_full_adder")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    cin = netlist.add_input("cin")
+    x1 = netlist.xor(a, b, "x1")
+    x2 = netlist.and_(a, b, "x2")        # generate
+    s = netlist.xor(x1, cin, "s")
+    x4 = netlist.and_(x1, cin, "x4")
+    c = netlist.or_(x2, x4, "c")
+    netlist.add_output(s)
+    netlist.add_output(c)
+    netlist.validate()
+    return netlist
+
+
+@pytest.fixture
+def tiny_and_netlist() -> Netlist:
+    """A single AND gate, useful for unit tests of modelling and CNF."""
+    netlist = Netlist("tiny_and")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    netlist.and_(a, b, "z")
+    netlist.add_output("z")
+    return netlist

@@ -1,0 +1,59 @@
+"""Tests for the experiment runners (table-row generation)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    run_bdd_cec,
+    run_membership_testing,
+    run_sat_cec,
+)
+
+
+@pytest.fixture
+def small_config():
+    return ExperimentConfig(widths=(3,), time_budget_s=30.0,
+                            monomial_budget=200_000,
+                            sat_conflict_budget=50_000,
+                            bdd_node_budget=200_000)
+
+
+def test_config_from_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_BITS", "4,8,16")
+    monkeypatch.setenv("REPRO_BENCH_TIMEOUT", "12.5")
+    monkeypatch.setenv("REPRO_BENCH_SAT_CONFLICTS", "777")
+    config = ExperimentConfig.from_environment()
+    assert config.widths == (4, 8, 16)
+    assert config.time_budget_s == 12.5
+    assert config.sat_conflict_budget == 777
+
+
+def test_membership_testing_row_for_mt_lr(small_config):
+    row = run_membership_testing("SP-WT-CL", 3, "mt-lr", small_config)
+    assert row["status"] == "ok"
+    assert row["verified"] is True
+    assert row["time"] != "TO"
+    assert row["num_polynomials"] > 0
+    assert row["cancelled_vanishing_monomials"] > 0
+
+
+def test_membership_testing_row_reports_timeout(small_config):
+    config = ExperimentConfig(widths=(6,), time_budget_s=2.0, monomial_budget=500)
+    row = run_membership_testing("BP-RT-KS", 6, "mt-fo", config)
+    assert row["status"] == "TO"
+    assert row["time"] == "TO"
+    assert row["verified"] is None
+
+
+def test_sat_cec_rows(small_config):
+    row = run_sat_cec("SP-WT-CL", 3, small_config)
+    assert row["status"] == "ok"
+    booth = run_sat_cec("BP-AR-RC", 3, small_config, booth_supported=False)
+    assert booth["status"] == "n/a"
+    assert booth["time"] == "-"
+
+
+def test_bdd_cec_row(small_config):
+    row = run_bdd_cec("SP-AR-RC", 3, small_config)
+    assert row["status"] == "ok"
+    assert row["bdd_nodes"] > 0

@@ -1,0 +1,103 @@
+"""Tests for the partial-product accumulators (value preservation)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuit.netlist import Netlist
+from repro.circuit.simulate import simulate
+from repro.errors import CircuitError
+from repro.generators.accumulators import (
+    ACCUMULATOR_BUILDERS,
+    finalize_addends,
+    reduce_array,
+    reduce_compressor_tree,
+    reduce_dadda,
+    reduce_wallace,
+)
+from repro.generators.partial_products import simple_partial_products
+
+
+def _random_columns(netlist, width, max_height, rng):
+    """Columns of primary inputs with random heights (direct accumulator test)."""
+    columns = []
+    for k in range(width):
+        height = rng.randint(0, max_height)
+        column = [netlist.add_input(f"c{k}_{i}") for i in range(height)]
+        columns.append(column)
+    return columns
+
+
+def _value(values, columns):
+    return sum(values[s] << k for k, col in enumerate(columns) for s in col)
+
+
+@pytest.mark.parametrize("name", sorted(ACCUMULATOR_BUILDERS))
+def test_accumulator_preserves_value_modulo_width(name):
+    rng = random.Random(hash(name) & 0xffff)
+    reduce_fn = ACCUMULATOR_BUILDERS[name]
+    netlist = Netlist(f"acc_{name}")
+    width = 6
+    columns = _random_columns(netlist, width, max_height=5, rng=rng)
+    reduced = reduce_fn(netlist, columns)
+    assert max(len(col) for col in reduced) <= 2
+    inputs = list(netlist.inputs)
+    modulus = 1 << width
+    for _ in range(64):
+        assignment = {name_: rng.randint(0, 1) for name_ in inputs}
+        values = simulate(netlist, assignment)
+        assert _value(values, reduced) % modulus == _value(values, columns) % modulus
+
+
+@pytest.mark.parametrize("reduce_fn", [reduce_array, reduce_wallace,
+                                       reduce_dadda, reduce_compressor_tree])
+def test_accumulator_on_simple_partial_products(reduce_fn):
+    width = 3
+    netlist = Netlist("acc_pp")
+    a = netlist.add_input_word("a", width)
+    b = netlist.add_input_word("b", width)
+    columns = simple_partial_products(netlist, a, b)
+    reduced = reduce_fn(netlist, columns)
+    addend0, addend1 = finalize_addends(netlist, reduced)
+    assert len(addend0) == len(addend1) == 2 * width
+    for a_val, b_val in itertools.product(range(1 << width), repeat=2):
+        assignment = {f"a{i}": (a_val >> i) & 1 for i in range(width)}
+        assignment.update({f"b{i}": (b_val >> i) & 1 for i in range(width)})
+        values = simulate(netlist, assignment)
+        total = sum(values[s] << k for k, s in enumerate(addend0))
+        total += sum(values[s] << k for k, s in enumerate(addend1))
+        assert total % (1 << (2 * width)) == a_val * b_val
+
+
+def test_wallace_is_shallower_than_array():
+    from repro.circuit.analysis import circuit_depth
+
+    def depth_of(reduce_fn):
+        netlist = Netlist()
+        a = netlist.add_input_word("a", 8)
+        b = netlist.add_input_word("b", 8)
+        columns = simple_partial_products(netlist, a, b)
+        reduce_fn(netlist, columns)
+        return circuit_depth(netlist)
+
+    assert depth_of(reduce_wallace) < depth_of(reduce_array)
+
+
+def test_finalize_addends_requires_reduced_columns():
+    netlist = Netlist()
+    signals = [netlist.add_input(f"x{i}") for i in range(3)]
+    with pytest.raises(CircuitError):
+        finalize_addends(netlist, [signals])
+
+
+def test_dadda_uses_fewer_adders_than_wallace():
+    def gate_count(reduce_fn):
+        netlist = Netlist()
+        a = netlist.add_input_word("a", 8)
+        b = netlist.add_input_word("b", 8)
+        columns = simple_partial_products(netlist, a, b)
+        reduce_fn(netlist, columns)
+        return netlist.num_gates
+
+    assert gate_count(reduce_dadda) <= gate_count(reduce_wallace)

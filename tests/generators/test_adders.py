@@ -1,0 +1,63 @@
+"""Tests for the adder generators (all architectures, many widths)."""
+
+import pytest
+
+from repro.circuit.analysis import circuit_depth
+from repro.circuit.simulate import exhaustive_check
+from repro.errors import CircuitError
+from repro.generators.adders import (
+    ADDER_KINDS,
+    generate_adder,
+)
+
+WIDTHS = [1, 2, 3, 4, 5, 7, 8, 13, 16]
+
+
+@pytest.mark.parametrize("kind", sorted(ADDER_KINDS))
+@pytest.mark.parametrize("width", WIDTHS)
+def test_adder_computes_sum(kind, width):
+    netlist = generate_adder(kind, width)
+    ok, failing = exhaustive_check(netlist, lambda a, b: a + b, ["a", "b"],
+                                   [width, width], max_vectors=256, seed=width)
+    assert ok, f"{kind}-{width} failed on {failing}"
+    # The sum word includes the carry-out bit.
+    assert len(netlist.output_word("s")) == width + 1
+
+
+@pytest.mark.parametrize("kind", sorted(ADDER_KINDS))
+def test_adder_with_carry_in(kind):
+    from repro.circuit.simulate import simulate_words
+
+    width = 5
+    netlist = generate_adder(kind, width, with_carry_in=True)
+    for cin in (0, 1):
+        for a in range(0, 1 << width, 3):
+            for b in range(0, 1 << width, 5):
+                got = simulate_words(netlist, {"a": a, "b": b}, {"cin": cin})
+                assert got == a + b + cin
+
+
+def test_prefix_adders_have_logarithmic_depth():
+    ripple = generate_adder("RC", 32)
+    kogge_stone = generate_adder("KS", 32)
+    brent_kung = generate_adder("BK", 32)
+    assert circuit_depth(kogge_stone) < circuit_depth(ripple) / 2
+    assert circuit_depth(brent_kung) < circuit_depth(ripple)
+
+
+def test_kogge_stone_has_more_gates_than_brent_kung():
+    # Kogge-Stone trades wiring/area for depth; its prefix network is denser.
+    assert generate_adder("KS", 32).num_gates > generate_adder("BK", 32).num_gates
+
+
+def test_unknown_kind_and_bad_width_rejected():
+    with pytest.raises(CircuitError):
+        generate_adder("XX", 8)
+    with pytest.raises(CircuitError):
+        generate_adder("RC", 0)
+
+
+def test_adder_kind_catalog_is_consistent():
+    assert set(ADDER_KINDS) == {"RC", "CL", "KS", "BK", "HC"}
+    for kind, description in ADDER_KINDS.items():
+        assert description

@@ -1,0 +1,44 @@
+"""Tests for architecture-name parsing and the benchmark catalogue."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.generators.catalog import (
+    ACCUMULATOR_KINDS,
+    Architecture,
+    PARTIAL_PRODUCT_KINDS,
+    TABLE1_ARCHITECTURES,
+    TABLE2_ARCHITECTURES,
+    TABLE3_ARCHITECTURES,
+    architecture_names,
+    parse_architecture,
+)
+
+
+def test_parse_architecture_roundtrip():
+    arch = parse_architecture("bp-wt-cl")
+    assert arch == Architecture("BP", "WT", "CL")
+    assert arch.name == "BP-WT-CL"
+    assert "Booth" in arch.describe()
+    assert "Wallace" in arch.describe()
+
+
+def test_parse_rejects_malformed_names():
+    for bad in ("SP", "SP-AR", "SP-AR-RC-XX", "QQ-AR-RC", "SP-QQ-RC", "SP-AR-QQ"):
+        with pytest.raises(CircuitError):
+            parse_architecture(bad)
+
+
+def test_architecture_names_cover_full_grid():
+    names = architecture_names()
+    assert len(names) == len(PARTIAL_PRODUCT_KINDS) * len(ACCUMULATOR_KINDS) * 5
+    assert "SP-AR-RC" in names and "BP-RT-KS" in names
+    assert len(set(names)) == len(names)
+
+
+def test_table_architectures_are_parseable():
+    for name in TABLE1_ARCHITECTURES + TABLE2_ARCHITECTURES + TABLE3_ARCHITECTURES:
+        arch = parse_architecture(name)
+        assert arch.name == name
+    assert all(name.startswith("SP") for name in TABLE1_ARCHITECTURES)
+    assert all(name.startswith("BP") for name in TABLE2_ARCHITECTURES)

@@ -1,0 +1,80 @@
+"""Tests for half adders, full adders, compressors and multiplexers."""
+
+import itertools
+
+from repro.circuit.netlist import Netlist
+from repro.circuit.simulate import simulate
+from repro.generators.components import (
+    compressor_42,
+    full_adder,
+    half_adder,
+    majority3,
+    mux2,
+)
+
+
+def test_half_adder_truth_table():
+    netlist = Netlist()
+    a, b = netlist.add_input("a"), netlist.add_input("b")
+    s, c = half_adder(netlist, a, b)
+    for va, vb in itertools.product((0, 1), repeat=2):
+        values = simulate(netlist, {"a": va, "b": vb})
+        assert values[s] + 2 * values[c] == va + vb
+
+
+def test_full_adder_truth_table():
+    netlist = Netlist()
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    cin = netlist.add_input("cin")
+    s, c = full_adder(netlist, a, b, cin)
+    for va, vb, vc in itertools.product((0, 1), repeat=3):
+        values = simulate(netlist, {"a": va, "b": vb, "cin": vc})
+        assert values[s] + 2 * values[c] == va + vb + vc
+
+
+def test_compressor_42_arithmetic_identity():
+    for with_cin in (False, True):
+        netlist = Netlist()
+        inputs = [netlist.add_input(f"x{i}") for i in range(4)]
+        cin = netlist.add_input("cin") if with_cin else None
+        s, carry, cout = compressor_42(netlist, *inputs, cin)
+        repeat = 5 if with_cin else 4
+        for bits in itertools.product((0, 1), repeat=repeat):
+            assignment = {f"x{i}": bits[i] for i in range(4)}
+            if with_cin:
+                assignment["cin"] = bits[4]
+            values = simulate(netlist, assignment)
+            total = sum(bits)
+            assert values[s] + 2 * (values[carry] + values[cout]) == total
+
+
+def test_compressor_cout_independent_of_cin():
+    """The defining property that makes 4:2 compressor columns ripple-free."""
+    netlist = Netlist()
+    inputs = [netlist.add_input(f"x{i}") for i in range(4)]
+    cin = netlist.add_input("cin")
+    _, _, cout = compressor_42(netlist, *inputs, cin)
+    for bits in itertools.product((0, 1), repeat=4):
+        assignment = {f"x{i}": bits[i] for i in range(4)}
+        low = simulate(netlist, dict(assignment, cin=0))[cout]
+        high = simulate(netlist, dict(assignment, cin=1))[cout]
+        assert low == high
+
+
+def test_majority3():
+    netlist = Netlist()
+    a, b, c = (netlist.add_input(n) for n in ("a", "b", "c"))
+    out = majority3(netlist, a, b, c)
+    for va, vb, vc in itertools.product((0, 1), repeat=3):
+        values = simulate(netlist, {"a": va, "b": vb, "c": vc})
+        assert values[out] == int(va + vb + vc >= 2)
+
+
+def test_mux2():
+    netlist = Netlist()
+    sel, x, y = (netlist.add_input(n) for n in ("sel", "x", "y"))
+    out = mux2(netlist, sel, x, y)
+    for vs, vx, vy in itertools.product((0, 1), repeat=3):
+        values = simulate(netlist, {"sel": vs, "x": vx, "y": vy})
+        assert values[out] == (vx if vs else vy)

@@ -1,0 +1,65 @@
+"""Tests for the composed multiplier generator (all architectures)."""
+
+import pytest
+
+from repro.circuit.simulate import exhaustive_check
+from repro.errors import CircuitError
+from repro.generators.catalog import architecture_names
+from repro.generators.multipliers import MultiplierSpec, generate_multiplier, \
+    multiplier_spec
+
+
+@pytest.mark.parametrize("architecture", architecture_names())
+def test_every_architecture_multiplies_exhaustively_at_width_3(architecture):
+    netlist = generate_multiplier(architecture, 3)
+    ok, failing = exhaustive_check(netlist, lambda a, b: a * b, ["a", "b"], [3, 3])
+    assert ok, f"{architecture} wrong on {failing}"
+
+
+@pytest.mark.parametrize("architecture", ["SP-AR-RC", "SP-WT-KS", "BP-DT-BK",
+                                          "BP-CT-HC", "SP-RT-CL"])
+def test_selected_architectures_at_width_5_random(architecture):
+    netlist = generate_multiplier(architecture, 5)
+    ok, failing = exhaustive_check(netlist, lambda a, b: a * b, ["a", "b"], [5, 5],
+                                   max_vectors=300, seed=11)
+    assert ok, f"{architecture} wrong on {failing}"
+
+
+def test_odd_width_booth_multiplier():
+    netlist = generate_multiplier("BP-WT-RC", 5)
+    ok, failing = exhaustive_check(netlist, lambda a, b: a * b, ["a", "b"], [5, 5],
+                                   max_vectors=400, seed=3)
+    assert ok, f"odd-width Booth wrong on {failing}"
+
+
+def test_interface_names_and_width():
+    netlist = generate_multiplier("SP-WT-CL", 4)
+    assert netlist.input_word("a") == [f"a{i}" for i in range(4)]
+    assert netlist.input_word("b") == [f"b{i}" for i in range(4)]
+    assert netlist.output_word("s") == [f"s{i}" for i in range(8)]
+    assert netlist.name == "SP-WT-CL_4x4"
+
+
+def test_multiplier_spec_helpers():
+    spec = multiplier_spec("bp-wt-cl", 8)
+    assert isinstance(spec, MultiplierSpec)
+    assert spec.name == "BP-WT-CL_8x8"
+    assert spec.output_width == 16
+    assert spec.reference(255, 255) == 255 * 255
+
+
+def test_invalid_architecture_and_width_rejected():
+    with pytest.raises(CircuitError):
+        generate_multiplier("SP-AR", 4)
+    with pytest.raises(CircuitError):
+        generate_multiplier("XX-AR-RC", 4)
+    with pytest.raises(CircuitError):
+        generate_multiplier("SP-AR-RC", 1)
+
+
+def test_wide_multipliers_remain_correct_on_random_vectors():
+    for architecture in ("SP-DT-HC", "BP-RT-KS"):
+        netlist = generate_multiplier(architecture, 16)
+        ok, failing = exhaustive_check(netlist, lambda a, b: a * b, ["a", "b"],
+                                       [16, 16], max_vectors=60, seed=5)
+        assert ok, f"{architecture} wrong on {failing}"

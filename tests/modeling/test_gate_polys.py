@@ -1,0 +1,63 @@
+"""Tests for the gate-to-polynomial translation."""
+
+import itertools
+
+import pytest
+
+from repro.algebra.polynomial import Polynomial
+from repro.circuit.gates import GateType, evaluate_gate
+from repro.errors import ModelingError
+from repro.modeling.gate_polys import gate_polynomial, gate_tail
+
+
+TWO_INPUT_GATES = [GateType.AND, GateType.OR, GateType.XOR,
+                   GateType.NAND, GateType.NOR, GateType.XNOR]
+
+
+@pytest.mark.parametrize("gate_type", TWO_INPUT_GATES)
+def test_two_input_gate_tails_match_truth_tables(gate_type):
+    tail = gate_tail(gate_type, [0, 1])
+    for a, b in itertools.product((0, 1), repeat=2):
+        assert tail.evaluate({0: a, 1: b}) == evaluate_gate(gate_type, [a, b])
+
+
+@pytest.mark.parametrize("gate_type", [GateType.AND, GateType.OR, GateType.XOR])
+@pytest.mark.parametrize("arity", [3, 4, 5])
+def test_multi_input_gate_tails(gate_type, arity):
+    variables = list(range(arity))
+    tail = gate_tail(gate_type, variables)
+    for bits in itertools.product((0, 1), repeat=arity):
+        assignment = dict(enumerate(bits))
+        assert tail.evaluate(assignment) == evaluate_gate(gate_type, list(bits))
+
+
+def test_not_buf_const_tails():
+    assert gate_tail(GateType.NOT, [3]) == Polynomial.from_terms([(1, []), (-1, [3])])
+    assert gate_tail(GateType.BUF, [3]) == Polynomial.variable(3)
+    assert gate_tail(GateType.CONST0, []) == Polynomial.zero()
+    assert gate_tail(GateType.CONST1, []) == Polynomial.constant(1)
+
+
+def test_paper_gate_polynomial_forms():
+    """The exact polynomial forms listed in Section II-B of the paper."""
+    z, a, b = 2, 0, 1
+    assert gate_polynomial(z, GateType.NOT, [a]) == Polynomial.from_terms(
+        [(-1, [z]), (1, []), (-1, [a])])
+    assert gate_polynomial(z, GateType.AND, [a, b]) == Polynomial.from_terms(
+        [(-1, [z]), (1, [a, b])])
+    assert gate_polynomial(z, GateType.OR, [a, b]) == Polynomial.from_terms(
+        [(-1, [z]), (1, [a]), (1, [b]), (-1, [a, b])])
+    assert gate_polynomial(z, GateType.XOR, [a, b]) == Polynomial.from_terms(
+        [(-1, [z]), (1, [a]), (1, [b]), (-2, [a, b])])
+
+
+def test_gate_polynomial_leading_variable_is_output():
+    poly = gate_polynomial(9, GateType.XOR, [1, 2])
+    mono, coeff = poly.leading_term()
+    assert mono == frozenset({9})
+    assert coeff == -1
+
+
+def test_missing_inputs_rejected():
+    with pytest.raises(ModelingError):
+        gate_tail(GateType.AND, [])

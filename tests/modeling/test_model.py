@@ -1,0 +1,83 @@
+"""Tests for the algebraic circuit model (Step 1 of the MT algorithm)."""
+
+import itertools
+
+import pytest
+
+from repro.algebra.monomial import Monomial
+from repro.circuit.gates import GateType
+from repro.errors import ModelingError
+from repro.generators.adders import generate_adder
+from repro.generators.multipliers import generate_multiplier
+from repro.modeling.model import AlgebraicModel
+
+
+def test_model_of_full_adder_matches_paper_structure(paper_full_adder):
+    model = AlgebraicModel.from_netlist(paper_full_adder)
+    assert model.num_polynomials == 5
+    assert model.check_groebner_by_construction()
+    # Inputs have the lowest indices (level 0), the carry the highest level.
+    ring = model.ring
+    assert ring.index("a") < ring.index("x1") < ring.index("s")
+    assert model.level(ring.index("c")) == 3
+    # Gate records capture the structural information for the vanishing rule.
+    record = model.records[ring.index("x2")]
+    assert record.gate_type is GateType.AND
+    assert set(record.inputs) == {ring.index("a"), ring.index("b")}
+
+
+def test_variable_order_is_reverse_topological():
+    netlist = generate_multiplier("SP-AR-RC", 3)
+    model = AlgebraicModel.from_netlist(netlist)
+    for var, tail in model.tails.items():
+        for used in tail.support():
+            assert used < var, "tail variables must be smaller than the output"
+
+
+def test_leading_monomials_are_output_variables():
+    netlist = generate_adder("KS", 6)
+    model = AlgebraicModel.from_netlist(netlist)
+    for var in model.tails:
+        assert model.polynomial(var).leading_monomial() == Monomial((var,))
+    assert model.check_groebner_by_construction()
+
+
+def test_gate_polynomials_vanish_on_consistent_valuations(paper_full_adder):
+    model = AlgebraicModel.from_netlist(paper_full_adder)
+    ring = model.ring
+    for a, b, cin in itertools.product((0, 1), repeat=3):
+        assignment = {ring.index("a"): a, ring.index("b"): b,
+                      ring.index("cin"): cin}
+        values = model.evaluate(assignment)
+        for poly in model.polynomials():
+            assert poly.evaluate(values) == 0
+
+
+def test_fanout_and_xor_variable_selection(paper_full_adder):
+    model = AlgebraicModel.from_netlist(paper_full_adder)
+    ring = model.ring
+    fanouts = model.fanout_variables()
+    assert ring.index("x1") in fanouts
+    assert ring.index("x2") not in fanouts
+    xors = model.xor_variables()
+    # XOR inputs and outputs: a, b, x1, cin, s.
+    assert {ring.index(n) for n in ("a", "b", "x1", "cin", "s")} <= xors
+    assert ring.index("x2") not in xors
+
+
+def test_word_lookup_and_errors():
+    netlist = generate_multiplier("SP-WT-CL", 3)
+    model = AlgebraicModel.from_netlist(netlist)
+    assert len(model.word("a")) == 3
+    assert len(model.word("s", from_outputs=True)) == 6
+    with pytest.raises(ModelingError):
+        model.word("nope")
+    with pytest.raises(ModelingError):
+        model.tail(model.input_vars[0])
+
+
+def test_describe_and_render(paper_full_adder):
+    model = AlgebraicModel.from_netlist(paper_full_adder)
+    assert "5 polynomials" in model.describe()
+    rendered = model.render_polynomials()
+    assert "c:" in rendered and "s:" in rendered

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.circuit.verilog import save_verilog
+from repro.circuit.mutate import apply_mutation, list_mutations
+from repro.generators.multipliers import generate_multiplier
+
+
+def test_verify_command_on_correct_multiplier(capsys):
+    assert main(["verify", "-a", "SP-WT-CL", "-w", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "VERIFIED" in out
+    assert "#P=" in out
+
+
+def test_verify_command_on_adder(capsys):
+    assert main(["verify", "--adder", "-a", "KS", "-w", "6"]) == 0
+    assert "VERIFIED" in capsys.readouterr().out
+
+
+def test_verify_command_detects_bug(tmp_path, capsys):
+    netlist = generate_multiplier("SP-AR-RC", 3)
+    buggy = apply_mutation(netlist, [m for m in list_mutations(netlist)
+                                     if m.signal.startswith("pp")][0])
+    path = tmp_path / "buggy.v"
+    save_verilog(buggy, str(path))
+    assert main(["verify-verilog", str(path), "--spec", "multiplier"]) == 2
+    out = capsys.readouterr().out
+    assert "MISMATCH" in out
+    assert "counterexample" in out
+
+
+def test_generate_command_writes_verilog(tmp_path, capsys):
+    out_file = tmp_path / "mult.v"
+    assert main(["generate", "-a", "BP-WT-CL", "-w", "4", "-o", str(out_file)]) == 0
+    assert out_file.exists()
+    text = out_file.read_text()
+    assert "module BP_WT_CL_4x4" in text
+
+
+def test_generate_command_prints_to_stdout(capsys):
+    assert main(["generate", "-a", "SP-AR-RC", "-w", "2"]) == 0
+    assert "module SP_AR_RC_2x2" in capsys.readouterr().out
+
+
+def test_timeout_exit_code(capsys):
+    code = main(["verify", "-a", "BP-RT-KS", "-w", "6", "--method", "mt-fo",
+                 "--monomial-budget", "500", "--time-budget", "5"])
+    assert code == 3
+
+
+def test_error_exit_code_for_unknown_architecture(capsys):
+    assert main(["verify", "-a", "XX-YY-ZZ", "-w", "4"]) == 1
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("verify", "verify-verilog", "generate", "table"):
+        assert command in text

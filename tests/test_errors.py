@@ -1,0 +1,41 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AlgebraError,
+    BddError,
+    BlowUpError,
+    CircuitError,
+    ModelingError,
+    ReproError,
+    SatError,
+    VerificationError,
+)
+
+
+@pytest.mark.parametrize("exception_type", [
+    AlgebraError, BddError, BlowUpError, CircuitError, ModelingError,
+    SatError, VerificationError,
+])
+def test_every_error_is_a_repro_error(exception_type):
+    assert issubclass(exception_type, ReproError)
+    assert issubclass(exception_type, Exception)
+
+
+def test_blowup_error_carries_diagnostics():
+    error = BlowUpError("too big", monomials=12345, elapsed_s=1.5)
+    assert error.monomials == 12345
+    assert error.elapsed_s == 1.5
+    assert "too big" in str(error)
+
+
+def test_blowup_error_defaults():
+    error = BlowUpError("budget exceeded")
+    assert error.monomials is None
+    assert error.elapsed_s is None
+
+
+def test_errors_can_be_caught_as_repro_error():
+    with pytest.raises(ReproError):
+        raise CircuitError("broken netlist")

@@ -1,0 +1,185 @@
+"""The paper's running examples as executable tests.
+
+* Example 1 / Fig. 1 — the full-adder Gröbner basis and its reduction.
+* Example 2 — the 3-bit ripple-carry adder with fanout rewriting (MT-FO).
+* Example 3 — the 3-bit parallel-prefix adder whose vanishing monomials
+  defeat plain reduction but are removed by the XOR-AND rule (MT-LR).
+"""
+
+import pytest
+
+from repro.algebra.groebner import is_groebner_basis
+from repro.algebra.polynomial import Polynomial
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+from repro.generators.adders import generate_adder
+from repro.modeling.model import AlgebraicModel
+from repro.modeling.spec import adder_specification
+from repro.verification.engine import verify, verify_adder
+from repro.verification.reduction import groebner_basis_reduction, ReductionOptions
+from repro.verification.rewriting import fanout_rewriting, logic_reduction_rewriting
+from repro.verification.vanishing import VanishingRules
+
+
+# ---------------------------------------------------------------------------
+# Example 1: the full adder of Fig. 1
+# ---------------------------------------------------------------------------
+
+def test_example1_full_adder_model_is_groebner_basis(paper_full_adder):
+    model = AlgebraicModel.from_netlist(paper_full_adder)
+    assert is_groebner_basis(model.polynomials(), structural_only=True)
+
+
+def test_example1_specification_reduces_to_zero(paper_full_adder):
+    """pspec = -2c - s + cin + b + a reduces to 0 w.r.t. the gate polynomials."""
+    model = AlgebraicModel.from_netlist(paper_full_adder)
+    ring = model.ring
+    spec = Polynomial.from_terms([
+        (-2, [ring.index("c")]), (-1, [ring.index("s")]),
+        (1, [ring.index("cin")]), (1, [ring.index("b")]), (1, [ring.index("a")]),
+    ])
+    remainder = groebner_basis_reduction(spec, model, model.tails,
+                                         ReductionOptions())
+    assert remainder.is_zero
+
+
+def test_example1_wrong_specification_leaves_nonzero_remainder(paper_full_adder):
+    model = AlgebraicModel.from_netlist(paper_full_adder)
+    ring = model.ring
+    wrong = Polynomial.from_terms([
+        (-2, [ring.index("c")]), (-1, [ring.index("s")]),
+        (1, [ring.index("cin")]), (1, [ring.index("b")]), (2, [ring.index("a")]),
+    ])
+    remainder = groebner_basis_reduction(wrong, model, model.tails,
+                                         ReductionOptions())
+    assert not remainder.is_zero
+    # The fully reduced remainder only mentions primary inputs.
+    input_vars = set(model.input_vars)
+    assert remainder.support() <= input_vars
+
+
+# ---------------------------------------------------------------------------
+# Example 2: 3-bit ripple-carry adder with fanout rewriting (MT-FO)
+# ---------------------------------------------------------------------------
+
+def _paper_ripple_carry_3bit() -> Netlist:
+    """The carry-chain structure of Example 2 (carries are the fanout signals)."""
+    from repro.generators.components import majority3
+
+    netlist = Netlist("rca3")
+    a = netlist.add_input_word("a", 3)
+    b = netlist.add_input_word("b", 3)
+    # bit 0: half adder
+    netlist.xor(a[0], b[0], "s0")
+    netlist.and_(a[0], b[0], "c0")
+    # bits 1, 2: sum as a three-input XOR, carry as a majority network; the
+    # carries are then the only multi-fanout signals, as in Example 2, and
+    # the last carry is the top sum bit s3 = c2.
+    previous = "c0"
+    for i in (1, 2):
+        netlist.add_gate(GateType.XOR, (a[i], b[i], previous), f"s{i}")
+        carry_name = f"c{i}" if i < 2 else "s3"
+        carry = majority3(netlist, a[i], b[i], previous)
+        netlist.buf(carry, carry_name)
+        previous = carry_name
+    for i in range(4):
+        netlist.add_output(f"s{i}")
+    netlist.validate()
+    return netlist
+
+
+def test_example2_fanout_rewriting_keeps_only_carries_inputs_outputs():
+    netlist = _paper_ripple_carry_3bit()
+    model = AlgebraicModel.from_netlist(netlist)
+    rewritten = fanout_rewriting(model)
+    ring = model.ring
+    kept_names = {ring.name(var) for var in rewritten.tails}
+    # After fanout rewriting the model depends only on carries, inputs and
+    # outputs: all internal propagate/generate signals are gone.
+    assert {"s0", "s1", "s2", "s3", "c0", "c1"} <= kept_names
+    for tail in rewritten.tails.values():
+        for var in tail.support():
+            name = ring.name(var)
+            assert (name.startswith(("a", "b", "c", "s"))), name
+
+
+def test_example2_rewritten_model_reduces_to_zero():
+    netlist = _paper_ripple_carry_3bit()
+    model = AlgebraicModel.from_netlist(netlist)
+    spec = adder_specification(model)
+    rewritten = fanout_rewriting(model)
+    remainder = groebner_basis_reduction(spec.polynomial, model, rewritten.tails,
+                                         ReductionOptions())
+    assert remainder.is_zero
+
+
+# ---------------------------------------------------------------------------
+# Example 3: 3-bit parallel prefix adder and its vanishing monomials
+# ---------------------------------------------------------------------------
+
+def _paper_parallel_prefix_3bit() -> Netlist:
+    """The 3-bit PPA of Example 3 with explicit propagate/generate signals."""
+    netlist = Netlist("ppa3")
+    a = netlist.add_input_word("a", 3)
+    b = netlist.add_input_word("b", 3)
+    x = [netlist.xor(a[i], b[i], f"X{i}") for i in range(3)]
+    d = [netlist.and_(a[i], b[i], f"D{i}") for i in range(3)]
+    # carries: c0 = D0, c1 = D1 | X1 D0, c2 = D2 | X2 D1 | X2 X1 D0
+    netlist.buf(d[0], "c0")
+    t10 = netlist.and_(x[1], d[0])
+    netlist.or_(d[1], t10, "c1")
+    t21 = netlist.and_(x[2], d[1])
+    t210a = netlist.and_(x[2], x[1])
+    t210 = netlist.and_(t210a, d[0])
+    u = netlist.or_(d[2], t21)
+    netlist.or_(u, t210, "c2")
+    # sums
+    netlist.buf(x[0], "s0")
+    netlist.xor(x[1], "c0", "s1")
+    netlist.xor(x[2], "c1", "s2")
+    netlist.buf("c2", "s3")
+    for i in range(4):
+        netlist.add_output(f"s{i}")
+    netlist.validate()
+    return netlist
+
+
+def test_example3_vanishing_monomials_identified():
+    """X1*D1*D0 (from g4) and X2*D2*X1*D0 (from g2) are vanishing."""
+    netlist = _paper_parallel_prefix_3bit()
+    model = AlgebraicModel.from_netlist(netlist)
+    rules = VanishingRules(model)
+    ring = model.ring
+    from repro.algebra.monomial import Monomial
+    assert rules.is_vanishing(Monomial(
+        [ring.index("X1"), ring.index("D1"), ring.index("D0")]))
+    assert rules.is_vanishing(Monomial(
+        [ring.index("X2"), ring.index("D2"), ring.index("X1"), ring.index("D0")]))
+    assert not rules.is_vanishing(Monomial(
+        [ring.index("X2"), ring.index("D1"), ring.index("D0")]))
+
+
+def test_example3_logic_reduction_removes_all_vanishing_monomials():
+    netlist = _paper_parallel_prefix_3bit()
+    model = AlgebraicModel.from_netlist(netlist)
+    rewritten = logic_reduction_rewriting(model, VanishingRules(model))
+    assert rewritten.cancelled_vanishing_monomials > 0
+    # After rewriting, no remaining monomial is vanishing.
+    rules = VanishingRules(model)
+    for tail in rewritten.tails.values():
+        for mono in tail.monomials():
+            assert not rules.is_vanishing(mono)
+
+
+def test_example3_ppa_verifies_with_mt_lr():
+    netlist = _paper_parallel_prefix_3bit()
+    result = verify(netlist, specification="adder", method="mt-lr")
+    assert result.verified
+    assert result.cancelled_vanishing_monomials > 0
+
+
+def test_kogge_stone_adders_verify_beyond_six_bits():
+    """Reference [8] could not verify Kogge-Stone adders above 6 bits; MT-LR can."""
+    for width in (8, 12):
+        result = verify_adder(generate_adder("KS", width), method="mt-lr")
+        assert result.verified

@@ -1,0 +1,41 @@
+"""Tests for the result containers and model statistics."""
+
+from repro.algebra.polynomial import Polynomial
+from repro.verification.result import ModelStatistics, VerificationResult
+
+
+def test_model_statistics_from_tails():
+    tails = {
+        5: Polynomial.from_terms([(1, [1, 2, 3]), (2, [0])]),      # 2 terms
+        6: Polynomial.from_terms([(1, [0]), (1, [1]), (1, [2]), (4, [])]),
+    }
+    stats = ModelStatistics.from_tails(tails)
+    assert stats.num_polynomials == 2
+    # each polynomial counts its leading term too
+    assert stats.num_monomials == (2 + 1) + (4 + 1)
+    assert stats.max_polynomial_terms == 5
+    assert stats.max_monomial_variables == 3
+
+
+def test_model_statistics_of_empty_model():
+    stats = ModelStatistics.from_tails({})
+    assert stats.num_polynomials == 0
+    assert stats.num_monomials == 0
+    assert stats.max_polynomial_terms == 0
+    assert stats.max_monomial_variables == 0
+
+
+def test_verification_result_summary_contains_key_figures():
+    result = VerificationResult(verified=True, method="mt-lr",
+                                circuit="demo_8x8", specification="8x8",
+                                cancelled_vanishing_monomials=42,
+                                total_time_s=1.25, rewrite_time_s=0.5,
+                                reduction_time_s=0.25)
+    text = result.summary()
+    assert "demo_8x8" in text
+    assert "VERIFIED" in text
+    assert "#CVM=42" in text
+
+    failed = VerificationResult(verified=False, method="mt-fo",
+                                circuit="demo", specification="8x8")
+    assert "MISMATCH" in failed.summary()

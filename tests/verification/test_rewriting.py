@@ -1,0 +1,128 @@
+"""Tests for the rewriting schemes (Algorithm 2 / Algorithm 3)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import BlowUpError
+from repro.generators.adders import generate_adder
+from repro.generators.multipliers import generate_multiplier
+from repro.modeling.model import AlgebraicModel
+from repro.verification.rewriting import (
+    common_rewriting_variables,
+    fanout_rewriting,
+    fanout_rewriting_variables,
+    gb_rewrite,
+    logic_reduction_rewriting,
+    no_rewriting,
+    xor_rewriting_variables,
+)
+from repro.verification.vanishing import VanishingRules
+
+
+def _model(builder, *args):
+    return AlgebraicModel.from_netlist(builder(*args))
+
+
+def test_selection_functions_always_include_inputs_and_outputs(paper_full_adder):
+    model = AlgebraicModel.from_netlist(paper_full_adder)
+    io_vars = set(model.input_vars) | set(model.output_vars)
+    assert io_vars <= fanout_rewriting_variables(model)
+    assert io_vars <= xor_rewriting_variables(model)
+    assert io_vars <= common_rewriting_variables(model.tails, model)
+
+
+def test_gb_rewrite_produces_tails_over_kept_variables(paper_full_adder):
+    model = AlgebraicModel.from_netlist(paper_full_adder)
+    keep = fanout_rewriting_variables(model)
+    tails, stats = gb_rewrite(dict(model.tails), set(keep), model,
+                              scheme="fanout-rewriting")
+    for tail in tails.values():
+        assert tail.support() <= keep
+    assert stats.substituted_variables >= 1
+    assert stats.elapsed_s >= 0.0
+
+
+def _assert_rewriting_preserves_function(netlist, rewritten_model):
+    """The rewritten polynomials must still vanish on circuit valuations."""
+    model = rewritten_model.model
+    ring = model.ring
+    input_vars = [ring.index(name) for name in netlist.inputs]
+    for bits in itertools.product((0, 1), repeat=len(input_vars)):
+        assignment = dict(zip(input_vars, bits))
+        values = model.evaluate(assignment)
+        for lead, tail in rewritten_model.tails.items():
+            assert values[lead] == tail.evaluate(values), (
+                f"rewriting changed the function of {ring.name(lead)}")
+
+
+@pytest.mark.parametrize("builder", [
+    lambda: generate_adder("KS", 4),
+    lambda: generate_adder("CL", 4),
+    lambda: generate_multiplier("SP-WT-RC", 3),
+    lambda: generate_multiplier("BP-AR-RC", 3),
+])
+def test_logic_reduction_rewriting_preserves_functions(builder):
+    netlist = builder()
+    model = AlgebraicModel.from_netlist(netlist)
+    rewritten = logic_reduction_rewriting(model, VanishingRules(model))
+    _assert_rewriting_preserves_function(netlist, rewritten)
+
+
+@pytest.mark.parametrize("builder", [
+    lambda: generate_adder("RC", 4),
+    lambda: generate_multiplier("SP-AR-RC", 3),
+])
+def test_fanout_rewriting_preserves_functions(builder):
+    netlist = builder()
+    model = AlgebraicModel.from_netlist(netlist)
+    rewritten = fanout_rewriting(model)
+    _assert_rewriting_preserves_function(netlist, rewritten)
+
+
+def test_xor_rewriting_removes_vanishing_monomials_on_prefix_adder():
+    model = _model(generate_adder, "KS", 8)
+    rewritten = logic_reduction_rewriting(model, VanishingRules(model),
+                                          apply_common=False)
+    assert rewritten.cancelled_vanishing_monomials > 0
+    rules = VanishingRules(model)
+    for tail in rewritten.tails.values():
+        assert all(not rules.is_vanishing(m) for m in tail.monomials())
+
+
+def test_common_rewriting_reduces_model_size():
+    model = _model(generate_multiplier, "SP-WT-CL", 4)
+    xor_only = logic_reduction_rewriting(model, VanishingRules(model),
+                                         apply_common=False)
+    full = logic_reduction_rewriting(model, VanishingRules(model))
+    assert len(full.tails) <= len(xor_only.tails)
+
+
+def test_no_rewriting_keeps_every_polynomial():
+    model = _model(generate_adder, "RC", 4)
+    rewritten = no_rewriting(model)
+    assert rewritten.tails == model.tails
+    assert rewritten.cancelled_vanishing_monomials == 0
+
+
+def test_growth_guard_keeps_variables_instead_of_exploding():
+    """Booth sign-extension chains must not explode the top output polynomial."""
+    model = _model(generate_multiplier, "BP-AR-RC", 8)
+    rewritten = logic_reduction_rewriting(model, VanishingRules(model))
+    largest = max(tail.num_terms for tail in rewritten.tails.values())
+    assert largest <= 4 * 64, f"largest rewritten polynomial has {largest} terms"
+
+
+def test_rewrite_monomial_budget_raises_blowup():
+    model = _model(generate_multiplier, "SP-WT-CL", 4)
+    keep = set(model.input_vars) | set(model.output_vars)
+    with pytest.raises(BlowUpError):
+        gb_rewrite(dict(model.tails), keep, model, scheme="stress",
+                   monomial_budget=3)
+
+
+def test_statistics_record_scheme_names():
+    model = _model(generate_adder, "KS", 4)
+    rewritten = logic_reduction_rewriting(model, VanishingRules(model))
+    schemes = [stats.scheme for stats in rewritten.statistics]
+    assert schemes == ["xor-rewriting", "common-rewriting"]

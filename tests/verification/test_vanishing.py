@@ -1,0 +1,151 @@
+"""Tests for the XOR-AND vanishing rule and its structural generalisation.
+
+The central soundness requirement: every monomial classified as vanishing
+must evaluate to zero on *every* consistent circuit valuation.  This is
+checked both on hand-constructed cases (the paper's Example 3 signals) and
+property-style on randomly sampled monomials of generated circuits.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.algebra.monomial import Monomial
+from repro.algebra.polynomial import Polynomial
+from repro.circuit.netlist import Netlist
+from repro.generators.adders import generate_adder
+from repro.generators.multipliers import generate_multiplier
+from repro.modeling.model import AlgebraicModel
+from repro.verification.vanishing import VanishingRules
+
+
+def _propagate_generate_netlist() -> Netlist:
+    """X = a xor b, D = a and b, N = not a, O = a or b (Example 3 style)."""
+    netlist = Netlist("pg")
+    a, b = netlist.add_input("a"), netlist.add_input("b")
+    netlist.xor(a, b, "X")
+    netlist.and_(a, b, "D")
+    netlist.not_(a, "N")
+    netlist.or_(a, b, "O")
+    netlist.add_output("X")
+    netlist.add_output("D")
+    netlist.add_output("N")
+    netlist.add_output("O")
+    return netlist
+
+
+@pytest.fixture
+def pg_rules():
+    model = AlgebraicModel.from_netlist(_propagate_generate_netlist())
+    return model, VanishingRules(model)
+
+
+def test_xor_and_rule_core_case(pg_rules):
+    """The paper's rule: (a xor b) * (a and b) = 0."""
+    model, rules = pg_rules
+    ring = model.ring
+    xd = Monomial([ring.index("X"), ring.index("D")])
+    assert rules.is_vanishing(xd)
+
+
+def test_xor_with_both_inputs_vanishes(pg_rules):
+    """X * a * b = 0 — needed once the AND has been inlined."""
+    model, rules = pg_rules
+    ring = model.ring
+    mono = Monomial([ring.index("X"), ring.index("a"), ring.index("b")])
+    assert rules.is_vanishing(mono)
+
+
+def test_complement_rule(pg_rules):
+    model, rules = pg_rules
+    ring = model.ring
+    assert rules.is_vanishing(Monomial([ring.index("N"), ring.index("a")]))
+    assert rules.is_vanishing(Monomial([ring.index("N"), ring.index("D")]))
+
+
+def test_non_vanishing_monomials_are_kept(pg_rules):
+    model, rules = pg_rules
+    ring = model.ring
+    assert not rules.is_vanishing(Monomial([ring.index("O"), ring.index("D")]))
+    assert not rules.is_vanishing(Monomial([ring.index("X"), ring.index("a")]))
+    assert not rules.is_vanishing(Monomial([ring.index("a"), ring.index("b")]))
+    assert not rules.is_vanishing(Monomial([ring.index("X")]))
+
+
+def test_xor_and_only_mode_restricts_to_paper_rule(pg_rules):
+    model, _ = pg_rules
+    strict = VanishingRules(model, xor_and_only=True)
+    ring = model.ring
+    assert strict.is_vanishing(Monomial([ring.index("X"), ring.index("D")]))
+    # The generalised cases are *not* detected in strict mode.
+    assert not strict.is_vanishing(
+        Monomial([ring.index("X"), ring.index("a"), ring.index("b")]))
+    assert not strict.is_vanishing(Monomial([ring.index("N"), ring.index("a")]))
+
+
+def test_remove_vanishing_counts_removals(pg_rules):
+    model, rules = pg_rules
+    ring = model.ring
+    poly = Polynomial.from_terms([
+        (1, [ring.index("X"), ring.index("D")]),
+        (2, [ring.index("X")]),
+        (3, [ring.index("O"), ring.index("D")]),
+    ])
+    before = rules.removed_count
+    filtered = rules.remove_vanishing(poly)
+    assert rules.removed_count - before == 1
+    assert filtered.num_terms == 2
+
+
+def test_constant_zero_variables_vanish():
+    netlist = Netlist("const")
+    a = netlist.add_input("a")
+    netlist.const0("zero")
+    netlist.and_(a, "zero", "dead")
+    netlist.add_output("dead")
+    model = AlgebraicModel.from_netlist(netlist)
+    rules = VanishingRules(model)
+    ring = model.ring
+    assert rules.is_vanishing(Monomial([ring.index("zero"), ring.index("a")]))
+    assert rules.is_vanishing(Monomial([ring.index("dead"), ring.index("a")]))
+
+
+@pytest.mark.parametrize("builder, width", [
+    (lambda: generate_adder("KS", 5), 5),
+    (lambda: generate_adder("CL", 5), 5),
+    (lambda: generate_multiplier("BP-WT-RC", 3), 3),
+])
+def test_vanishing_classification_is_sound(builder, width):
+    """Every monomial flagged as vanishing evaluates to zero on the circuit.
+
+    Random monomials are drawn over the model variables; flagged ones are
+    evaluated on every primary-input assignment (exhaustive for these small
+    circuits) and must always be zero.
+    """
+    netlist = builder()
+    model = AlgebraicModel.from_netlist(netlist)
+    rules = VanishingRules(model)
+    rng = random.Random(1234)
+    variables = list(model.records)
+    num_inputs = len(netlist.inputs)
+    ring = model.ring
+
+    flagged = []
+    for _ in range(400):
+        size = rng.randint(2, 5)
+        mono = Monomial(rng.sample(variables, size))
+        if rules.is_vanishing(mono):
+            flagged.append(mono)
+    # The generators produce plenty of propagate/generate pairs, so some
+    # vanishing monomials must be found among 400 random draws.
+    assert flagged
+
+    input_vars = [ring.index(name) for name in netlist.inputs]
+    for bits in itertools.product((0, 1), repeat=num_inputs):
+        assignment = dict(zip(input_vars, bits))
+        values = model.evaluate(assignment)
+        for mono in flagged:
+            assert mono.evaluate(values) == 0, (
+                f"monomial {mono.to_str(ring.name)} flagged as vanishing but "
+                f"evaluates to 1")
