@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""CI benchmark smoke run: trimmed 4-bit Table I rows with a regression gate.
+
+Runs the Table I architectures at 4 bits with MT-LR and MT-FO through the
+:class:`~repro.experiments.runner.ParallelRunner`, writes the rows (with
+timings and the deterministic model counters) to a ``BENCH_*.json`` file,
+and — when a committed baseline exists — fails on:
+
+* any verdict change versus the baseline,
+* any change in the deterministic counters (substitution counts, peak
+  remainder sizes, #CVM), or
+* a wall-clock regression of more than ``--tolerance`` (default 20%).
+
+Raw CI runner speeds vary between machines, so the time gate is
+*calibrated*: the script times a fixed reference workload, stores it in the
+result file, and scales the baseline timings by the ratio of the two
+calibrations before applying the tolerance.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke.py \
+        --output BENCH_smoke.json \
+        --baseline benchmarks/baselines/BENCH_smoke_baseline.json
+
+    # refresh the committed baseline after an intentional perf change
+    PYTHONPATH=src python benchmarks/smoke.py \
+        --output benchmarks/baselines/BENCH_smoke_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ParallelRunner,
+    run_membership_testing,
+)
+from repro.generators.catalog import TABLE1_ARCHITECTURES
+
+#: Deterministic per-row counters that must not change without review.
+COUNTER_KEYS = (
+    "cancelled_vanishing_monomials",
+    "num_polynomials",
+    "num_monomials",
+    "max_polynomial_terms",
+    "max_monomial_variables",
+    "peak_remainder",
+)
+
+SMOKE_WIDTH = 4
+SMOKE_METHODS = ("mt-lr", "mt-fo")
+
+
+def _calibrate(config: ExperimentConfig, repeats: int = 5) -> float:
+    """Time a fixed reference workload (seconds, best of ``repeats``)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_membership_testing("SP-AR-RC", SMOKE_WIDTH, "mt-lr", config)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_smoke(jobs: int) -> dict:
+    """Execute the smoke grid and return the result document."""
+    config = ExperimentConfig.from_environment()
+    config.widths = (SMOKE_WIDTH,)
+    calibration_s = _calibrate(config)
+    runner = ParallelRunner(config, workers=jobs)
+    grid = ParallelRunner.catalog(TABLE1_ARCHITECTURES, config.widths,
+                                  SMOKE_METHODS)
+    start = time.perf_counter()
+    rows = runner.run(grid)
+    total_s = time.perf_counter() - start
+    # Summed per-row time is independent of the worker count, so the gate
+    # compares like with like even when baseline and CI use different --jobs.
+    work_s = sum(row["time_s"] for row in rows if row.get("time_s"))
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "jobs": jobs,
+            "widths": list(config.widths),
+            "methods": list(SMOKE_METHODS),
+            "calibration_s": calibration_s,
+        },
+        "total_s": total_s,
+        "work_s": work_s,
+        "rows": rows,
+    }
+
+
+def _row_key(row: dict) -> str:
+    return f"{row['architecture']}-{row['width']}-{row['method']}"
+
+
+def compare_to_baseline(result: dict, baseline: dict,
+                        tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty = gate passed)."""
+    failures: list[str] = []
+    baseline_rows = {_row_key(row): row for row in baseline["rows"]}
+    result_keys = {_row_key(row) for row in result["rows"]}
+    for key in baseline_rows:
+        if key not in result_keys:
+            failures.append(f"{key}: present in baseline but missing from "
+                            "this run (grid coverage shrank)")
+    for row in result["rows"]:
+        key = _row_key(row)
+        expected = baseline_rows.get(key)
+        if expected is None:
+            continue  # new grid cell: informational only
+        if row["verified"] != expected["verified"]:
+            failures.append(
+                f"{key}: verdict changed "
+                f"{expected['verified']!r} -> {row['verified']!r}")
+        for counter in COUNTER_KEYS:
+            if counter in expected and row.get(counter) != expected[counter]:
+                failures.append(
+                    f"{key}: {counter} changed "
+                    f"{expected[counter]!r} -> {row.get(counter)!r}")
+    if result["meta"]["jobs"] != baseline["meta"].get("jobs"):
+        # Worker counts change both wall-clock and (under core
+        # oversubscription) per-row times, so cross-jobs timing comparisons
+        # are meaningless; verdicts and counters above are still gated.
+        print(f"note: jobs mismatch (run {result['meta']['jobs']} vs "
+              f"baseline {baseline['meta'].get('jobs')}); time gate skipped",
+              file=sys.stderr)
+        return failures
+    calibration = result["meta"]["calibration_s"]
+    baseline_calibration = baseline["meta"].get("calibration_s")
+    scale = (calibration / baseline_calibration
+             if baseline_calibration else 1.0)
+    # Gate on the summed per-row time (wall-clock-scheduling independent),
+    # falling back to the total for baselines predating ``work_s``.
+    metric = "work_s" if "work_s" in baseline else "total_s"
+    budget = baseline[metric] * scale * (1.0 + tolerance)
+    if result[metric] > budget:
+        failures.append(
+            f"{metric} {result[metric]:.3f}s exceeds budget "
+            f"{budget:.3f}s (baseline {baseline[metric]:.3f}s x "
+            f"machine-speed scale {scale:.2f} x tolerance "
+            f"{1.0 + tolerance:.2f})")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", "-o", default="BENCH_smoke.json")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to gate against (skipped when "
+                             "the file does not exist)")
+    parser.add_argument("--jobs", "-j", type=int,
+                        default=int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(
+                            "REPRO_SMOKE_TOLERANCE", "0.20")),
+                        help="allowed relative time regression (default 0.20)")
+    args = parser.parse_args(argv)
+
+    result = run_smoke(args.jobs)
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(result, indent=2, default=str) + "\n",
+                      encoding="utf-8")
+    print(f"wrote {output} (total {result['total_s']:.3f}s, "
+          f"calibration {result['meta']['calibration_s'] * 1000:.1f}ms)")
+
+    bad = [row for row in result["rows"] if row["verified"] is not True]
+    for row in bad:
+        print(f"FAIL {_row_key(row)}: status={row['status']} "
+              f"reason={row.get('reason', '-')}", file=sys.stderr)
+    if bad:
+        return 1
+
+    if args.baseline and Path(args.baseline).exists():
+        baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        failures = compare_to_baseline(result, baseline, args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"baseline gate passed ({args.baseline})")
+    elif args.baseline:
+        print(f"baseline {args.baseline} not found; gate skipped")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,17 @@ membership-testing verification algorithms: monomials over Boolean variables
 coefficients, lexicographic monomial orderings induced by a variable order,
 S-polynomials and Gröbner-basis utilities (Buchberger's algorithm, division,
 basis checks).
+
+Monomials are encoded as packed integer *bitmasks* (bit ``v`` set iff
+variable ``v`` occurs), which turns multiplication/lcm into ``|``, gcd into
+``&``, divisibility into a submask test, and — crucially — the lex order
+into plain integer comparison.  :class:`~repro.algebra.polynomial.Polynomial`
+stores its term map as ``dict[int, int]`` (mask -> coefficient), so the two
+hot operations of the verification flow (term-wise addition and
+single-variable substitution) are pure integer dict merges with no
+intermediate set or wrapper objects.  The :class:`Monomial` wrapper keeps
+the historical set-like API (iteration, containment, equality/hash
+compatibility with ``frozenset``) for everything off the hot path.
 """
 
 from repro.algebra.monomial import Monomial

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.algebra.monomial import Monomial
 from repro.algebra.ordering import MonomialOrder, LEX
 from repro.algebra.polynomial import Polynomial
 from repro.errors import AlgebraError

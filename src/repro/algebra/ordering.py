@@ -6,11 +6,16 @@ larger index than any of its (transitive) inputs — the "reverse topological
 level" order of the paper.  Under this order the leading monomial of every
 gate polynomial is the single gate-output variable, which makes the circuit
 model a Gröbner basis by construction (Definition 2 / Lemma 1).
+
+With the bitmask monomial encoding the lex order is simply the numeric
+order of the packed masks (the highest differing variable decides both), so
+each :class:`MonomialOrder` carries an optional *mask key* used by the
+polynomial layer to compare raw masks without building Monomial wrappers.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.algebra.monomial import Monomial
 
@@ -30,23 +35,49 @@ def deglex_key(monomial: Monomial) -> tuple:
     return (monomial.degree, monomial.sort_key())
 
 
-class MonomialOrder:
-    """A monomial order given by a key function (larger key = larger monomial)."""
+def lex_mask_key(mask: int) -> int:
+    """Mask-level lex key: the packed bitmask compares like the lex order."""
+    return mask
 
-    __slots__ = ("name", "_key")
+
+def deglex_mask_key(mask: int) -> tuple[int, int]:
+    """Mask-level deglex key: degree (popcount) first, lex mask second."""
+    return (mask.bit_count(), mask)
+
+
+class MonomialOrder:
+    """A monomial order given by a key function (larger key = larger monomial).
+
+    ``mask_key``, when available, is the same order expressed on raw
+    bitmasks; orders constructed with a custom ``key`` fall back to wrapping
+    masks in :class:`Monomial` instances.
+    """
+
+    __slots__ = ("name", "_key", "_mask_key")
 
     def __init__(self, name: str = "lex",
-                 key: Callable[[Monomial], tuple] | None = None) -> None:
+                 key: Callable[[Monomial], tuple] | None = None,
+                 mask_key: Callable[[int], object] | None = None) -> None:
         if key is None:
             key = {"lex": lex_key, "deglex": deglex_key}.get(name)
             if key is None:
                 raise ValueError(f"unknown monomial order {name!r}")
+            if mask_key is None:
+                mask_key = {"lex": lex_mask_key,
+                            "deglex": deglex_mask_key}[name]
         self.name = name
         self._key = key
+        self._mask_key = mask_key
 
     def key(self, monomial: Monomial) -> tuple:
         """Return the comparison key of ``monomial``."""
         return self._key(monomial)
+
+    def mask_key(self, mask: int) -> object:
+        """Comparison key of a raw bitmask."""
+        if self._mask_key is not None:
+            return self._mask_key(mask)
+        return self._key(Monomial.from_mask(mask))
 
     def greater(self, a: Monomial, b: Monomial) -> bool:
         """Return ``True`` if ``a > b`` in this order."""
@@ -56,9 +87,21 @@ class MonomialOrder:
         """Return the largest monomial of a non-empty iterable."""
         return max(monomials, key=self._key)
 
+    def max_mask(self, masks: Iterable[int]) -> int:
+        """Return the largest raw bitmask of a non-empty iterable."""
+        if self._mask_key is lex_mask_key:
+            return max(masks)
+        return max(masks, key=self.mask_key)
+
     def sorted(self, monomials, reverse: bool = True) -> list[Monomial]:
         """Sort monomials, largest first by default (paper's convention)."""
         return sorted(monomials, key=self._key, reverse=reverse)
+
+    def sorted_mask_items(self, items: Iterable[tuple[int, int]],
+                          reverse: bool = True) -> list[tuple[int, int]]:
+        """Sort ``(mask, coefficient)`` pairs, largest monomial first."""
+        return sorted(items, key=lambda kv: self.mask_key(kv[0]),
+                      reverse=reverse)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"MonomialOrder({self.name!r})"

@@ -5,15 +5,56 @@ Python integer (arbitrary precision, as needed for the ``2^(2n)`` weights of
 multiplier specifications) and ``M`` is a :class:`~repro.algebra.monomial.Monomial`
 over Boolean variables.  All operations keep the representation multilinear,
 i.e. the Boolean ideal ``<x^2 - x>`` is applied implicitly.
+
+Internally the term map is a ``dict[int, int]`` from packed monomial
+bitmasks (see :mod:`repro.algebra.monomial`) to coefficients.  The two hot
+operations of the verification flow — term-wise addition and single-variable
+substitution — are pure integer-key dict merges with bitwise monomial
+arithmetic, with no intermediate set or Monomial objects.  The public API
+still accepts and returns :class:`Monomial` instances; the raw-mask view is
+available through :meth:`term_masks` / :meth:`support_mask` for callers that
+want to stay on the fast path (e.g. the vanishing-monomial rules).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Mapping
 
-from repro.algebra.monomial import Monomial
+from repro.algebra.monomial import Monomial, iter_bits, mask_of
 from repro.algebra.ordering import MonomialOrder, LEX
 from repro.errors import AlgebraError
+
+
+def substitute_term_masks(terms: Mapping[int, int], var: int,
+                          rep_items) -> dict[int, int]:
+    """Mask-level ``terms[var := replacement]`` into a fresh term dict.
+
+    ``rep_items`` is a reusable sequence of ``(mask, coefficient)`` pairs of
+    the replacement polynomial.  This is the one substitution kernel shared
+    by :meth:`Polynomial.substitute` and the rewriting loop, which keeps its
+    working tails as raw dicts across many substitution steps.
+    """
+    bit = 1 << var
+    keep = ~bit
+    acc: dict[int, int] = {}
+    get = acc.get
+    for mask, coeff in terms.items():
+        if mask & bit:
+            rest = mask & keep
+            for rep_mask, rep_coeff in rep_items:
+                prod = rest | rep_mask
+                new = get(prod, 0) + coeff * rep_coeff
+                if new:
+                    acc[prod] = new
+                else:
+                    del acc[prod]
+        else:
+            new = get(mask, 0) + coeff
+            if new:
+                acc[mask] = new
+            else:
+                del acc[mask]
+    return acc
 
 
 class Polynomial:
@@ -24,19 +65,21 @@ class Polynomial:
     substitution of a single variable by another polynomial.
     """
 
-    __slots__ = ("_terms",)
+    __slots__ = ("_terms", "_support")
 
     def __init__(self, terms: Mapping[Monomial, int] | None = None) -> None:
-        clean: dict[Monomial, int] = {}
+        clean: dict[int, int] = {}
         if terms:
             for mono, coeff in terms.items():
                 if coeff:
-                    if not isinstance(mono, Monomial):
-                        mono = Monomial(mono)
-                    clean[mono] = clean.get(mono, 0) + coeff
-                    if clean[mono] == 0:
-                        del clean[mono]
+                    mask = mask_of(mono)
+                    new = clean.get(mask, 0) + coeff
+                    if new:
+                        clean[mask] = new
+                    else:
+                        clean.pop(mask, None)
         self._terms = clean
+        self._support = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -49,27 +92,38 @@ class Polynomial:
     def constant(cls, value: int) -> "Polynomial":
         """The constant polynomial ``value``."""
         if value == 0:
-            return cls()
-        return cls({Monomial.ONE: value})
+            return cls._raw({})
+        return cls._raw({0: value})
 
     @classmethod
     def variable(cls, var: int, coefficient: int = 1) -> "Polynomial":
         """The polynomial ``coefficient * x_var``."""
-        return cls({Monomial((var,)): coefficient})
+        if coefficient == 0:
+            return cls._raw({})
+        return cls._raw({1 << var: coefficient})
 
     @classmethod
     def term(cls, coefficient: int, variables: Iterable[int]) -> "Polynomial":
         """A single term ``coefficient * prod(variables)``."""
-        return cls({Monomial(variables): coefficient})
+        if coefficient == 0:
+            return cls._raw({})
+        return cls._raw({mask_of(variables): coefficient})
 
     @classmethod
     def from_terms(cls, terms: Iterable[tuple[int, Iterable[int]]]) -> "Polynomial":
         """Build from ``(coefficient, variables)`` pairs, summing duplicates."""
-        acc: dict[Monomial, int] = {}
+        acc: dict[int, int] = {}
         for coeff, variables in terms:
-            mono = Monomial(variables)
-            acc[mono] = acc.get(mono, 0) + coeff
-        return cls(acc)
+            mask = mask_of(variables)
+            acc[mask] = acc.get(mask, 0) + coeff
+        return cls._raw({m: c for m, c in acc.items() if c})
+
+    @classmethod
+    def from_term_masks(cls, terms: Mapping[int, int]) -> "Polynomial":
+        """Build from a mask-keyed term map (zero coefficients are dropped)."""
+        if any(not coeff for coeff in terms.values()):
+            terms = {m: c for m, c in terms.items() if c}
+        return cls._raw(dict(terms))
 
     # -- basic queries --------------------------------------------------------
 
@@ -81,7 +135,7 @@ class Polynomial:
     @property
     def is_constant(self) -> bool:
         """Return ``True`` if the polynomial has no variables."""
-        return all(m.is_constant for m in self._terms)
+        return all(mask == 0 for mask in self._terms)
 
     @property
     def num_terms(self) -> int:
@@ -96,38 +150,48 @@ class Polynomial:
 
     def terms(self) -> Iterator[tuple[Monomial, int]]:
         """Iterate over ``(monomial, coefficient)`` pairs (unordered)."""
+        return ((Monomial.from_mask(mask), coeff)
+                for mask, coeff in self._terms.items())
+
+    def term_masks(self) -> Iterator[tuple[int, int]]:
+        """Iterate over raw ``(bitmask, coefficient)`` pairs (unordered)."""
         return iter(self._terms.items())
 
     def monomials(self) -> Iterator[Monomial]:
         """Iterate over the monomials (unordered)."""
-        return iter(self._terms.keys())
+        return (Monomial.from_mask(mask) for mask in self._terms)
 
     def coefficient(self, monomial: Monomial | Iterable[int]) -> int:
         """Coefficient of ``monomial`` (0 if absent)."""
-        if not isinstance(monomial, Monomial):
-            monomial = Monomial(monomial)
-        return self._terms.get(monomial, 0)
+        return self._terms.get(mask_of(monomial), 0)
 
     def constant_term(self) -> int:
         """Coefficient of the constant monomial ``1``."""
-        return self._terms.get(Monomial.ONE, 0)
+        return self._terms.get(0, 0)
+
+    def support_mask(self) -> int:
+        """Bitmask of all variables appearing in the polynomial (cached)."""
+        support = self._support
+        if support is None:
+            support = 0
+            for mask in self._terms:
+                support |= mask
+            self._support = support
+        return support
 
     def support(self) -> set[int]:
         """Set of variables appearing in the polynomial (``Vars(p)``)."""
-        out: set[int] = set()
-        for mono in self._terms:
-            out.update(mono)
-        return out
+        return set(iter_bits(self.support_mask()))
 
     def max_monomial_degree(self) -> int:
         """Largest number of variables in any monomial (``#VM`` statistic)."""
         if not self._terms:
             return 0
-        return max(len(m) for m in self._terms)
+        return max(mask.bit_count() for mask in self._terms)
 
     def contains_variable(self, var: int) -> bool:
         """Return ``True`` if ``var`` occurs in some monomial."""
-        return any(var in mono for mono in self._terms)
+        return (self.support_mask() >> var) & 1 == 1
 
     # -- leading term ---------------------------------------------------------
 
@@ -135,16 +199,16 @@ class Polynomial:
         """``lm(p)`` — the largest monomial w.r.t. ``order``."""
         if not self._terms:
             raise AlgebraError("the zero polynomial has no leading monomial")
-        return order.max(self._terms.keys())
+        return Monomial.from_mask(order.max_mask(self._terms.keys()))
 
     def leading_coefficient(self, order: MonomialOrder = LEX) -> int:
         """``lc(p)`` — the coefficient of the leading monomial."""
-        return self._terms[self.leading_monomial(order)]
+        return self._terms[self.leading_monomial(order).mask]
 
     def leading_term(self, order: MonomialOrder = LEX) -> tuple[Monomial, int]:
         """``lt(p)`` as a ``(monomial, coefficient)`` pair."""
         mono = self.leading_monomial(order)
-        return mono, self._terms[mono]
+        return mono, self._terms[mono.mask]
 
     # -- arithmetic -----------------------------------------------------------
 
@@ -158,12 +222,12 @@ class Polynomial:
             small, big = self._terms, dict(other._terms)
         else:
             small, big = other._terms, dict(self._terms)
-        for mono, coeff in small.items():
-            new = big.get(mono, 0) + coeff
+        for mask, coeff in small.items():
+            new = big.get(mask, 0) + coeff
             if new:
-                big[mono] = new
+                big[mask] = new
             else:
-                big.pop(mono, None)
+                big.pop(mask, None)
         return Polynomial._raw(big)
 
     __radd__ = __add__
@@ -183,10 +247,10 @@ class Polynomial:
             if other == 1:
                 return self
             return Polynomial._raw({m: c * other for m, c in self._terms.items()})
-        acc: dict[Monomial, int] = {}
+        acc: dict[int, int] = {}
         for m1, c1 in self._terms.items():
             for m2, c2 in other._terms.items():
-                prod = Monomial(frozenset.__or__(m1, m2))
+                prod = m1 | m2
                 new = acc.get(prod, 0) + c1 * c2
                 if new:
                     acc[prod] = new
@@ -200,9 +264,10 @@ class Polynomial:
         """Multiply by a single term ``coefficient * monomial``."""
         if coefficient == 0:
             return Polynomial.zero()
-        acc: dict[Monomial, int] = {}
-        for mono, coeff in self._terms.items():
-            prod = Monomial(frozenset.__or__(mono, monomial))
+        factor = mask_of(monomial)
+        acc: dict[int, int] = {}
+        for mask, coeff in self._terms.items():
+            prod = mask | factor
             new = acc.get(prod, 0) + coeff * coefficient
             if new:
                 acc[prod] = new
@@ -220,28 +285,10 @@ class Polynomial:
         variable ``var``: every occurrence of ``var`` in a monomial is
         replaced by the tail polynomial, with Boolean idempotence applied.
         """
-        untouched: dict[Monomial, int] = {}
-        acc: dict[Monomial, int] = {}
-        rep_terms = replacement._terms
-        for mono, coeff in self._terms.items():
-            if var not in mono:
-                untouched[mono] = untouched.get(mono, 0) + coeff
-                continue
-            rest = Monomial(frozenset.difference(mono, (var,)))
-            for rep_mono, rep_coeff in rep_terms.items():
-                prod = Monomial(frozenset.__or__(rest, rep_mono))
-                new = acc.get(prod, 0) + coeff * rep_coeff
-                if new:
-                    acc[prod] = new
-                else:
-                    acc.pop(prod, None)
-        for mono, coeff in untouched.items():
-            new = acc.get(mono, 0) + coeff
-            if new:
-                acc[mono] = new
-            else:
-                acc.pop(mono, None)
-        return Polynomial._raw(acc)
+        if self.support_mask() & (1 << var) == 0:
+            return self
+        return Polynomial._raw(substitute_term_masks(
+            self._terms, var, replacement._terms.items()))
 
     def substitute_many(self, replacements: Mapping[int, "Polynomial"]) -> "Polynomial":
         """Substitute several variables one after another (arbitrary order)."""
@@ -261,6 +308,12 @@ class Polynomial:
         """
         if modulus <= 0:
             raise AlgebraError("modulus must be positive")
+        if modulus & (modulus - 1) == 0:
+            # Power-of-two modulus (the ``2^(2n)`` case): a bitwise AND with
+            # ``modulus - 1`` is much cheaper than ``%`` on big coefficients.
+            low_bits = modulus - 1
+            return Polynomial._raw(
+                {m: c for m, c in self._terms.items() if c & low_bits})
         return Polynomial._raw(
             {m: c for m, c in self._terms.items() if c % modulus != 0})
 
@@ -268,14 +321,14 @@ class Polynomial:
         """Reduce every coefficient into the symmetric range modulo ``modulus``."""
         if modulus <= 0:
             raise AlgebraError("modulus must be positive")
-        acc: dict[Monomial, int] = {}
+        acc: dict[int, int] = {}
         half = modulus // 2
-        for mono, coeff in self._terms.items():
+        for mask, coeff in self._terms.items():
             red = coeff % modulus
             if red > half:
                 red -= modulus
             if red:
-                acc[mono] = red
+                acc[mask] = red
         return Polynomial._raw(acc)
 
     def filter_monomials(self, keep: Callable[[Monomial], bool]) -> tuple["Polynomial", int]:
@@ -284,11 +337,15 @@ class Polynomial:
         Returns the filtered polynomial and the number of removed terms
         (used to count cancelled vanishing monomials, ``#CVM``).
         """
-        kept: dict[Monomial, int] = {}
+        return self.filter_term_masks(lambda mask: keep(Monomial.from_mask(mask)))
+
+    def filter_term_masks(self, keep: Callable[[int], bool]) -> tuple["Polynomial", int]:
+        """Mask-level :meth:`filter_monomials` (no Monomial wrappers)."""
+        kept: dict[int, int] = {}
         removed = 0
-        for mono, coeff in self._terms.items():
-            if keep(mono):
-                kept[mono] = coeff
+        for mask, coeff in self._terms.items():
+            if keep(mask):
+                kept[mask] = coeff
             else:
                 removed += 1
         if removed == 0:
@@ -300,9 +357,9 @@ class Polynomial:
     def evaluate(self, assignment: Mapping[int, int]) -> int:
         """Evaluate under a Boolean assignment of the support variables."""
         total = 0
-        for mono, coeff in self._terms.items():
+        for mask, coeff in self._terms.items():
             value = coeff
-            for var in mono:
+            for var in iter_bits(mask):
                 if not assignment[var]:
                     value = 0
                     break
@@ -325,8 +382,8 @@ class Polynomial:
 
     def sorted_terms(self, order: MonomialOrder = LEX) -> list[tuple[Monomial, int]]:
         """Terms sorted leading-first according to ``order``."""
-        return sorted(self._terms.items(), key=lambda kv: order.key(kv[0]),
-                      reverse=True)
+        return [(Monomial.from_mask(mask), coeff)
+                for mask, coeff in order.sorted_mask_items(self._terms.items())]
 
     def to_str(self, names=None, order: MonomialOrder = LEX) -> str:
         """Render as a human-readable sum, leading term first."""
@@ -352,10 +409,11 @@ class Polynomial:
     # -- internal -------------------------------------------------------------
 
     @classmethod
-    def _raw(cls, terms: dict[Monomial, int]) -> "Polynomial":
-        """Wrap an already-clean term dict without re-normalising."""
+    def _raw(cls, terms: dict[int, int]) -> "Polynomial":
+        """Wrap an already-clean mask-keyed term dict without re-normalising."""
         poly = object.__new__(cls)
         poly._terms = terms
+        poly._support = None
         return poly
 
 

@@ -14,7 +14,6 @@ import time
 from dataclasses import dataclass, field
 
 from repro.baselines.sat.cnf import CNF
-from repro.errors import SatError
 
 
 @dataclass

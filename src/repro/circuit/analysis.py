@@ -45,14 +45,18 @@ def topological_signals(netlist: Netlist) -> list[str]:
     return order
 
 
-def signal_levels(netlist: Netlist) -> dict[str, int]:
+def signal_levels(netlist: Netlist,
+                  order: list[str] | None = None) -> dict[str, int]:
     """Longest-path level of every signal (primary inputs have level 0).
 
     The level induces the paper's reverse topological variable order: gate
-    outputs always have a strictly larger level than their inputs.
+    outputs always have a strictly larger level than their inputs.  Pass a
+    precomputed ``topological_signals`` order to avoid a second traversal.
     """
     levels: dict[str, int] = {name: 0 for name in netlist.inputs}
-    for signal in topological_signals(netlist):
+    if order is None:
+        order = topological_signals(netlist)
+    for signal in order:
         if signal in levels:
             continue
         gate = netlist.gate_of(signal)

@@ -202,8 +202,13 @@ class Netlist:
 
     # -- validation ------------------------------------------------------------
 
-    def validate(self) -> None:
-        """Check structural sanity: drivers exist, outputs exist, no cycles."""
+    def validate(self, check_cycles: bool = True) -> None:
+        """Check structural sanity: drivers exist, outputs exist, no cycles.
+
+        ``check_cycles=False`` skips the DFS cycle check; callers that run a
+        topological traversal right afterwards (which detects loops anyway)
+        use it to avoid walking the gate graph twice.
+        """
         for gate in self._gates.values():
             for signal in gate.inputs:
                 if not self.has_signal(signal):
@@ -212,6 +217,8 @@ class Netlist:
         for output in self._outputs:
             if not self.has_signal(output):
                 raise CircuitError(f"primary output {output!r} is undriven")
+        if not check_cycles:
+            return
         # Cycle check via iterative DFS over gate outputs.
         WHITE, GREY, BLACK = 0, 1, 2
         colour: dict[str, int] = {}

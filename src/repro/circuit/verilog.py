@@ -20,7 +20,6 @@ Supported subset for reading:
 from __future__ import annotations
 
 import re
-from typing import Iterable
 
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Netlist

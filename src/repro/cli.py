@@ -15,20 +15,35 @@ Export a generated multiplier as Verilog::
 
     repro-verify generate --architecture SP-CT-BK --width 16 --output mult.v
 
-Print one of the paper's tables::
+Print one of the paper's tables (optionally across 4 worker processes)::
 
-    repro-verify table table1
+    repro-verify table table1 --jobs 4
+
+Verify a whole architecture catalog in parallel::
+
+    repro-verify batch --width 4 --methods mt-lr,mt-fo --jobs 4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.circuit.verilog import load_verilog, save_verilog
 from repro.errors import BlowUpError, ReproError
+from repro.experiments.runner import (
+    ExperimentConfig,
+    JOB_METHODS,
+    ParallelRunner,
+)
 from repro.experiments.tables import main as tables_main
 from repro.generators.adders import generate_adder
+from repro.generators.catalog import (
+    TABLE1_ARCHITECTURES,
+    TABLE2_ARCHITECTURES,
+    architecture_names,
+)
 from repro.generators.multipliers import generate_multiplier
 from repro.verification.engine import verify, verify_adder, verify_multiplier
 
@@ -95,7 +110,66 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
-    return tables_main([args.name])
+    argv = [args.name]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    return tables_main(argv)
+
+
+def _resolve_batch_architectures(spec: str) -> list[str]:
+    if spec == "table1":
+        return list(TABLE1_ARCHITECTURES)
+    if spec == "table2":
+        return list(TABLE2_ARCHITECTURES)
+    if spec == "all":
+        return architecture_names()
+    return [name.strip() for name in spec.split(",") if name.strip()]
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Run a catalog of verification jobs, optionally across processes.
+
+    The stdout verdict lines are deterministic (ordered by the job grid and
+    free of timing data), so the output is byte-identical for any ``--jobs``
+    value; timings go to the optional ``--output`` JSON file.
+    """
+    architectures = _resolve_batch_architectures(args.architectures)
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    for method in methods:
+        if method not in JOB_METHODS:
+            print(f"error: unknown method {method!r}; expected one of "
+                  f"{', '.join(JOB_METHODS)}", file=sys.stderr)
+            return 1
+    config = ExperimentConfig.from_environment()
+    config.widths = tuple(args.width)
+    if args.monomial_budget is not None:
+        config.monomial_budget = args.monomial_budget
+    if args.time_budget is not None:
+        config.time_budget_s = args.time_budget
+    runner = ParallelRunner(config, workers=args.jobs,
+                            task_timeout_s=args.task_timeout)
+    grid = ParallelRunner.catalog(architectures, config.widths, methods)
+    rows = runner.run(grid)
+
+    counts: dict[str, int] = {}
+    for row in rows:
+        verdict = ("pass" if row["verified"] else
+                   "FAIL" if row["verified"] is False else
+                   row["status"])
+        counts[verdict] = counts.get(verdict, 0) + 1
+        print(f"{row['architecture']:<12} {row['width']:>3} "
+              f"{row['method']:<8} {verdict}")
+    print("summary: " + " ".join(f"{verdict}={count}" for verdict, count
+                                 in sorted(counts.items())))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2, default=str)
+        print(f"wrote {len(rows)} rows to {args.output}", file=sys.stderr)
+    if any(row["verified"] is False for row in rows):
+        return 2
+    if any(row["status"] in ("TO", "error", "crash") for row in rows):
+        return 3
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,7 +208,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_table = sub.add_parser("table", help="print one of the paper's tables")
     p_table.add_argument("name", choices=["table1", "table2", "table3",
                                           "adders", "ablation"])
+    p_table.add_argument("--jobs", "-j", type=int, default=None,
+                         help="worker processes for the table's runs")
     p_table.set_defaults(func=_cmd_table)
+
+    p_batch = sub.add_parser(
+        "batch", help="run a catalog of verifications, optionally in parallel")
+    p_batch.add_argument("--architectures", "-a", default="all",
+                         help="'table1', 'table2', 'all' or a comma-separated "
+                              "list of architecture names (default: all)")
+    p_batch.add_argument("--width", "-w", type=int, nargs="+", default=[4],
+                         help="operand widths in bits (default: 4)")
+    p_batch.add_argument("--methods", "-m", default="mt-lr",
+                         help="comma-separated methods "
+                              f"({', '.join(JOB_METHODS)})")
+    p_batch.add_argument("--jobs", "-j", type=int, default=1,
+                         help="worker processes (default: 1 = serial)")
+    p_batch.add_argument("--task-timeout", type=float, default=None,
+                         help="hard per-job wall-clock limit in seconds "
+                              "(enforced by killing the worker)")
+    p_batch.add_argument("--output", "-o", default=None,
+                         help="write full result rows (with timings) to this "
+                              "JSON file")
+    p_batch.add_argument("--monomial-budget", type=int, default=None,
+                         help="override the REPRO_BENCH_MONOMIAL_BUDGET / "
+                              "default budget for this batch")
+    p_batch.add_argument("--time-budget", type=float, default=None)
+    p_batch.set_defaults(func=_cmd_batch)
     return parser
 
 

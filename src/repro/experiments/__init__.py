@@ -1,8 +1,22 @@
-"""Experiment harness regenerating the paper's evaluation tables."""
+"""Experiment harness regenerating the paper's evaluation tables.
+
+Single runs go through :func:`run_membership_testing` / :func:`run_sat_cec`
+/ :func:`run_bdd_cec` (or their uniform dispatch :func:`run_job`); whole
+table grids can be fanned across worker processes with
+:class:`ParallelRunner` / :func:`run_catalog`, which isolate crashes and
+hard timeouts per circuit and return rows in deterministic job order.  The
+CLI exposes the parallel path as ``repro-verify batch --jobs N`` and
+``repro-verify table <name> --jobs N``; the benchmark harness picks the
+worker count up from the ``REPRO_BENCH_JOBS`` environment variable.
+"""
 
 from repro.experiments.runner import (
     ExperimentConfig,
+    ParallelRunner,
+    VerificationJob,
     run_bdd_cec,
+    run_catalog,
+    run_job,
     run_membership_testing,
     run_sat_cec,
 )
@@ -17,10 +31,14 @@ from repro.experiments.tables import (
 
 __all__ = [
     "ExperimentConfig",
+    "ParallelRunner",
+    "VerificationJob",
     "ablation_rows",
     "adder_blowup_rows",
     "format_table",
     "run_bdd_cec",
+    "run_catalog",
+    "run_job",
     "run_membership_testing",
     "run_sat_cec",
     "table1_rows",

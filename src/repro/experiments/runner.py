@@ -1,22 +1,35 @@
-"""Single-experiment runners shared by the benchmark harness and the CLI.
+"""Experiment runners shared by the benchmark harness and the CLI.
 
 Every runner returns a plain dictionary so the benchmark scripts can both
 assert on the outcome and print the paper-style table rows.  A run that
 exceeds its monomial/conflict/node/time budget is reported with
 ``time = "TO"`` exactly like the 100-hour timeouts in the paper's tables.
+
+Two execution modes are provided:
+
+* the single-run functions (:func:`run_membership_testing`,
+  :func:`run_sat_cec`, :func:`run_bdd_cec`) and their uniform dispatch
+  :func:`run_job`, and
+* :class:`ParallelRunner`, which fans a catalog of
+  :class:`VerificationJob` entries across worker processes
+  (``multiprocessing``), streams result rows back as they complete, and
+  isolates crashes and hard timeouts per circuit so one bad job can never
+  take down a table reproduction.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
 from repro.baselines.bdd.equivalence import bdd_equivalence_check
 from repro.baselines.sat.miter import sat_equivalence_check
-from repro.errors import BlowUpError
+from repro.errors import BlowUpError, ReproError
 from repro.generators.multipliers import generate_multiplier
-from repro.verification.engine import verify_multiplier
+from repro.verification.engine import METHODS, verify_multiplier
 
 
 @dataclass
@@ -38,6 +51,8 @@ class ExperimentConfig:
     sat_conflict_budget: int = 200_000
     bdd_node_budget: int = 1_000_000
     golden_architecture: str = "SP-AR-RC"
+    #: Worker processes used by :class:`ParallelRunner` consumers (1 = serial).
+    jobs: int = 1
 
     @classmethod
     def from_environment(cls) -> "ExperimentConfig":
@@ -54,6 +69,7 @@ class ExperimentConfig:
             os.environ.get("REPRO_BENCH_SAT_CONFLICTS", config.sat_conflict_budget))
         config.bdd_node_budget = int(
             os.environ.get("REPRO_BENCH_BDD_NODES", config.bdd_node_budget))
+        config.jobs = int(os.environ.get("REPRO_BENCH_JOBS", config.jobs))
         return config
 
 
@@ -142,3 +158,224 @@ def run_bdd_cec(architecture: str, width: int, config: ExperimentConfig) -> dict
         "verified": result.equivalent if not result.timed_out else None,
         "bdd_nodes": result.num_nodes,
     }
+
+
+# ---------------------------------------------------------------------------
+# Batch execution: job catalog, serial runner, parallel runner
+# ---------------------------------------------------------------------------
+
+#: Methods understood by :func:`run_job` (membership testing + baselines).
+JOB_METHODS: tuple[str, ...] = METHODS + ("sat-cec", "bdd-cec")
+
+
+@dataclass(frozen=True)
+class VerificationJob:
+    """One (architecture, width, method) cell of an evaluation table."""
+
+    architecture: str
+    width: int
+    method: str
+
+    @property
+    def key(self) -> tuple[str, int, str]:
+        """Deterministic identity used for ordering and result joining."""
+        return (self.architecture, self.width, self.method)
+
+
+def run_job(job: VerificationJob, config: ExperimentConfig) -> dict:
+    """Run one verification job and return its table row (uniform dispatch)."""
+    if job.method in METHODS:
+        return run_membership_testing(job.architecture, job.width, job.method,
+                                      config)
+    if job.method == "sat-cec":
+        return run_sat_cec(job.architecture, job.width, config)
+    if job.method == "bdd-cec":
+        return run_bdd_cec(job.architecture, job.width, config)
+    raise ReproError(f"unknown job method {job.method!r}; "
+                     f"expected one of {JOB_METHODS}")
+
+
+def _guarded_run_job(job: VerificationJob, config: ExperimentConfig) -> dict:
+    """Run a job, converting any exception into an ``error`` row.
+
+    This is the per-circuit isolation layer shared by the serial and the
+    parallel paths: a generator or verifier bug on one architecture must
+    never abort the rest of the batch.
+    """
+    try:
+        return run_job(job, config)
+    except Exception as error:  # noqa: BLE001 - isolation boundary
+        return {
+            "architecture": job.architecture, "width": job.width,
+            "method": job.method, "status": "error", "time": "-",
+            "time_s": None, "verified": None,
+            "reason": f"{type(error).__name__}: {error}",
+        }
+
+
+def _worker_main(job: VerificationJob, config: ExperimentConfig,
+                 index: int, queue) -> None:
+    """Worker-process entry point: run one job, ship one ``(index, row)``."""
+    queue.put((index, _guarded_run_job(job, config)))
+
+
+class ParallelRunner:
+    """Fan verification jobs across worker processes with crash isolation.
+
+    Each job runs in its own ``multiprocessing`` process (at most
+    ``workers`` alive at a time), so a hard crash (segfault, OOM kill) or a
+    run exceeding the hard ``task_timeout_s`` wall-clock limit is reported
+    as a table row (``status="crash"`` / ``"TO"``) instead of killing the
+    batch.  Results are streamed to the optional ``on_result`` callback as
+    they complete and returned in job order, so the verdicts are
+    byte-for-byte identical to the serial path regardless of worker count
+    or completion order.
+
+    Parameters
+    ----------
+    config:
+        Budgets applied to every job (the in-process time/monomial budgets
+        still produce the paper-style ``TO`` rows).
+    workers:
+        Number of worker processes; ``None`` uses ``os.cpu_count()``.
+        ``workers <= 1`` runs serially in-process (still crash-isolated
+        against Python exceptions, not against hard crashes).
+    task_timeout_s:
+        Hard per-job wall-clock limit enforced by the parent via
+        ``Process.terminate``; ``None`` disables the hard limit and relies
+        on the in-process budgets.
+    """
+
+    def __init__(self, config: ExperimentConfig | None = None,
+                 workers: int | None = None,
+                 task_timeout_s: float | None = None) -> None:
+        self.config = config or ExperimentConfig.from_environment()
+        if workers is None:
+            workers = self.config.jobs if self.config.jobs > 1 else (
+                os.cpu_count() or 1)
+        self.workers = max(1, int(workers))
+        self.task_timeout_s = task_timeout_s
+
+    # -- job catalog helpers ---------------------------------------------------
+
+    @staticmethod
+    def catalog(architectures: Iterable[str], widths: Iterable[int],
+                methods: Iterable[str]) -> list[VerificationJob]:
+        """The full (architecture, width, method) job grid, widths outermost."""
+        return [VerificationJob(arch, width, method)
+                for width in widths for arch in architectures
+                for method in methods]
+
+    # -- execution -------------------------------------------------------------
+
+    def run_serial(self, jobs: Sequence[VerificationJob],
+                   on_result: Callable[[VerificationJob, dict], None] | None = None,
+                   ) -> list[dict]:
+        """Reference serial execution (same rows, same order, one process)."""
+        rows = []
+        for job in jobs:
+            row = _guarded_run_job(job, self.config)
+            if on_result is not None:
+                on_result(job, row)
+            rows.append(row)
+        return rows
+
+    def run(self, jobs: Sequence[VerificationJob],
+            on_result: Callable[[VerificationJob, dict], None] | None = None,
+            ) -> list[dict]:
+        """Run all jobs and return their rows in job order."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        # The hard wall-clock limit needs a killable worker process, so the
+        # in-process shortcut only applies when no such limit was requested.
+        if self.task_timeout_s is None and (self.workers <= 1 or len(jobs) <= 1):
+            return self.run_serial(jobs, on_result=on_result)
+
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        queue = context.Queue()
+        results: dict[int, dict] = {}
+        running: dict[int, tuple] = {}   # index -> (process, job, deadline)
+        next_index = 0
+
+        def launch_ready() -> None:
+            nonlocal next_index
+            while next_index < len(jobs) and len(running) < self.workers:
+                job = jobs[next_index]
+                process = context.Process(
+                    target=_worker_main,
+                    args=(job, self.config, next_index, queue),
+                    daemon=True)
+                process.start()
+                deadline = (time.monotonic() + self.task_timeout_s
+                            if self.task_timeout_s is not None else None)
+                running[next_index] = (process, job, deadline)
+                next_index += 1
+
+        def finish(index: int, row: dict) -> None:
+            entry = running.pop(index, None)
+            if entry is None:
+                # Already reported (e.g. terminated as a hard timeout just as
+                # its late result arrived) — drop the stale row.
+                return
+            process, job, _ = entry
+            process.join()
+            results[index] = row
+            if on_result is not None:
+                on_result(job, row)
+
+        launch_ready()
+        while running:
+            try:
+                index, row = queue.get(timeout=0.05)
+            except Exception:  # queue.Empty - poll process health instead
+                now = time.monotonic()
+                for index in list(running):
+                    entry = running.get(index)
+                    if entry is None:
+                        continue  # finished by a drain earlier in this sweep
+                    process, job, deadline = entry
+                    if deadline is not None and now > deadline:
+                        process.terminate()
+                        finish(index, {
+                            "architecture": job.architecture,
+                            "width": job.width, "method": job.method,
+                            "status": "TO", "time": "TO",
+                            "time_s": self.task_timeout_s, "verified": None,
+                            "reason": "hard task timeout",
+                        })
+                    elif not process.is_alive():
+                        # Dead without a result: give the queue one last
+                        # drain chance, then report the crash.
+                        try:
+                            late_index, late_row = queue.get(timeout=0.2)
+                            finish(late_index, late_row)
+                        except Exception:
+                            finish(index, {
+                                "architecture": job.architecture,
+                                "width": job.width, "method": job.method,
+                                "status": "crash", "time": "-",
+                                "time_s": None, "verified": None,
+                                "reason": f"worker exited with code "
+                                          f"{process.exitcode}",
+                            })
+                launch_ready()
+                continue
+            finish(index, row)
+            launch_ready()
+        return [results[i] for i in range(len(jobs))]
+
+
+def run_catalog(architectures: Iterable[str], widths: Iterable[int],
+                methods: Iterable[str], config: ExperimentConfig | None = None,
+                jobs: int = 1,
+                task_timeout_s: float | None = None,
+                on_result: Callable[[VerificationJob, dict], None] | None = None,
+                ) -> list[dict]:
+    """Convenience wrapper: build the job grid and run it (serial or parallel)."""
+    runner = ParallelRunner(config=config, workers=jobs,
+                            task_timeout_s=task_timeout_s)
+    grid = ParallelRunner.catalog(architectures, widths, methods)
+    return runner.run(grid, on_result=on_result)

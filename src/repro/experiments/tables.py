@@ -25,7 +25,7 @@ from typing import Iterable, Sequence
 from repro.errors import BlowUpError
 from repro.experiments.runner import (
     ExperimentConfig,
-    run_bdd_cec,
+    run_catalog,
     run_membership_testing,
     run_sat_cec,
 )
@@ -41,21 +41,36 @@ def _merge_method_columns(architecture: str, width: int, columns: dict) -> dict:
     return row
 
 
+def _method_grid(architectures: Sequence[str], methods: Sequence[str],
+                 config: ExperimentConfig) -> dict[tuple[str, int, str], dict]:
+    """All (architecture, width, method) cells, keyed for column assembly.
+
+    Runs through :func:`repro.experiments.runner.run_catalog`, so with
+    ``config.jobs > 1`` the whole grid is fanned across worker processes.
+    """
+    rows = run_catalog(architectures, config.widths, methods,
+                       config=config, jobs=config.jobs)
+    return {(row["architecture"], row["width"], row["method"]): row
+            for row in rows}
+
+
 def table1_rows(config: ExperimentConfig | None = None,
                 architectures: Sequence[str] = TABLE1_ARCHITECTURES,
                 include_baselines: bool = True) -> list[dict]:
     """Verification results for simple-partial-product multipliers (Table I)."""
     config = config or ExperimentConfig.from_environment()
+    methods = (["sat-cec", "bdd-cec"] if include_baselines else [])
+    methods += ["mt-fo", "mt-lr"]
+    grid = _method_grid(architectures, methods, config)
     rows = []
     for width in config.widths:
         for architecture in architectures:
             columns = {}
             if include_baselines:
-                columns["sat-cec"] = run_sat_cec(architecture, width, config)["time"]
-                columns["bdd-cec"] = run_bdd_cec(architecture, width, config)["time"]
-            columns["mt-fo"] = run_membership_testing(
-                architecture, width, "mt-fo", config)["time"]
-            mt_lr = run_membership_testing(architecture, width, "mt-lr", config)
+                columns["sat-cec"] = grid[architecture, width, "sat-cec"]["time"]
+                columns["bdd-cec"] = grid[architecture, width, "bdd-cec"]["time"]
+            columns["mt-fo"] = grid[architecture, width, "mt-fo"]["time"]
+            mt_lr = grid[architecture, width, "mt-lr"]
             columns["mt-lr"] = mt_lr["time"]
             columns["verified"] = mt_lr["verified"]
             rows.append(_merge_method_columns(architecture, width, columns))
@@ -71,17 +86,19 @@ def table2_rows(config: ExperimentConfig | None = None,
     not support Booth partial products (see the paper's Table II).
     """
     config = config or ExperimentConfig.from_environment()
+    methods = (["sat-cec"] if include_baselines else []) + ["mt-fo", "mt-lr"]
+    grid = _method_grid(architectures, methods, config)
     rows = []
     for width in config.widths:
         for architecture in architectures:
             columns = {}
             if include_baselines:
-                columns["sat-cec"] = run_sat_cec(architecture, width, config)["time"]
+                columns["sat-cec"] = grid[architecture, width, "sat-cec"]["time"]
+                # The CPP stand-in does not support Booth partial products.
                 columns["cpp"] = run_sat_cec(architecture, width, config,
                                              booth_supported=False)["time"]
-            columns["mt-fo"] = run_membership_testing(
-                architecture, width, "mt-fo", config)["time"]
-            mt_lr = run_membership_testing(architecture, width, "mt-lr", config)
+            columns["mt-fo"] = grid[architecture, width, "mt-fo"]["time"]
+            mt_lr = grid[architecture, width, "mt-lr"]
             columns["mt-lr"] = mt_lr["time"]
             columns["verified"] = mt_lr["verified"]
             rows.append(_merge_method_columns(architecture, width, columns))
@@ -94,9 +111,12 @@ def table3_rows(config: ExperimentConfig | None = None,
     config = config or ExperimentConfig.from_environment()
     rows = []
     width = max(config.widths)
+    runs = {row["architecture"]: row
+            for row in run_catalog(architectures, [width], ["mt-lr"],
+                                   config=config, jobs=config.jobs)}
     for architecture in architectures:
-        run = run_membership_testing(architecture, width, "mt-lr", config)
-        if run["status"] == "TO":
+        run = runs[architecture]
+        if run["status"] in ("TO", "error", "crash"):
             rows.append({"benchmark": architecture, "bits": f"{width}/{2 * width}",
                          "#CVM": "TO", "GB reduction": "TO", "#P": "-",
                          "#M": "-", "#MP": "-", "#VM": "-"})
@@ -185,12 +205,27 @@ def format_table(rows: Sequence[dict], title: str = "") -> str:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """``python -m repro.experiments.tables table1|table2|table3|adders|ablation``."""
+    """``python -m repro.experiments.tables table1|table2|table3|adders|ablation``.
+
+    ``--jobs N`` fans the underlying verification runs across ``N`` worker
+    processes (see :class:`repro.experiments.runner.ParallelRunner`).
+    """
     import sys
 
     argv = list(sys.argv[1:] if argv is None else argv)
+    jobs = None
+    if "--jobs" in argv:
+        position = argv.index("--jobs")
+        try:
+            jobs = int(argv[position + 1])
+        except (IndexError, ValueError):
+            print("--jobs requires an integer argument", file=sys.stderr)
+            return 1
+        del argv[position:position + 2]
     target = argv[0] if argv else "table1"
     config = ExperimentConfig.from_environment()
+    if jobs is not None:
+        config.jobs = jobs
     if target == "table1":
         print(format_table(table1_rows(config), "Table I (simple partial products)"))
     elif target == "table2":

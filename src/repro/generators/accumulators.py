@@ -10,7 +10,7 @@ compressor tree as documented in DESIGN.md §3.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable
 
 from repro.circuit.netlist import Netlist
 from repro.errors import CircuitError

@@ -25,25 +25,47 @@ from repro.circuit.gates import Gate, GateType
 from repro.errors import ModelingError
 
 
-def _and_tail(inputs: Sequence[Polynomial]) -> Polynomial:
-    result = inputs[0]
-    for operand in inputs[1:]:
-        result = result * operand
-    return result
+def _and_terms(input_vars: Sequence[int]) -> dict[int, int]:
+    mask = 0
+    for var in input_vars:
+        mask |= 1 << var
+    return {mask: 1}
 
 
-def _or_tail(inputs: Sequence[Polynomial]) -> Polynomial:
-    result = inputs[0]
-    for operand in inputs[1:]:
-        result = result + operand - result * operand
-    return result
+def _fold(terms: dict[int, int], var: int, cross_coeff: int) -> dict[int, int]:
+    """One De Morgan fold step: ``r + v + cross_coeff * r * v``.
+
+    ``cross_coeff`` is ``-1`` for OR and ``-2`` for XOR; Boolean idempotence
+    is applied through the bitwise OR of the term masks.
+    """
+    bit = 1 << var
+    acc = dict(terms)
+    acc[bit] = acc.get(bit, 0) + 1
+    for mask, coeff in terms.items():
+        prod = mask | bit
+        new = acc.get(prod, 0) + cross_coeff * coeff
+        if new:
+            acc[prod] = new
+        else:
+            del acc[prod]
+    return acc
 
 
-def _xor_tail(inputs: Sequence[Polynomial]) -> Polynomial:
-    result = inputs[0]
-    for operand in inputs[1:]:
-        result = result + operand - 2 * (result * operand)
-    return result
+def _fold_tail(input_vars: Sequence[int], cross_coeff: int) -> dict[int, int]:
+    terms = {1 << input_vars[0]: 1}
+    for var in input_vars[1:]:
+        terms = _fold(terms, var, cross_coeff)
+    return terms
+
+
+def _complement(terms: dict[int, int]) -> dict[int, int]:
+    acc = {mask: -coeff for mask, coeff in terms.items()}
+    new = acc.get(0, 0) + 1
+    if new:
+        acc[0] = new
+    else:
+        del acc[0]
+    return acc
 
 
 def gate_tail(gate_type: GateType, input_vars: Sequence[int]) -> Polynomial:
@@ -51,31 +73,35 @@ def gate_tail(gate_type: GateType, input_vars: Sequence[int]) -> Polynomial:
 
     The returned polynomial is the ``tail`` of the gate polynomial
     ``-z + tail``; substituting a gate-output variable during Gröbner-basis
-    reduction replaces it by exactly this polynomial.
+    reduction replaces it by exactly this polynomial.  Tails are built
+    directly as mask-keyed term maps — model extraction creates one per gate,
+    which made the generic polynomial arithmetic a measurable startup cost.
     """
-    operands = [Polynomial.variable(v) for v in input_vars]
     if gate_type is GateType.CONST0:
         return Polynomial.zero()
     if gate_type is GateType.CONST1:
         return Polynomial.constant(1)
-    if not operands:
+    if not input_vars:
         raise ModelingError(f"gate type {gate_type.value!r} requires inputs")
     if gate_type is GateType.BUF:
-        return operands[0]
+        return Polynomial.variable(input_vars[0])
     if gate_type is GateType.NOT:
-        return Polynomial.constant(1) - operands[0]
+        return Polynomial._raw(
+            _complement({1 << input_vars[0]: 1}))
     if gate_type is GateType.AND:
-        return _and_tail(operands)
+        return Polynomial._raw(_and_terms(input_vars))
     if gate_type is GateType.NAND:
-        return Polynomial.constant(1) - _and_tail(operands)
+        return Polynomial._raw(_complement(_and_terms(input_vars)))
     if gate_type is GateType.OR:
-        return _or_tail(operands)
+        return Polynomial._raw(_fold_tail(input_vars, -1))
     if gate_type is GateType.NOR:
-        return Polynomial.constant(1) - _or_tail(operands)
+        return Polynomial._raw(
+            _complement(_fold_tail(input_vars, -1)))
     if gate_type is GateType.XOR:
-        return _xor_tail(operands)
+        return Polynomial._raw(_fold_tail(input_vars, -2))
     if gate_type is GateType.XNOR:
-        return Polynomial.constant(1) - _xor_tail(operands)
+        return Polynomial._raw(
+            _complement(_fold_tail(input_vars, -2)))
     raise ModelingError(f"unsupported gate type {gate_type!r}")
 
 

@@ -67,9 +67,11 @@ class AlgebraicModel:
         outputs) signal; the induced lex order realises the paper's reverse
         topological substitution order.
         """
-        netlist.validate()
-        levels = signal_levels(netlist)
+        # The topological traversal below raises on combinational loops, so
+        # the (redundant) DFS cycle check of ``validate`` is skipped here.
+        netlist.validate(check_cycles=False)
         order = topological_signals(netlist)
+        levels = signal_levels(netlist, order=order)
         # Stable sort by level keeps same-level signals in construction order,
         # which groups sum/carry cells that share inputs next to each other —
         # the secondary criterion of the paper's substitution ordering.

@@ -60,7 +60,8 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
            xor_and_only: bool = False,
            find_counterexample: bool = True,
            counterexample_tries: int = 4096,
-           seed: int = 0) -> VerificationResult:
+           seed: int = 0,
+           model: AlgebraicModel | None = None) -> VerificationResult:
     """Verify a gate-level circuit against an arithmetic specification.
 
     Parameters
@@ -83,13 +84,19 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
     find_counterexample:
         On a non-zero remainder, search for a primary-input assignment that
         exhibits the mismatch.
+    model:
+        An :class:`~repro.modeling.model.AlgebraicModel` already extracted
+        from ``netlist``; pass it to avoid rebuilding the model when the
+        caller needed one to derive the specification (variable numbering is
+        deterministic, so model and specification always agree).
     """
     if method not in METHODS:
         raise VerificationError(f"unknown method {method!r}; expected {METHODS}")
     start_total = time.perf_counter()
     deadline = start_total + time_budget_s if time_budget_s is not None else None
 
-    model = AlgebraicModel.from_netlist(netlist)
+    if model is None:
+        model = AlgebraicModel.from_netlist(netlist)
     spec = _resolve_specification(model, specification)
 
     # Step 2: rewriting.
@@ -138,7 +145,7 @@ def verify_multiplier(netlist: Netlist, method: str = "mt-lr",
     """Verify a multiplier netlist against ``S = A * B (mod 2^|S|)``."""
     model = AlgebraicModel.from_netlist(netlist)
     spec = multiplier_specification(model, use_modulus=use_modulus)
-    return verify(netlist, spec, method, **kwargs)
+    return verify(netlist, spec, method, model=model, **kwargs)
 
 
 def verify_adder(netlist: Netlist, method: str = "mt-lr",
@@ -146,7 +153,7 @@ def verify_adder(netlist: Netlist, method: str = "mt-lr",
     """Verify an adder netlist against ``S = A + B (+ cin)``."""
     model = AlgebraicModel.from_netlist(netlist)
     spec = adder_specification(model, carry_in=carry_in)
-    return verify(netlist, spec, method, **kwargs)
+    return verify(netlist, spec, method, model=model, **kwargs)
 
 
 # ---------------------------------------------------------------------------

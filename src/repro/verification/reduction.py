@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.algebra.monomial import bits_of
 from repro.algebra.polynomial import Polynomial
 from repro.errors import BlowUpError
 from repro.modeling.model import AlgebraicModel
@@ -84,7 +85,7 @@ def substitution_order(model: AlgebraicModel, tails: dict[int, Polynomial],
     consumers: dict[int, set[int]] = {var: set() for var in tails}
     pending: dict[int, int] = {}
     for lead, tail in tails.items():
-        for var in tail.support():
+        for var in bits_of(tail.support_mask()):
             if var in consumers:
                 consumers[var].add(lead)
     for var in consumers:
@@ -108,7 +109,7 @@ def substitution_order(model: AlgebraicModel, tails: dict[int, Polynomial],
             continue
         scheduled.add(var)
         order.append(var)
-        for child in tails[var].support():
+        for child in bits_of(tails[var].support_mask()):
             if child in pending and child not in scheduled:
                 pending[child] -= 1
                 if pending[child] == 0:
@@ -137,24 +138,77 @@ def groebner_basis_reduction(spec: Polynomial, model: AlgebraicModel,
     deadline = (start + options.time_budget_s
                 if options.time_budget_s is not None else None)
 
-    remainder = spec
-    if options.coefficient_modulus is not None:
-        remainder = remainder.drop_coefficient_multiples(options.coefficient_modulus)
+    modulus = options.coefficient_modulus
+    # The power-of-two moduli of the verification flow (``2^(2n)``) allow the
+    # multiple-of-modulus test to be a bitwise AND on the low bits.
+    low_bits = (modulus - 1 if modulus is not None
+                and modulus & (modulus - 1) == 0 else None)
 
-    support = remainder.support()
+    # In-place reduction kernel: the remainder lives in one mask-keyed term
+    # dict for the whole loop.  A substitution removes only the terms that
+    # actually contain the variable and merges their expansions back, so the
+    # (usually much larger) untouched part of the remainder is never copied
+    # or re-hashed — the seed implementation rebuilt the full dict per step.
+    terms: dict[int, int]
+    if modulus is not None:
+        terms = dict(spec.drop_coefficient_multiples(modulus).term_masks())
+    else:
+        terms = dict(spec.term_masks())
+    support = 0
+    for mask in terms:
+        support |= mask
+
     for var in substitution_order(model, tails, options.order_scheme):
         if model.is_input_variable(var):
             continue
-        if var not in support:
+        bit = 1 << var
+        # ``support`` is a superset of the live support (bits are never
+        # cleared); a stale bit only costs one scan that finds no terms.
+        if not support & bit:
             continue
-        remainder = remainder.substitute(var, tails[var])
-        support = remainder.support()
+        affected = [(mask, coeff) for mask, coeff in terms.items()
+                    if mask & bit]
+        if not affected:
+            # The bit was stale; re-tighten the support superset so later
+            # stale variables do not trigger another full scan each.
+            support = 0
+            for mask in terms:
+                support |= mask
+            continue
+        for mask, _ in affected:
+            del terms[mask]
+        tail_terms = list(tails[var].term_masks())
+        keep = ~bit
+        get = terms.get
+        touched: set[int] = set()
+        for mask, coeff in affected:
+            rest = mask & keep
+            for rep_mask, rep_coeff in tail_terms:
+                prod = rest | rep_mask
+                new = get(prod, 0) + coeff * rep_coeff
+                if new:
+                    terms[prod] = new
+                    touched.add(prod)
+                else:
+                    del terms[prod]
+                    touched.discard(prod)
+        for prod in touched:
+            support |= prod
+        if modulus is not None:
+            # Coefficients only changed on the touched keys; untouched terms
+            # were already filtered on an earlier step.
+            if low_bits is not None:
+                for prod in touched:
+                    if prod in terms and not terms[prod] & low_bits:
+                        del terms[prod]
+            else:
+                for prod in touched:
+                    if prod in terms and terms[prod] % modulus == 0:
+                        del terms[prod]
         trace.substitutions += 1
-        if options.coefficient_modulus is not None:
-            remainder = remainder.drop_coefficient_multiples(
-                options.coefficient_modulus)
-        size = remainder.num_terms
-        trace.peak_monomials = max(trace.peak_monomials, size)
+        size = len(terms)
+        if size > trace.peak_monomials:
+            trace.peak_monomials = size
         if trace.record_history:
             trace.history.append((model.ring.name(var), size))
         if options.monomial_budget is not None and size > options.monomial_budget:
@@ -170,4 +224,4 @@ def groebner_basis_reduction(spec: Polynomial, model: AlgebraicModel,
                 monomials=size, elapsed_s=trace.elapsed_s)
 
     trace.elapsed_s = time.perf_counter() - start
-    return remainder
+    return Polynomial._raw(terms)

@@ -21,7 +21,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.algebra.polynomial import Polynomial
+from repro.algebra.polynomial import Polynomial, substitute_term_masks
 from repro.errors import BlowUpError
 from repro.modeling.model import AlgebraicModel
 from repro.verification.vanishing import VanishingRules
@@ -131,41 +131,56 @@ def gb_rewrite(tails: dict[int, Polynomial], keep_variables: set[int],
     rewritten: dict[int, Polynomial] = dict(tails)
 
     for lead_var in sorted(rewritten):
-        tail = rewritten[lead_var]
+        # The working tail stays a raw mask-keyed dict across all of its
+        # substitution steps; it is wrapped back into a Polynomial only once,
+        # when the rewriting of this leading variable is finished.
+        tail = dict(rewritten[lead_var].term_masks())
         if vanishing is not None:
-            tail = vanishing.remove_vanishing(tail)
+            vanishing.remove_vanishing_masks(tail)
         rejected: set[int] = set()
         while True:
-            outside = [var for var in tail.support()
-                       if var not in keep_variables and var in rewritten
-                       and var not in rejected]
+            support = 0
+            for mask in tail:
+                support |= mask
+            outside = []
+            while support:
+                low = support & -support
+                support ^= low
+                var = low.bit_length() - 1
+                if (var not in keep_variables and var in rewritten
+                        and var not in rejected):
+                    outside.append(var)
             if not outside:
                 break
             # Substitute the variable with the smallest defining tail first.
+            # Targets are always smaller than ``lead_var`` (tails only
+            # reference earlier variables), so their rewriting is complete
+            # and ``rewritten[target]`` is a finished Polynomial.
             target = min(outside, key=lambda var: rewritten[var].num_terms)
-            candidate = tail.substitute(target, rewritten[target])
+            candidate = substitute_term_masks(
+                tail, target, list(rewritten[target].term_masks()))
             if vanishing is not None:
-                candidate = vanishing.remove_vanishing(candidate)
-            if growth_limit is not None and candidate.num_terms > max(
-                    growth_limit, 4 * tail.num_terms):
+                vanishing.remove_vanishing_masks(candidate)
+            if growth_limit is not None and len(candidate) > max(
+                    growth_limit, 4 * len(tail)):
                 # Inlining this variable would blow the polynomial up; keep it
                 # as a model variable instead.
                 keep_variables.add(target)
                 rejected.add(target)
                 continue
             tail = candidate
-            stats.peak_tail_terms = max(stats.peak_tail_terms, tail.num_terms)
-            if monomial_budget is not None and tail.num_terms > monomial_budget:
+            stats.peak_tail_terms = max(stats.peak_tail_terms, len(tail))
+            if monomial_budget is not None and len(tail) > monomial_budget:
                 raise BlowUpError(
                     f"{scheme or 'rewriting'} exceeded the monomial budget "
-                    f"({tail.num_terms} > {monomial_budget}) while rewriting "
+                    f"({len(tail)} > {monomial_budget}) while rewriting "
                     f"{model.ring.name(lead_var)}",
-                    monomials=tail.num_terms)
+                    monomials=len(tail))
             if deadline is not None and time.perf_counter() > deadline:
                 raise BlowUpError(
                     f"{scheme or 'rewriting'} exceeded the time budget",
                     elapsed_s=time.perf_counter() - start)
-        rewritten[lead_var] = tail
+        rewritten[lead_var] = Polynomial._raw(tail)
 
     # UpdateModel: drop polynomials whose leading variable was substituted
     # away (not kept and not a primary output).

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.algebra.monomial import Monomial
+from repro.algebra.monomial import Monomial, bits_of, iter_bits, mask_of
+from repro.algebra.polynomial import Polynomial
 from repro.circuit.gates import GateType
 from repro.modeling.model import AlgebraicModel
 
@@ -62,7 +63,7 @@ class VanishingRules:
     _xor_support: dict[int, tuple[int, ...]] = field(default_factory=dict, repr=False)
     _xnor_support: dict[int, tuple[int, ...]] = field(default_factory=dict, repr=False)
     _and_support: dict[int, frozenset[int]] = field(default_factory=dict, repr=False)
-    _cache: dict[Monomial, bool] = field(default_factory=dict, repr=False)
+    _cache: dict[int, bool] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         self._build_structural_tables()
@@ -71,8 +72,7 @@ class VanishingRules:
 
     def _build_structural_tables(self) -> None:
         records = self.model.records
-        for var in sorted(records):
-            record = records[var]
+        for var, record in records.items():
             gate = record.gate_type
             if gate is GateType.XOR and len(record.inputs) == 2:
                 self._xor_support[var] = record.inputs
@@ -80,8 +80,64 @@ class VanishingRules:
                 self._xnor_support[var] = record.inputs
             if gate is GateType.AND and len(record.inputs) == 2:
                 self._and_support[var] = frozenset(record.inputs)
-            self._must1[var] = self._compute_must(var, value=True)
-            self._must0[var] = self._compute_must(var, value=False)
+        # The implied-literal sets (``must1``/``must0``) are resolved lazily
+        # by :meth:`_must` — only variables that actually appear in tested
+        # monomials pay for their (transitive) table construction.
+
+    def _must_dependencies(self, var: int, value: bool) -> list[tuple[int, bool]]:
+        """Child tables :meth:`_compute_must` reads for ``(var, value)``."""
+        record = self.model.records.get(var)
+        if record is None or record.gate_type is None or self.xor_and_only:
+            return []
+        gate = record.gate_type
+        if value:
+            if gate in (GateType.AND, GateType.BUF):
+                return [(child, True) for child in record.inputs]
+            if gate is GateType.NOT:
+                return [(record.inputs[0], False)]
+            if gate is GateType.NOR:
+                return [(child, False) for child in record.inputs]
+        else:
+            if gate in (GateType.OR, GateType.BUF):
+                return [(child, False) for child in record.inputs]
+            if gate is GateType.NOT:
+                return [(record.inputs[0], True)]
+            if gate is GateType.NAND:
+                return [(child, True) for child in record.inputs]
+        return []
+
+    def _must(self, var: int, value: bool) -> frozenset[Literal]:
+        """Implied literals of ``var = value``, resolving dependencies lazily.
+
+        An explicit work stack (instead of recursion) keeps deep AND/OR
+        chains of wide adders within any recursion limit.
+        """
+        table = self._must1 if value else self._must0
+        cached = table.get(var)
+        if cached is not None:
+            return cached
+        if var not in self.model.records:
+            return frozenset({(var, value)})
+        stack: list[tuple[int, bool]] = [(var, value)]
+        while stack:
+            current, current_value = stack[-1]
+            current_table = self._must1 if current_value else self._must0
+            if current in current_table:
+                stack.pop()
+                continue
+            missing = [
+                (child, child_value)
+                for child, child_value in self._must_dependencies(
+                    current, current_value)
+                if child != current and child not in (
+                    self._must1 if child_value else self._must0)
+                and child in self.model.records]
+            if missing:
+                stack.extend(missing)
+                continue
+            current_table[current] = self._compute_must(current, current_value)
+            stack.pop()
+        return table[var]
 
     def _compute_must(self, var: int, value: bool) -> frozenset[Literal]:
         record = self.model.records[var]
@@ -127,33 +183,40 @@ class VanishingRules:
 
     def is_vanishing(self, monomial: Monomial) -> bool:
         """Return ``True`` if the monomial always evaluates to zero."""
-        if len(monomial) < 2:
+        return self.is_vanishing_mask(mask_of(monomial))
+
+    def is_vanishing_mask(self, mask: int) -> bool:
+        """Mask-level :meth:`is_vanishing` (the rewriting fast path)."""
+        if mask.bit_count() < 2:
             return False
-        cached = self._cache.get(monomial)
+        cached = self._cache.get(mask)
         if cached is not None:
             return cached
-        result = (self._xor_and_rule(monomial) if self.xor_and_only
-                  else self._implied_literal_rule(monomial))
-        self._cache[monomial] = result
+        result = (self._xor_and_rule(mask) if self.xor_and_only
+                  else self._implied_literal_rule(mask))
+        self._cache[mask] = result
         return result
 
-    def _xor_and_rule(self, monomial: Monomial) -> bool:
+    def _xor_and_rule(self, mask: int) -> bool:
         """The literal rule from the paper: XOR and AND over the same pair."""
-        xor_pairs = [frozenset(self._xor_support[v]) for v in monomial
+        xor_pairs = [frozenset(self._xor_support[v]) for v in iter_bits(mask)
                      if v in self._xor_support]
         if not xor_pairs:
             return False
-        and_pairs = {self._and_support[v] for v in monomial
+        and_pairs = {self._and_support[v] for v in iter_bits(mask)
                      if v in self._and_support}
         return any(pair in and_pairs for pair in xor_pairs)
 
-    def _implied_literal_rule(self, monomial: Monomial) -> bool:
+    def _implied_literal_rule(self, mask: int) -> bool:
         """Sound generalisation via implied-literal consistency."""
         positive: set[int] = set()
         negative: set[int] = set()
-        for var in monomial:
-            for lit_var, polarity in self._must1.get(
-                    var, frozenset({(var, True)})):
+        must1 = self._must1
+        for var in bits_of(mask):
+            literals = must1.get(var)
+            if literals is None:
+                literals = self._must(var, True)
+            for lit_var, polarity in literals:
                 if polarity:
                     if lit_var in negative:
                         return True
@@ -191,14 +254,32 @@ class VanishingRules:
 
     # -- polynomial filtering ------------------------------------------------------
 
-    def remove_vanishing(self, polynomial):
-        """Remove vanishing monomials from a polynomial, counting removals.
+    def remove_vanishing_masks(self, terms: dict[int, int]) -> int:
+        """Delete vanishing monomials from a raw term dict, in place.
 
-        Returns the filtered polynomial; the running total of removed
-        monomials is accumulated in :attr:`removed_count` (the ``#CVM``
-        statistic of Table III).
+        This is the one mask-level filtering loop shared by every caller:
+        it runs after each substitution of XOR rewriting, so the per-term
+        cache probe stays call-free.  Returns the number of removed terms;
+        the running total is accumulated in :attr:`removed_count` (the
+        ``#CVM`` statistic of Table III).
         """
-        filtered, removed = polynomial.filter_monomials(
-            lambda mono: not self.is_vanishing(mono))
-        self.removed_count += removed
-        return filtered
+        cache = self._cache
+        is_vanishing_mask = self.is_vanishing_mask
+        doomed = []
+        for mask in terms:
+            vanishes = cache.get(mask)
+            if vanishes is None:
+                vanishes = is_vanishing_mask(mask)
+            if vanishes:
+                doomed.append(mask)
+        for mask in doomed:
+            del terms[mask]
+        self.removed_count += len(doomed)
+        return len(doomed)
+
+    def remove_vanishing(self, polynomial):
+        """Remove vanishing monomials from a polynomial, counting removals."""
+        terms = dict(polynomial.term_masks())
+        if self.remove_vanishing_masks(terms) == 0:
+            return polynomial
+        return Polynomial.from_term_masks(terms)

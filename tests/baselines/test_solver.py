@@ -3,7 +3,6 @@
 import itertools
 import random
 
-import pytest
 
 from repro.baselines.sat.cnf import CNF
 from repro.baselines.sat.solver import CdclSolver, solve_cnf

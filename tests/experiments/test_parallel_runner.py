@@ -1,0 +1,135 @@
+"""Tests for the parallel batch runner (parity, crash isolation, timeouts)."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ParallelRunner,
+    VerificationJob,
+    run_catalog,
+    run_job,
+)
+
+#: Row keys that must be bit-identical between serial and parallel execution
+#: (timings are excluded — they legitimately differ between runs).
+DETERMINISTIC_KEYS = (
+    "architecture", "width", "method", "status", "verified",
+    "cancelled_vanishing_monomials", "num_polynomials", "num_monomials",
+    "max_polynomial_terms", "max_monomial_variables", "peak_remainder",
+)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method required to inherit monkeypatched workers")
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(widths=(3,), time_budget_s=60.0,
+                            monomial_budget=200_000)
+
+
+def _deterministic(rows):
+    return [tuple(row.get(key) for key in DETERMINISTIC_KEYS) for row in rows]
+
+
+def test_catalog_grid_order():
+    grid = ParallelRunner.catalog(["A", "B"], [2, 4], ["mt-lr", "mt-fo"])
+    assert [job.key for job in grid[:3]] == [
+        ("A", 2, "mt-lr"), ("A", 2, "mt-fo"), ("B", 2, "mt-lr")]
+    assert len(grid) == 8
+
+
+def test_parallel_results_match_serial(config):
+    runner = ParallelRunner(config, workers=2)
+    jobs = ParallelRunner.catalog(
+        ["SP-AR-RC", "SP-WT-CL", "SP-CT-BK"], [3], ["mt-lr", "mt-fo"])
+    parallel_rows = runner.run(jobs)
+    serial_rows = runner.run_serial(jobs)
+    assert _deterministic(parallel_rows) == _deterministic(serial_rows)
+    assert all(row["verified"] for row in parallel_rows)
+
+
+def test_streaming_callback_sees_every_job(config):
+    seen = []
+    runner = ParallelRunner(config, workers=2)
+    jobs = ParallelRunner.catalog(["SP-AR-RC", "SP-DT-HC"], [3], ["mt-lr"])
+    rows = runner.run(jobs, on_result=lambda job, row: seen.append(job.key))
+    assert sorted(seen) == sorted(job.key for job in jobs)
+    assert len(rows) == len(jobs)
+
+
+def test_bad_job_is_isolated_not_fatal(config):
+    """A generator error on one circuit must not abort the batch."""
+    jobs = [VerificationJob("SP-AR-RC", 3, "mt-lr"),
+            VerificationJob("XX-YY-ZZ", 3, "mt-lr"),   # unknown architecture
+            VerificationJob("SP-WT-CL", 3, "mt-lr")]
+    for workers in (1, 2):
+        rows = ParallelRunner(config, workers=workers).run(jobs)
+        assert [row["status"] for row in rows] == ["ok", "error", "ok"]
+        assert "CircuitError" in rows[1]["reason"]
+
+
+def test_unknown_method_is_reported_as_error_row(config):
+    rows = ParallelRunner(config, workers=1).run(
+        [VerificationJob("SP-AR-RC", 3, "not-a-method")])
+    assert rows[0]["status"] == "error"
+    with pytest.raises(Exception):
+        run_job(VerificationJob("SP-AR-RC", 3, "not-a-method"), config)
+
+
+@needs_fork
+def test_worker_crash_is_reported_per_job(config, monkeypatch):
+    """A worker dying without a result yields a crash row, not a hang."""
+
+    real_run_job = runner_module.run_job
+
+    def crashing_run_job(job, cfg):
+        if job.architecture == "SP-WT-CL":
+            os._exit(17)  # simulate a segfault/OOM kill
+        return real_run_job(job, cfg)
+
+    monkeypatch.setattr(runner_module, "run_job", crashing_run_job)
+    jobs = [VerificationJob("SP-AR-RC", 3, "mt-lr"),
+            VerificationJob("SP-WT-CL", 3, "mt-lr"),
+            VerificationJob("SP-DT-HC", 3, "mt-lr")]
+    rows = ParallelRunner(config, workers=2).run(jobs)
+    assert [row["status"] for row in rows] == ["ok", "crash", "ok"]
+    assert "17" in rows[1]["reason"]
+
+
+@needs_fork
+def test_hard_task_timeout_kills_the_worker(config, monkeypatch):
+    real_run_job = runner_module.run_job
+
+    def sleeping_run_job(job, cfg):
+        if job.architecture == "SP-WT-CL":
+            time.sleep(60)
+        return real_run_job(job, cfg)
+
+    monkeypatch.setattr(runner_module, "run_job", sleeping_run_job)
+    jobs = [VerificationJob("SP-WT-CL", 3, "mt-lr"),
+            VerificationJob("SP-AR-RC", 3, "mt-lr")]
+    start = time.monotonic()
+    rows = ParallelRunner(config, workers=2, task_timeout_s=1.0).run(jobs)
+    assert time.monotonic() - start < 30
+    assert rows[0]["status"] == "TO"
+    assert rows[0]["reason"] == "hard task timeout"
+    assert rows[1]["status"] == "ok"
+
+
+def test_run_catalog_convenience(config):
+    rows = run_catalog(["SP-AR-RC"], [3], ["mt-lr"], config=config, jobs=1)
+    assert len(rows) == 1 and rows[0]["verified"] is True
+
+
+def test_config_jobs_from_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "3")
+    assert ExperimentConfig.from_environment().jobs == 3

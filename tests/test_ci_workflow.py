@@ -1,0 +1,75 @@
+"""Structural validation of the CI workflow (actionlint-style dry check).
+
+The real pipeline only runs on the forge, so this test pins down the
+invariants the repository relies on: the workflow parses as YAML, covers
+the documented Python matrix, and contains the three jobs (test matrix,
+lint, benchmark smoke with artifact upload) with well-formed steps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = Path(__file__).resolve().parent.parent / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    assert WORKFLOW.exists(), "missing .github/workflows/ci.yml"
+    return yaml.safe_load(WORKFLOW.read_text(encoding="utf-8"))
+
+
+def test_workflow_parses_and_triggers(workflow):
+    # PyYAML parses the bare `on:` key as boolean True (YAML 1.1).
+    triggers = workflow.get("on", workflow.get(True))
+    assert triggers is not None, "workflow must declare push/pull_request triggers"
+    assert "pull_request" in triggers
+    assert "push" in triggers
+
+
+def test_workflow_has_expected_jobs(workflow):
+    jobs = workflow["jobs"]
+    assert set(jobs) >= {"test", "lint", "bench-smoke"}
+
+
+def test_test_job_covers_python_matrix(workflow):
+    matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
+    assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+    commands = " ".join(step.get("run", "")
+                        for step in workflow["jobs"]["test"]["steps"])
+    assert "pytest" in commands
+
+
+def test_lint_job_runs_ruff(workflow):
+    commands = " ".join(step.get("run", "")
+                        for step in workflow["jobs"]["lint"]["steps"])
+    assert "ruff check" in commands
+
+
+def test_bench_smoke_job_gates_and_uploads(workflow):
+    job = workflow["jobs"]["bench-smoke"]
+    commands = " ".join(step.get("run", "") for step in job["steps"])
+    assert "benchmarks/smoke.py" in commands
+    assert "--baseline" in commands
+    uploads = [step for step in job["steps"]
+               if "upload-artifact" in step.get("uses", "")]
+    assert uploads, "bench-smoke must upload the BENCH_*.json artifact"
+    assert "BENCH" in uploads[0]["with"]["path"]
+
+
+def test_every_step_is_well_formed(workflow):
+    for name, job in workflow["jobs"].items():
+        assert "runs-on" in job, f"job {name} missing runs-on"
+        for step in job["steps"]:
+            assert "uses" in step or "run" in step, (
+                f"step in job {name} has neither 'uses' nor 'run'")
+
+
+def test_referenced_paths_exist():
+    assert (WORKFLOW.parent.parent.parent / "benchmarks" / "smoke.py").exists()
+    assert (WORKFLOW.parent.parent.parent / "benchmarks" / "baselines"
+            / "BENCH_smoke_baseline.json").exists()

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import pytest
 
 from repro.cli import build_parser, main
 from repro.circuit.verilog import save_verilog
@@ -58,5 +57,33 @@ def test_error_exit_code_for_unknown_architecture(capsys):
 def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("verify", "verify-verilog", "generate", "table"):
+    for command in ("verify", "verify-verilog", "generate", "table", "batch"):
         assert command in text
+
+
+def test_batch_verdicts_identical_serial_vs_parallel(capsys):
+    """--jobs must not change the verdict output in any byte."""
+    args = ["batch", "-a", "SP-AR-RC,SP-WT-CL,SP-CT-BK", "-w", "3",
+            "-m", "mt-lr,mt-fo"]
+    assert main(args + ["--jobs", "1"]) == 0
+    serial_output = capsys.readouterr().out
+    assert main(args + ["--jobs", "2"]) == 0
+    parallel_output = capsys.readouterr().out
+    assert serial_output == parallel_output
+    assert "summary: pass=6" in serial_output
+
+
+def test_batch_writes_json_results(tmp_path, capsys):
+    out_file = tmp_path / "rows.json"
+    assert main(["batch", "-a", "SP-AR-RC", "-w", "3", "-m", "mt-lr",
+                 "-o", str(out_file)]) == 0
+    import json
+    rows = json.loads(out_file.read_text())
+    assert rows[0]["architecture"] == "SP-AR-RC"
+    assert rows[0]["verified"] is True
+    assert "time_s" in rows[0]
+
+
+def test_batch_rejects_unknown_method(capsys):
+    assert main(["batch", "-a", "SP-AR-RC", "-w", "3", "-m", "bogus"]) == 1
+    assert "unknown method" in capsys.readouterr().err

@@ -6,7 +6,6 @@
   defeat plain reduction but are removed by the XOR-AND rule (MT-LR).
 """
 
-import pytest
 
 from repro.algebra.groebner import is_groebner_basis
 from repro.algebra.polynomial import Polynomial
