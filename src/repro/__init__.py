@@ -39,7 +39,7 @@ from repro.errors import (
 from repro.generators import generate_adder, generate_multiplier
 from repro.verification import verify, verify_adder, verify_multiplier
 
-__version__ = "1.0.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "AlgebraError",

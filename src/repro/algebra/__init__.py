@@ -23,6 +23,7 @@ from repro.algebra.monomial import Monomial
 from repro.algebra.ordering import MonomialOrder, lex_key
 from repro.algebra.polynomial import Polynomial
 from repro.algebra.ring import PolynomialRing
+from repro.algebra.substitution import SubstitutionEngine
 from repro.algebra.groebner import (
     buchberger,
     divide,
@@ -36,6 +37,7 @@ __all__ = [
     "MonomialOrder",
     "Polynomial",
     "PolynomialRing",
+    "SubstitutionEngine",
     "buchberger",
     "divide",
     "is_groebner_basis",

@@ -22,39 +22,8 @@ from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.algebra.monomial import Monomial, iter_bits, mask_of
 from repro.algebra.ordering import MonomialOrder, LEX
+from repro.algebra.substitution import SubstitutionEngine
 from repro.errors import AlgebraError
-
-
-def substitute_term_masks(terms: Mapping[int, int], var: int,
-                          rep_items) -> dict[int, int]:
-    """Mask-level ``terms[var := replacement]`` into a fresh term dict.
-
-    ``rep_items`` is a reusable sequence of ``(mask, coefficient)`` pairs of
-    the replacement polynomial.  This is the one substitution kernel shared
-    by :meth:`Polynomial.substitute` and the rewriting loop, which keeps its
-    working tails as raw dicts across many substitution steps.
-    """
-    bit = 1 << var
-    keep = ~bit
-    acc: dict[int, int] = {}
-    get = acc.get
-    for mask, coeff in terms.items():
-        if mask & bit:
-            rest = mask & keep
-            for rep_mask, rep_coeff in rep_items:
-                prod = rest | rep_mask
-                new = get(prod, 0) + coeff * rep_coeff
-                if new:
-                    acc[prod] = new
-                else:
-                    del acc[prod]
-        else:
-            new = get(mask, 0) + coeff
-            if new:
-                acc[mask] = new
-            else:
-                del acc[mask]
-    return acc
 
 
 class Polynomial:
@@ -156,6 +125,10 @@ class Polynomial:
     def term_masks(self) -> Iterator[tuple[int, int]]:
         """Iterate over raw ``(bitmask, coefficient)`` pairs (unordered)."""
         return iter(self._terms.items())
+
+    def masks(self) -> Iterator[int]:
+        """Iterate over the raw monomial bitmasks (unordered)."""
+        return iter(self._terms)
 
     def monomials(self) -> Iterator[Monomial]:
         """Iterate over the monomials (unordered)."""
@@ -284,11 +257,15 @@ class Polynomial:
         polynomial ``-var + tail`` whose leading monomial is the single
         variable ``var``: every occurrence of ``var`` in a monomial is
         replaced by the tail polynomial, with Boolean idempotence applied.
+        The loop itself lives in the shared
+        :class:`~repro.algebra.substitution.SubstitutionEngine` kernel,
+        which the reduction and rewriting passes drive incrementally.
         """
         if self.support_mask() & (1 << var) == 0:
             return self
-        return Polynomial._raw(substitute_term_masks(
-            self._terms, var, replacement._terms.items()))
+        engine = SubstitutionEngine(self._terms, 1 << var)
+        engine.substitute(var, list(replacement._terms.items()))
+        return Polynomial._raw(engine.terms)
 
     def substitute_many(self, replacements: Mapping[int, "Polynomial"]) -> "Polynomial":
         """Substitute several variables one after another (arbitrary order)."""

@@ -1,0 +1,614 @@
+"""The occurrence-indexed incremental substitution engine.
+
+Every step of the membership-testing flow — Gröbner-basis reduction
+(Algorithm 1), the rewriting passes (Algorithms 2/3) and the vanishing-rule
+filtering that runs between their substitutions — is at heart the same
+operation: replace a single variable by its defining tail inside a working
+set of terms.  This module provides that one kernel.
+
+A :class:`SubstitutionEngine` owns a mask-keyed term map (``dict[int, int]``
+from packed monomial bitmasks to integer coefficients, see
+:mod:`repro.algebra.monomial`) together with an incrementally maintained
+*occurrence index*: for every candidate variable, the set of term masks that
+currently contain it.  Substituting ``x := tail`` therefore enumerates only
+the terms that actually contain ``x`` (one index lookup) instead of scanning
+the whole term map — the per-substitution cost drops from ``O(#terms)`` to
+``O(#occurrences of x)``, which is the dominant asymptotic improvement
+available to the reduction of wide multipliers where the remainder holds
+thousands of terms but each variable appears in a handful of them.
+
+The index is *adaptive* in both directions.  Maintaining it costs a few
+dictionary operations per candidate variable of every created or cancelled
+term, which is pure overhead while the term map is small enough that a
+linear scan is essentially free — so the engine runs in scan mode below
+:data:`INDEX_THRESHOLD` terms (tracking only a cheap superset of the live
+support, so substituting an absent variable is a single bit test) and
+builds the index when the map outgrows the threshold.  And because a term
+population *dense* in candidate variables (e.g. the MT-FO remainder, whose
+terms each carry many live fanout variables) makes the upkeep cost more
+than the scans it avoids, every indexed substitution meters its index
+operations against the avoided scan and the engine demotes itself back to
+scan mode when the upkeep keeps losing.  Rewriting tails stay small and
+never pay for the index; the MT-LR reduction remainder of a wide
+multiplier (sparse in candidates — mostly primary inputs) crosses the
+threshold early and runs indexed to the end.
+
+Only variables inside the engine's ``index_mask`` are substitution
+candidates (primary inputs, for example, are never substituted during GB
+reduction), so the indexed bookkeeping per created term is proportional to
+the number of *candidate* variables it contains, not its total degree.
+Once a variable has been substituted it can be *retired* — dropped from the
+candidate set — because the consumer-first substitution orders used by the
+verification flow guarantee an eliminated variable is never re-introduced.
+
+Optional per-substitution services, enabled per engine:
+
+* **vanishing-rule filtering** — terms are tested against a
+  vanishing-monomial oracle (any object with ``is_vanishing_mask(mask)``, a
+  ``removed_count`` attribute and an optional public ``cache`` memo, i.e.
+  :class:`repro.verification.vanishing.VanishingRules`) and cancelled on the
+  spot.  In indexed mode only newly created terms are tested — vanishing is
+  a property of the monomial mask alone, so terms that survived an earlier
+  test never vanish later.
+* **coefficient-modulus dropping** — terms whose coefficient became a
+  multiple of the specification modulus (``2^(2n)`` for multipliers) are
+  removed after every substitution.
+* **growth-limited (transactional) substitution** — the anti-blow-up guard
+  of common rewriting: when the substitution would grow the term map beyond
+  its limit, the step is discarded (scan mode builds the candidate out of
+  place; indexed mode rolls the journal back) and the engine reports the
+  rejection so the caller can keep the variable in the model instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+#: Term-map size at which the occurrence index starts paying for itself;
+#: below it a linear scan per substitution is cheaper than index upkeep.
+INDEX_THRESHOLD = 64
+
+#: Average candidate variables per term above which the index is refused:
+#: upkeep scales with candidate bits per created term, so dense populations
+#: (MT-FO remainders sit far above this; MT-LR remainders far below) are
+#: served better by linear scans.
+INDEX_DENSITY_LIMIT = 2.0
+
+
+class SubstitutionEngine:
+    """One working term map plus its variable→terms occurrence index.
+
+    Parameters
+    ----------
+    terms:
+        Initial term map: a ``Mapping`` or iterable of
+        ``(mask, coefficient)`` pairs; the engine takes a private copy.
+    index_mask:
+        Bitmask of the substitution-candidate variables.  Substituting a
+        variable outside the mask is reported as absent, so callers must
+        include every variable they intend to substitute.
+    vanishing:
+        Optional vanishing-monomial oracle (duck-typed
+        ``is_vanishing_mask``/``removed_count``/``cache``); when present,
+        vanishing terms are removed after every substitution and the
+        removals accumulate into ``vanishing.removed_count`` (the ``#CVM``
+        statistic).
+    coefficient_modulus:
+        Optional modulus; terms whose coefficient becomes a multiple of it
+        are dropped after every substitution.  Power-of-two moduli use a
+        bitwise-AND fast path.
+
+    The cumulative counters (`substitutions`, `affected_terms`,
+    `vanishing_removed`, `modulus_removed`, `rejected_substitutions`,
+    `peak_terms`) survive :meth:`reset` so one engine can report statistics
+    for a whole rewriting pass that processes many tails.
+    """
+
+    __slots__ = ("terms", "vanishing", "_occ", "_indexed", "_index_mask",
+                 "_support", "_modulus", "_low_bits", "_index_debt",
+                 "_reindex_floor", "substitutions", "affected_terms",
+                 "vanishing_removed", "modulus_removed",
+                 "rejected_substitutions", "peak_terms")
+
+    def __init__(self,
+                 terms: Mapping[int, int] | Iterable[tuple[int, int]] = (),
+                 index_mask: int = 0, *,
+                 vanishing=None,
+                 coefficient_modulus: int | None = None) -> None:
+        self.vanishing = vanishing
+        self._modulus = coefficient_modulus
+        # Power-of-two moduli (the ``2^(2n)`` of multiplier specs) reduce the
+        # multiple-of-modulus test to a bitwise AND on the low bits.
+        self._low_bits = (coefficient_modulus - 1
+                          if coefficient_modulus is not None
+                          and coefficient_modulus & (coefficient_modulus - 1) == 0
+                          else None)
+        self.substitutions = 0
+        self.affected_terms = 0
+        self.vanishing_removed = 0
+        self.modulus_removed = 0
+        self.rejected_substitutions = 0
+        self.peak_terms = 0
+        self.terms: dict[int, int] = {}
+        self._occ: dict[int, set[int]] = {}
+        self._indexed = False
+        self._index_mask = 0
+        self._support = 0
+        self.reset(terms, index_mask)
+
+    # -- loading / lifecycle ---------------------------------------------------
+
+    def reset(self, terms: Mapping[int, int] | Iterable[tuple[int, int]],
+              index_mask: int) -> None:
+        """Load a fresh term map and rebuild the index (or support superset).
+
+        The cumulative statistics counters are *not* cleared, so a rewriting
+        pass can reuse one engine across many tails and report pass-level
+        totals.  The previous term dict is abandoned (callers that wrapped it
+        in a :class:`~repro.algebra.polynomial.Polynomial` keep sole
+        ownership).
+        """
+        self.terms = dict(terms)
+        self._index_mask = index_mask
+        self._index_debt = 0.0
+        self._reindex_floor = INDEX_THRESHOLD
+        if index_mask and len(self.terms) >= INDEX_THRESHOLD:
+            self._build_index()
+        else:
+            self._occ = {}
+            self._indexed = False
+            support = 0
+            for mask in self.terms:
+                support |= mask
+            self._support = support
+
+    def _build_index(self) -> None:
+        """Build the occurrence index — or refuse, if the population is dense.
+
+        The candidate-bit density is measured in the same pass that would
+        build the buckets; refusing costs one popcount per term and raises
+        the re-engage floor so the probe is not repeated on every
+        substitution.
+        """
+        terms = self.terms
+        index_mask = self._index_mask
+        support = 0
+        total_candidate_bits = 0
+        for mask in terms:
+            support |= mask
+            total_candidate_bits += (mask & index_mask).bit_count()
+        if terms and total_candidate_bits > INDEX_DENSITY_LIMIT * len(terms):
+            self._occ = {}
+            self._indexed = False
+            self._index_debt = 0.0
+            self._support = support
+            self._reindex_floor = max(self._reindex_floor, 4 * len(terms))
+            return
+        occ: dict[int, set[int]] = {}
+        for mask in terms:
+            candidates = mask & index_mask
+            while candidates:
+                low = candidates & -candidates
+                candidates ^= low
+                var = low.bit_length() - 1
+                bucket = occ.get(var)
+                if bucket is None:
+                    occ[var] = {mask}
+                else:
+                    bucket.add(mask)
+        self._occ = occ
+        self._indexed = True
+        self._index_debt = 0.0
+
+    def _drop_index(self) -> None:
+        """Fall back to scan mode after the index proved uneconomical.
+
+        Dense term populations (e.g. the MT-FO remainder, whose terms carry
+        many live fanout variables each) make the per-term index upkeep cost
+        more than the linear scans it avoids.  The re-engage floor rises so
+        the engine does not thrash between modes.
+        """
+        self._occ = {}
+        self._indexed = False
+        self._index_debt = 0.0
+        self._reindex_floor = max(self._reindex_floor, 4 * len(self.terms))
+        support = 0
+        for mask in self.terms:
+            support |= mask
+        self._support = support
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    @property
+    def indexed(self) -> bool:
+        """Whether the occurrence index is currently engaged."""
+        return self._indexed
+
+    def occurrences(self, var: int) -> int:
+        """Number of terms currently containing the candidate variable."""
+        if self._indexed:
+            bucket = self._occ.get(var)
+            return len(bucket) if bucket else 0
+        bit = 1 << var
+        return sum(1 for mask in self.terms if mask & bit)
+
+    def contains(self, var: int) -> bool:
+        """Return ``True`` if the candidate variable occurs in some term."""
+        if self._indexed:
+            return bool(self._occ.get(var))
+        bit = 1 << var
+        return any(mask & bit for mask in self.terms)
+
+    def active_variables(self) -> list[int]:
+        """Candidate variables with at least one occurrence, ascending."""
+        if self._indexed:
+            return sorted(var for var, bucket in self._occ.items() if bucket)
+        support = 0
+        for mask in self.terms:
+            support |= mask
+        self._support = support
+        active = []
+        candidates = support & self._index_mask
+        while candidates:
+            low = candidates & -candidates
+            candidates ^= low
+            active.append(low.bit_length() - 1)
+        return active
+
+    def support_mask(self) -> int:
+        """Bitmask of all variables over the current terms (full scan)."""
+        support = 0
+        for mask in self.terms:
+            support |= mask
+        return support
+
+    # -- index maintenance -----------------------------------------------------
+
+    def unindex(self, var: int) -> None:
+        """Stop tracking a variable (it was decided to keep, not substitute)."""
+        self._index_mask &= ~(1 << var)
+        if self._indexed:
+            self._occ.pop(var, None)
+
+    # -- vanishing sweep -------------------------------------------------------
+
+    @staticmethod
+    def find_vanishing(masks: Iterable[int], vanishing) -> list[int]:
+        """Masks from ``masks`` the oracle reports as vanishing.
+
+        The oracle's public ``cache`` (mask → verdict memo) is probed inline
+        when available, so re-sweeping already-tested terms costs one dict
+        lookup each.  Shared by :meth:`prune_vanishing`, the scan-mode
+        substitution path, and the polynomial-level filtering of
+        :meth:`repro.verification.vanishing.VanishingRules.remove_vanishing`.
+        """
+        is_vanishing_mask = vanishing.is_vanishing_mask
+        cache = getattr(vanishing, "cache", None)
+        if cache is None:
+            return [mask for mask in masks if is_vanishing_mask(mask)]
+        cache_get = cache.get
+        doomed = []
+        for mask in masks:
+            verdict = cache_get(mask)
+            if verdict is None:
+                verdict = is_vanishing_mask(mask)
+            if verdict:
+                doomed.append(mask)
+        return doomed
+
+    def prune_vanishing(self) -> int:
+        """Remove every vanishing monomial currently in the term map.
+
+        This is the full sweep, run right after :meth:`reset`; afterwards
+        the engine keeps the map vanishing-free after every substitution.
+        Returns the number of removed terms and accumulates it into
+        ``vanishing.removed_count``.
+        """
+        vanishing = self.vanishing
+        if vanishing is None:
+            return 0
+        terms = self.terms
+        doomed = self.find_vanishing(terms, vanishing)
+        if doomed:
+            for mask in doomed:
+                del terms[mask]
+            if self._indexed:
+                occ = self._occ
+                index_mask = self._index_mask
+                for mask in doomed:
+                    candidates = mask & index_mask
+                    while candidates:
+                        low = candidates & -candidates
+                        candidates ^= low
+                        bucket = occ.get(low.bit_length() - 1)
+                        if bucket is not None:
+                            bucket.discard(mask)
+        vanishing.removed_count += len(doomed)
+        self.vanishing_removed += len(doomed)
+        return len(doomed)
+
+    # -- the substitution kernel -----------------------------------------------
+
+    def substitute(self, var: int, replacement: list[tuple[int, int]],
+                   growth_limit: int | None = None,
+                   retire: bool = False) -> int:
+        """Substitute ``var := replacement`` in place; return #affected terms.
+
+        ``replacement`` is a reusable sequence of ``(mask, coefficient)``
+        pairs of the tail polynomial.  In indexed mode only the terms listed
+        in the occurrence index under ``var`` are visited; in scan mode the
+        (small) term map is scanned, guarded by a support-superset bit test
+        so substituting an absent variable costs ``O(1)``.
+
+        With ``retire=True`` the variable is dropped from the candidate set
+        after the substitution — valid whenever the caller's substitution
+        order guarantees the variable cannot be re-introduced (true for both
+        the reduction schedule and the rewriting passes).
+
+        With a ``growth_limit``, the substitution is transactional: if the
+        resulting term count exceeds ``max(growth_limit, 4 * previous
+        count)`` the step is discarded (terms, index, and statistics —
+        including any vanishing removals found while evaluating the
+        candidate — are untouched) and ``-1`` is returned so the caller can
+        keep the variable instead.  (The verification flow never combines a
+        growth limit with a vanishing oracle — common rewriting runs
+        without the oracle — so full rollback is the defining semantics,
+        not a compatibility constraint.)
+        """
+        if self._indexed:
+            result = self._substitute_indexed(var, replacement, growth_limit,
+                                              retire)
+        else:
+            result = self._substitute_scan(var, replacement, growth_limit,
+                                           retire)
+            if (result > 0 and not self._indexed and self._index_mask
+                    and len(self.terms) >= self._reindex_floor):
+                self._build_index()
+        if result > 0:
+            self.substitutions += 1
+            self.affected_terms += result
+            size = len(self.terms)
+            if size > self.peak_terms:
+                self.peak_terms = size
+        elif result < 0:
+            self.rejected_substitutions += 1
+        return result
+
+    def _substitute_scan(self, var: int, replacement: list[tuple[int, int]],
+                         growth_limit: int | None, retire: bool) -> int:
+        bit = 1 << var
+        # ``_support`` is a superset of the live support (bits are never
+        # cleared); a stale bit only costs one scan that finds no terms.
+        if not self._support & bit:
+            if retire:
+                self._index_mask &= ~bit
+            return 0
+        terms = self.terms
+        affected = [(mask, coeff) for mask, coeff in terms.items()
+                    if mask & bit]
+        if not affected:
+            # The bit was stale; re-tighten the support superset so later
+            # stale variables do not trigger another full scan each.
+            support = 0
+            for mask in terms:
+                support |= mask
+            self._support = support
+            if retire:
+                self._index_mask &= ~bit
+            return 0
+        size_before = len(terms)
+        keep = ~bit
+        support = self._support & keep
+        modulus = self._modulus
+
+        if growth_limit is None:
+            for mask, _ in affected:
+                del terms[mask]
+            target = terms
+        else:
+            # Transactional: build the candidate out of place so a rejected
+            # step leaves the working map untouched.
+            target = {mask: coeff for mask, coeff in terms.items()
+                      if not mask & bit}
+        get = target.get
+        touched: list[int] | None = [] if modulus is not None else None
+        if touched is None:
+            for mask, coeff in affected:
+                rest = mask & keep
+                for rep_mask, rep_coeff in replacement:
+                    prod = rest | rep_mask
+                    new = get(prod, 0) + coeff * rep_coeff
+                    if new:
+                        target[prod] = new
+                        support |= prod
+                    else:
+                        del target[prod]
+        else:
+            append = touched.append
+            for mask, coeff in affected:
+                rest = mask & keep
+                for rep_mask, rep_coeff in replacement:
+                    prod = rest | rep_mask
+                    new = get(prod, 0) + coeff * rep_coeff
+                    if new:
+                        target[prod] = new
+                        support |= prod
+                        append(prod)
+                    else:
+                        del target[prod]
+
+        vanishing = self.vanishing
+        if vanishing is not None:
+            doomed = self.find_vanishing(target, vanishing)
+            for mask in doomed:
+                del target[mask]
+        else:
+            doomed = ()
+        removed_modulus = 0
+        if touched is not None:
+            # Only the touched coefficients changed; untouched terms were
+            # already filtered when they last changed.
+            low_bits = self._low_bits
+            if low_bits is not None:
+                for prod in touched:
+                    coeff = get(prod)
+                    if coeff is not None and not coeff & low_bits:
+                        del target[prod]
+                        removed_modulus += 1
+            else:
+                for prod in touched:
+                    coeff = get(prod)
+                    if coeff is not None and coeff % modulus == 0:
+                        del target[prod]
+                        removed_modulus += 1
+
+        if growth_limit is not None:
+            if len(target) > max(growth_limit, 4 * size_before):
+                return -1
+            self.terms = target
+        if doomed:
+            vanishing.removed_count += len(doomed)
+            self.vanishing_removed += len(doomed)
+        self.modulus_removed += removed_modulus
+        self._support = support
+        if retire:
+            self._index_mask &= ~bit
+        return len(affected)
+
+    def _substitute_indexed(self, var: int, replacement: list[tuple[int, int]],
+                            growth_limit: int | None, retire: bool) -> int:
+        occ = self._occ
+        bucket = occ.get(var)
+        if not bucket:
+            if retire:
+                self.unindex(var)
+            return 0
+        terms = self.terms
+        size_before = len(terms)
+        pop = terms.pop
+        affected = [(mask, pop(mask)) for mask in bucket]
+
+        # ``journal`` records the pre-step coefficient (``None`` = absent) of
+        # every key the step writes: it drives the index update, the
+        # created-term vanishing tests, the modulus filtering, and — for
+        # growth-limited substitutions — the rollback.  ``created`` lists the
+        # keys that did not exist before the step.
+        journal: dict[int, int | None] = dict(affected)
+        created: list[int] = []
+
+        keep = ~(1 << var)
+        get = terms.get
+        for mask, coeff in affected:
+            rest = mask & keep
+            for rep_mask, rep_coeff in replacement:
+                prod = rest | rep_mask
+                old = get(prod)
+                if prod not in journal:
+                    journal[prod] = old
+                    if old is None:
+                        created.append(prod)
+                if old is None:
+                    # Coefficients are never stored as zero, so the product
+                    # of two of them cannot cancel on creation.
+                    terms[prod] = coeff * rep_coeff
+                else:
+                    new = old + coeff * rep_coeff
+                    if new:
+                        terms[prod] = new
+                    else:
+                        del terms[prod]
+
+        # Vanishing-rule filtering of the newly created terms.  Terms that
+        # already existed have survived an earlier test (vanishing depends
+        # only on the mask), so they are skipped.
+        removed_vanishing = 0
+        vanishing = self.vanishing
+        if vanishing is not None and created:
+            is_vanishing_mask = vanishing.is_vanishing_mask
+            for prod in created:
+                if prod in terms and is_vanishing_mask(prod):
+                    del terms[prod]
+                    removed_vanishing += 1
+
+        # Modulus filtering of the touched coefficients; untouched terms were
+        # already filtered when they last changed.
+        removed_modulus = 0
+        modulus = self._modulus
+        if modulus is not None:
+            low_bits = self._low_bits
+            if low_bits is not None:
+                for prod in journal:
+                    coeff = get(prod)
+                    if coeff is not None and not coeff & low_bits:
+                        del terms[prod]
+                        removed_modulus += 1
+            else:
+                for prod in journal:
+                    coeff = get(prod)
+                    if coeff is not None and coeff % modulus == 0:
+                        del terms[prod]
+                        removed_modulus += 1
+
+        if growth_limit is not None and len(terms) > max(growth_limit,
+                                                         4 * size_before):
+            # Roll the whole step back: restore every journaled key.
+            for key, old in journal.items():
+                if old is None:
+                    terms.pop(key, None)
+                else:
+                    terms[key] = old
+            return -1
+
+        # Commit: bring the occurrence index in line with the journal,
+        # metering the upkeep (``index_ops``) against the full scan the
+        # index saved (``len(terms)``) so a term population too dense in
+        # candidate variables demotes the engine back to scan mode.
+        index_ops = len(journal)
+        index_mask = self._index_mask
+        if retire:
+            index_mask &= ~(1 << var)
+            self._index_mask = index_mask
+            occ.pop(var, None)
+        if index_mask:
+            for key, old in journal.items():
+                if old is None:
+                    if key in terms:
+                        candidates = key & index_mask
+                        index_ops += candidates.bit_count()
+                        while candidates:
+                            low = candidates & -candidates
+                            candidates ^= low
+                            slot = low.bit_length() - 1
+                            entry = occ.get(slot)
+                            if entry is None:
+                                occ[slot] = {key}
+                            else:
+                                entry.add(key)
+                elif key not in terms:
+                    candidates = key & index_mask
+                    index_ops += candidates.bit_count()
+                    while candidates:
+                        low = candidates & -candidates
+                        candidates ^= low
+                        entry = occ.get(low.bit_length() - 1)
+                        if entry is not None:
+                            entry.discard(key)
+
+        if removed_vanishing:
+            vanishing.removed_count += removed_vanishing
+            self.vanishing_removed += removed_vanishing
+        self.modulus_removed += removed_modulus
+
+        size = len(terms)
+        if index_ops > size:
+            # Upkeep cost exceeded the avoided scan; a few such steps in a
+            # row mean the index is a net loss for this population.
+            self._index_debt += index_ops / size - 1.0 if size else 1.0
+            if self._index_debt > 4.0:
+                self._drop_index()
+        else:
+            self._index_debt = 0.0
+        return len(affected)

@@ -56,10 +56,34 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
                         help="abort when the remainder exceeds this many monomials")
     parser.add_argument("--time-budget", type=float, default=None,
                         help="abort after this many seconds")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the substitution-engine counters of the "
+                             "rewriting passes and the GB reduction")
 
 
-def _report(result) -> int:
+def _print_engine_stats(result) -> None:
+    """Per-pass counters reported by the shared substitution engine."""
+    for stats in result.rewrite_statistics:
+        print(f"rewrite[{stats.scheme}]: steps={stats.substitution_steps} "
+              f"affected-terms={stats.affected_terms} "
+              f"rejected={stats.rejected_substitutions} "
+              f"cvm={stats.cancelled_vanishing_monomials} "
+              f"peak-tail={stats.peak_tail_terms} "
+              f"kept={stats.kept_variables} "
+              f"substituted={stats.substituted_variables} "
+              f"time={stats.elapsed_s:.3f}s")
+    trace = result.reduction_trace
+    print(f"reduction: substitutions={trace.substitutions} "
+          f"affected-terms={trace.affected_terms} "
+          f"modulus-removed={trace.modulus_removed_terms} "
+          f"peak-remainder={trace.peak_monomials} "
+          f"time={trace.elapsed_s:.3f}s")
+
+
+def _report(result, show_stats: bool = False) -> int:
     print(result.summary())
+    if show_stats:
+        _print_engine_stats(result)
     if not result.verified:
         print("remainder:", result.remainder_text or "(non-zero)")
         if result.counterexample:
@@ -84,7 +108,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         result = verify_multiplier(netlist, method=args.method,
                                    monomial_budget=args.monomial_budget,
                                    time_budget_s=args.time_budget)
-    return _report(result)
+    return _report(result, show_stats=args.stats)
 
 
 def _cmd_verify_verilog(args: argparse.Namespace) -> int:
@@ -92,7 +116,7 @@ def _cmd_verify_verilog(args: argparse.Namespace) -> int:
     result = verify(netlist, specification=args.spec, method=args.method,
                     monomial_budget=args.monomial_budget,
                     time_budget_s=args.time_budget)
-    return _report(result)
+    return _report(result, show_stats=args.stats)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -147,7 +171,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.time_budget is not None:
         config.time_budget_s = args.time_budget
     runner = ParallelRunner(config, workers=args.jobs,
-                            task_timeout_s=args.task_timeout)
+                            task_timeout_s=args.task_timeout,
+                            cache_dir=args.cache)
     grid = ParallelRunner.catalog(architectures, config.widths, methods)
     rows = runner.run(grid)
 
@@ -227,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--task-timeout", type=float, default=None,
                          help="hard per-job wall-clock limit in seconds "
                               "(enforced by killing the worker)")
+    p_batch.add_argument("--cache", default=None, metavar="DIR",
+                         help="on-disk result cache directory (also "
+                              "REPRO_BENCH_CACHE); re-runs only execute "
+                              "changed or uncached jobs")
     p_batch.add_argument("--output", "-o", default=None,
                          help="write full result rows (with timings) to this "
                               "JSON file")

@@ -11,18 +11,24 @@ Two execution modes are provided:
   :func:`run_sat_cec`, :func:`run_bdd_cec`) and their uniform dispatch
   :func:`run_job`, and
 * :class:`ParallelRunner`, which fans a catalog of
-  :class:`VerificationJob` entries across worker processes
-  (``multiprocessing``), streams result rows back as they complete, and
-  isolates crashes and hard timeouts per circuit so one bad job can never
-  take down a table reproduction.
+  :class:`VerificationJob` entries across a persistent pool of worker
+  processes (``multiprocessing``), streams result rows back as they
+  complete, and isolates crashes and hard timeouts per circuit so one bad
+  job can never take down a table reproduction.  Completed rows can be
+  cached on disk (:class:`ResultCache`) keyed by netlist content hash,
+  method, width, and budgets, so re-running a table only executes changed
+  or uncached jobs.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
 import os
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.baselines.bdd.equivalence import bdd_equivalence_check
@@ -42,7 +48,8 @@ class ExperimentConfig:
     * ``REPRO_BENCH_TIMEOUT`` — per-run wall-clock budget in seconds,
     * ``REPRO_BENCH_MONOMIAL_BUDGET`` — remainder-size budget of GB reduction,
     * ``REPRO_BENCH_SAT_CONFLICTS`` — CDCL conflict budget,
-    * ``REPRO_BENCH_BDD_NODES`` — ROBDD node budget.
+    * ``REPRO_BENCH_BDD_NODES`` — ROBDD node budget,
+    * ``REPRO_BENCH_CACHE`` — directory for the on-disk result cache.
     """
 
     widths: tuple[int, ...] = (4, 8)
@@ -53,6 +60,8 @@ class ExperimentConfig:
     golden_architecture: str = "SP-AR-RC"
     #: Worker processes used by :class:`ParallelRunner` consumers (1 = serial).
     jobs: int = 1
+    #: Directory of the on-disk result cache (``None`` disables caching).
+    cache_dir: str | None = None
 
     @classmethod
     def from_environment(cls) -> "ExperimentConfig":
@@ -70,6 +79,7 @@ class ExperimentConfig:
         config.bdd_node_budget = int(
             os.environ.get("REPRO_BENCH_BDD_NODES", config.bdd_node_budget))
         config.jobs = int(os.environ.get("REPRO_BENCH_JOBS", config.jobs))
+        config.cache_dir = os.environ.get("REPRO_BENCH_CACHE") or None
         return config
 
 
@@ -213,23 +223,203 @@ def _guarded_run_job(job: VerificationJob, config: ExperimentConfig) -> dict:
         }
 
 
-def _worker_main(job: VerificationJob, config: ExperimentConfig,
-                 index: int, queue) -> None:
-    """Worker-process entry point: run one job, ship one ``(index, row)``."""
-    queue.put((index, _guarded_run_job(job, config)))
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """On-disk JSON cache of completed verification rows.
+
+    Rows are keyed by the *content* of the problem, not its name: the
+    gate-level Verilog of the generated netlist is hashed together with the
+    method, the operand width, every budget that can change the outcome
+    (including the golden reference netlist for SAT CEC and the hard task
+    timeout), and the package version.  Re-running a table therefore only
+    executes jobs whose circuit, method, budgets, or code version actually
+    changed; renaming an architecture that generates the same gates still
+    hits, while upgrading the package invalidates every entry so an
+    algorithm fix is never masked by stale rows.
+
+    Rows that report infrastructure failures (``status`` of ``error`` or
+    ``crash``) are never cached — those describe the run, not the problem.
+    ``TO`` rows *are* cached: the budgets that produced them are part of the
+    key, and a re-run that reproduces the table (the cache's contract) must
+    reproduce its timeouts too.  They are still wall-clock-dependent, so to
+    re-measure timeouts on a faster machine, point ``--cache`` at a fresh
+    directory (or delete the entry).
+    """
+
+    #: Bump when the row format or its semantics change within a version.
+    SCHEMA = 1
+
+    #: Row statuses that are deterministic outcomes of (circuit, budgets).
+    CACHEABLE_STATUSES = ("ok", "mismatch", "TO", "n/a")
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._netlist_hashes: dict[tuple[str, int], str | None] = {}
+
+    # -- keying ----------------------------------------------------------------
+
+    def _netlist_hash(self, architecture: str, width: int) -> str | None:
+        """Content hash of a generated netlist (``None`` = not hashable)."""
+        key = (architecture, width)
+        if key not in self._netlist_hashes:
+            try:
+                from repro.circuit.verilog import write_verilog
+                netlist = generate_multiplier(architecture, width)
+                digest = hashlib.sha256(
+                    write_verilog(netlist).encode("utf-8")).hexdigest()
+            except Exception:  # noqa: BLE001 - unknown arch etc: uncacheable
+                digest = None
+            self._netlist_hashes[key] = digest
+        return self._netlist_hashes[key]
+
+    def key(self, job: VerificationJob, config: ExperimentConfig,
+            task_timeout_s: float | None = None) -> str | None:
+        """Cache key of a job under the given budgets (``None`` = uncacheable)."""
+        netlist_hash = self._netlist_hash(job.architecture, job.width)
+        if netlist_hash is None:
+            return None
+        from repro import __version__
+        document = {
+            "schema": self.SCHEMA,
+            "version": __version__,
+            "netlist": netlist_hash,
+            "method": job.method,
+            "width": job.width,
+            "budgets": {
+                "monomial_budget": config.monomial_budget,
+                "time_budget_s": config.time_budget_s,
+                "sat_conflict_budget": config.sat_conflict_budget,
+                "bdd_node_budget": config.bdd_node_budget,
+                "task_timeout_s": task_timeout_s,
+            },
+        }
+        if job.method == "sat-cec":
+            document["golden"] = self._netlist_hash(
+                config.golden_architecture, job.width)
+        serial = json.dumps(document, sort_keys=True)
+        return hashlib.sha256(serial.encode("utf-8")).hexdigest()
+
+    # -- storage ---------------------------------------------------------------
+
+    def get(self, key: str | None) -> dict | None:
+        """Return the cached row for ``key``, or ``None`` on a miss."""
+        if key is None:
+            return None
+        path = self.directory / f"{key}.json"
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return document.get("row")
+
+    def put(self, key: str | None, job: VerificationJob, row: dict) -> None:
+        """Store a completed row unless it reports an infrastructure failure."""
+        if key is None or row.get("status") not in self.CACHEABLE_STATUSES:
+            return
+        document = {"job": {"architecture": job.architecture,
+                            "width": job.width, "method": job.method},
+                    "row": row}
+        path = self.directory / f"{key}.json"
+        # Atomic publish so concurrent table runs never read half a row.
+        temporary = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            temporary.write_text(json.dumps(document, indent=2) + "\n",
+                                 encoding="utf-8")
+            temporary.replace(path)
+        except OSError:
+            temporary.unlink(missing_ok=True)
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool
+# ---------------------------------------------------------------------------
+
+def _pool_worker_main(task_queue, result_queue, config: ExperimentConfig) -> None:
+    """Worker-process loop: run jobs until the ``None`` sentinel arrives.
+
+    Reusing one process for many jobs amortises the fork + import cost that
+    dominates small (4-bit) verification jobs; crash isolation is preserved
+    because a dying worker only takes its current job down and the parent
+    respawns a replacement.
+    """
+    for index, job in iter(task_queue.get, None):
+        result_queue.put((index, _guarded_run_job(job, config)))
+
+
+class _PoolWorker:
+    """Parent-side handle of one persistent worker process."""
+
+    __slots__ = ("task_queue", "process", "index", "job", "deadline")
+
+    def __init__(self, context, config: ExperimentConfig,
+                 result_queue) -> None:
+        self.task_queue = context.Queue()
+        self.process = context.Process(
+            target=_pool_worker_main,
+            args=(self.task_queue, result_queue, config), daemon=True)
+        self.process.start()
+        self.index: int | None = None
+        self.job: VerificationJob | None = None
+        self.deadline: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.index is not None
+
+    def assign(self, index: int, job: VerificationJob,
+               task_timeout_s: float | None) -> None:
+        self.index = index
+        self.job = job
+        self.deadline = (time.monotonic() + task_timeout_s
+                         if task_timeout_s is not None else None)
+        self.task_queue.put((index, job))
+
+    def release(self) -> None:
+        self.index = None
+        self.job = None
+        self.deadline = None
+
+    def stop(self) -> None:
+        """Ask the worker to exit; escalate to terminate if it lingers."""
+        if self.process.is_alive():
+            try:
+                self.task_queue.put(None)
+            except (OSError, ValueError):
+                pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join()
+
+    def kill(self) -> None:
+        self.process.terminate()
+        self.process.join()
 
 
 class ParallelRunner:
-    """Fan verification jobs across worker processes with crash isolation.
+    """Fan verification jobs across a persistent worker pool with crash isolation.
 
-    Each job runs in its own ``multiprocessing`` process (at most
-    ``workers`` alive at a time), so a hard crash (segfault, OOM kill) or a
-    run exceeding the hard ``task_timeout_s`` wall-clock limit is reported
-    as a table row (``status="crash"`` / ``"TO"``) instead of killing the
-    batch.  Results are streamed to the optional ``on_result`` callback as
-    they complete and returned in job order, so the verdicts are
-    byte-for-byte identical to the serial path regardless of worker count
-    or completion order.
+    A pool of at most ``workers`` long-lived ``multiprocessing`` processes
+    executes the jobs, so the fork + import cost is paid once per worker
+    instead of once per job (which dominates small 4-bit runs).  Crash
+    isolation and the hard per-job wall-clock limit are preserved: a hard
+    crash (segfault, OOM kill) or a job exceeding ``task_timeout_s`` kills
+    only the worker it ran on — the parent reports the job as a table row
+    (``status="crash"`` / ``"TO"``) and respawns a replacement worker.
+    Results are streamed to the optional ``on_result`` callback as they
+    complete and returned in job order, so the verdicts are byte-for-byte
+    identical to the serial path regardless of worker count or completion
+    order.
+
+    With a cache directory (``cache_dir``, ``config.cache_dir``, or the
+    ``REPRO_BENCH_CACHE`` environment variable) completed rows are stored
+    on disk keyed by (netlist content hash, method, width, budgets);
+    re-running a table then only executes changed or uncached jobs and
+    reproduces the cached rows verbatim.
 
     Parameters
     ----------
@@ -244,17 +434,24 @@ class ParallelRunner:
         Hard per-job wall-clock limit enforced by the parent via
         ``Process.terminate``; ``None`` disables the hard limit and relies
         on the in-process budgets.
+    cache_dir:
+        Directory of the on-disk result cache; overrides
+        ``config.cache_dir``.  ``None`` with no configured directory
+        disables caching.
     """
 
     def __init__(self, config: ExperimentConfig | None = None,
                  workers: int | None = None,
-                 task_timeout_s: float | None = None) -> None:
+                 task_timeout_s: float | None = None,
+                 cache_dir: str | os.PathLike | None = None) -> None:
         self.config = config or ExperimentConfig.from_environment()
         if workers is None:
             workers = self.config.jobs if self.config.jobs > 1 else (
                 os.cpu_count() or 1)
         self.workers = max(1, int(workers))
         self.task_timeout_s = task_timeout_s
+        directory = cache_dir if cache_dir is not None else self.config.cache_dir
+        self.cache = ResultCache(directory) if directory else None
 
     # -- job catalog helpers ---------------------------------------------------
 
@@ -266,6 +463,23 @@ class ParallelRunner:
                 for width in widths for arch in architectures
                 for method in methods]
 
+    # -- cache plumbing --------------------------------------------------------
+
+    def _cache_key(self, job: VerificationJob) -> str | None:
+        if self.cache is None:
+            return None
+        return self.cache.key(job, self.config, self.task_timeout_s)
+
+    def _finish_row(self, job: VerificationJob, row: dict,
+                    cache_key: str | None,
+                    on_result: Callable[[VerificationJob, dict], None] | None,
+                    ) -> dict:
+        if self.cache is not None and cache_key is not None:
+            self.cache.put(cache_key, job, row)
+        if on_result is not None:
+            on_result(job, row)
+        return row
+
     # -- execution -------------------------------------------------------------
 
     def run_serial(self, jobs: Sequence[VerificationJob],
@@ -274,8 +488,12 @@ class ParallelRunner:
         """Reference serial execution (same rows, same order, one process)."""
         rows = []
         for job in jobs:
-            row = _guarded_run_job(job, self.config)
-            if on_result is not None:
+            key = self._cache_key(job)
+            row = self.cache.get(key) if self.cache is not None else None
+            if row is None:
+                row = _guarded_run_job(job, self.config)
+                self._finish_row(job, row, key, on_result)
+            elif on_result is not None:
                 on_result(job, row)
             rows.append(row)
         return rows
@@ -287,84 +505,131 @@ class ParallelRunner:
         jobs = list(jobs)
         if not jobs:
             return []
+
+        results: dict[int, dict] = {}
+        keys: dict[int, str | None] = {}
+        pending: list[int] = []
+        if self.cache is not None:
+            for index, job in enumerate(jobs):
+                keys[index] = key = self._cache_key(job)
+                row = self.cache.get(key)
+                if row is None:
+                    pending.append(index)
+                else:
+                    results[index] = row
+                    if on_result is not None:
+                        on_result(job, row)
+        else:
+            keys = dict.fromkeys(range(len(jobs)))
+            pending = list(range(len(jobs)))
+
+        if not pending:
+            return [results[i] for i in range(len(jobs))]
         # The hard wall-clock limit needs a killable worker process, so the
         # in-process shortcut only applies when no such limit was requested.
-        if self.task_timeout_s is None and (self.workers <= 1 or len(jobs) <= 1):
-            return self.run_serial(jobs, on_result=on_result)
+        if self.task_timeout_s is None and (self.workers <= 1
+                                            or len(pending) <= 1):
+            for index in pending:
+                job = jobs[index]
+                row = _guarded_run_job(job, self.config)
+                results[index] = self._finish_row(job, row, keys[index],
+                                                  on_result)
+            return [results[i] for i in range(len(jobs))]
 
         context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods()
             else "spawn")
-        queue = context.Queue()
-        results: dict[int, dict] = {}
-        running: dict[int, tuple] = {}   # index -> (process, job, deadline)
-        next_index = 0
+        result_queue = context.Queue()
+        queue_order = list(pending)
+        next_slot = 0
+        outstanding = len(pending)
+        pool: list[_PoolWorker] = [
+            _PoolWorker(context, self.config, result_queue)
+            for _ in range(min(self.workers, len(pending)))]
+        busy: dict[int, _PoolWorker] = {}
 
-        def launch_ready() -> None:
-            nonlocal next_index
-            while next_index < len(jobs) and len(running) < self.workers:
-                job = jobs[next_index]
-                process = context.Process(
-                    target=_worker_main,
-                    args=(job, self.config, next_index, queue),
-                    daemon=True)
-                process.start()
-                deadline = (time.monotonic() + self.task_timeout_s
-                            if self.task_timeout_s is not None else None)
-                running[next_index] = (process, job, deadline)
-                next_index += 1
+        def assign_idle() -> None:
+            nonlocal next_slot
+            for worker in pool:
+                if next_slot >= len(queue_order):
+                    break
+                if worker.busy:
+                    continue
+                index = queue_order[next_slot]
+                next_slot += 1
+                worker.assign(index, jobs[index], self.task_timeout_s)
+                busy[index] = worker
 
         def finish(index: int, row: dict) -> None:
-            entry = running.pop(index, None)
-            if entry is None:
+            nonlocal outstanding
+            worker = busy.pop(index, None)
+            if worker is None:
                 # Already reported (e.g. terminated as a hard timeout just as
                 # its late result arrived) — drop the stale row.
                 return
-            process, job, _ = entry
-            process.join()
-            results[index] = row
-            if on_result is not None:
-                on_result(job, row)
+            worker.release()
+            results[index] = self._finish_row(jobs[index], row, keys[index],
+                                              on_result)
+            outstanding -= 1
 
-        launch_ready()
-        while running:
-            try:
-                index, row = queue.get(timeout=0.05)
-            except Exception:  # queue.Empty - poll process health instead
-                now = time.monotonic()
-                for index in list(running):
-                    entry = running.get(index)
-                    if entry is None:
-                        continue  # finished by a drain earlier in this sweep
-                    process, job, deadline = entry
-                    if deadline is not None and now > deadline:
-                        process.terminate()
-                        finish(index, {
-                            "architecture": job.architecture,
-                            "width": job.width, "method": job.method,
-                            "status": "TO", "time": "TO",
-                            "time_s": self.task_timeout_s, "verified": None,
-                            "reason": "hard task timeout",
-                        })
-                    elif not process.is_alive():
-                        # Dead without a result: give the queue one last
-                        # drain chance, then report the crash.
-                        try:
-                            late_index, late_row = queue.get(timeout=0.2)
-                            finish(late_index, late_row)
-                        except Exception:
+        try:
+            assign_idle()
+            while outstanding:
+                try:
+                    index, row = result_queue.get(timeout=0.05)
+                except Exception:  # queue.Empty - poll worker health instead
+                    now = time.monotonic()
+                    for slot, worker in enumerate(pool):
+                        if not worker.busy:
+                            continue
+                        index, job = worker.index, worker.job
+                        if (worker.deadline is not None
+                                and now > worker.deadline):
+                            # Hard timeout: the worker is wedged inside the
+                            # job, so it is killed and replaced.
+                            worker.kill()
+                            pool[slot] = _PoolWorker(context, self.config,
+                                                     result_queue)
                             finish(index, {
                                 "architecture": job.architecture,
                                 "width": job.width, "method": job.method,
-                                "status": "crash", "time": "-",
-                                "time_s": None, "verified": None,
-                                "reason": f"worker exited with code "
-                                          f"{process.exitcode}",
+                                "status": "TO", "time": "TO",
+                                "time_s": self.task_timeout_s,
+                                "verified": None,
+                                "reason": "hard task timeout",
                             })
-                launch_ready()
-                continue
-            finish(index, row)
-            launch_ready()
+                        elif not worker.process.is_alive():
+                            # Dead without a result: give the queue one last
+                            # drain chance, then report the crash.  The
+                            # drained row may belong to another worker, in
+                            # which case this worker's job still crashed.
+                            try:
+                                late_index, late_row = result_queue.get(
+                                    timeout=0.2)
+                            except Exception:
+                                late_index, late_row = None, None
+                            if late_index is not None:
+                                finish(late_index, late_row)
+                            if late_index != index:
+                                exitcode = worker.process.exitcode
+                                finish(index, {
+                                    "architecture": job.architecture,
+                                    "width": job.width, "method": job.method,
+                                    "status": "crash", "time": "-",
+                                    "time_s": None, "verified": None,
+                                    "reason": f"worker exited with code "
+                                              f"{exitcode}",
+                                })
+                            worker.kill()
+                            pool[slot] = _PoolWorker(context, self.config,
+                                                     result_queue)
+                    assign_idle()
+                    continue
+                finish(index, row)
+                assign_idle()
+        finally:
+            for worker in pool:
+                worker.stop()
         return [results[i] for i in range(len(jobs))]
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.algebra.monomial import bits_of
 from repro.algebra.polynomial import Polynomial
+from repro.algebra.substitution import SubstitutionEngine
 from repro.errors import BlowUpError
 from repro.modeling.model import AlgebraicModel
 
@@ -40,11 +41,20 @@ class ReductionOptions:
 
 @dataclass
 class ReductionTrace:
-    """Statistics recorded while reducing the specification."""
+    """Statistics recorded while reducing the specification.
+
+    The counters below ``elapsed_s`` are reported by the
+    :class:`~repro.algebra.substitution.SubstitutionEngine` that executes
+    the reduction and are surfaced by ``repro-verify verify --stats``.
+    """
 
     substitutions: int = 0
     peak_monomials: int = 0
     elapsed_s: float = 0.0
+    #: Terms that contained the substituted variable, summed over all steps.
+    affected_terms: int = 0
+    #: Terms dropped because their coefficient became a modulus multiple.
+    modulus_removed_terms: int = 0
     history: list[tuple[str, int]] = field(default_factory=list)
     record_history: bool = False
 
@@ -139,89 +149,58 @@ def groebner_basis_reduction(spec: Polynomial, model: AlgebraicModel,
                 if options.time_budget_s is not None else None)
 
     modulus = options.coefficient_modulus
-    # The power-of-two moduli of the verification flow (``2^(2n)``) allow the
-    # multiple-of-modulus test to be a bitwise AND on the low bits.
-    low_bits = (modulus - 1 if modulus is not None
-                and modulus & (modulus - 1) == 0 else None)
-
-    # In-place reduction kernel: the remainder lives in one mask-keyed term
-    # dict for the whole loop.  A substitution removes only the terms that
-    # actually contain the variable and merges their expansions back, so the
-    # (usually much larger) untouched part of the remainder is never copied
-    # or re-hashed — the seed implementation rebuilt the full dict per step.
-    terms: dict[int, int]
     if modulus is not None:
-        terms = dict(spec.drop_coefficient_multiples(modulus).term_masks())
+        initial = spec.drop_coefficient_multiples(modulus).term_masks()
     else:
-        terms = dict(spec.term_masks())
-    support = 0
-    for mask in terms:
-        support |= mask
+        initial = spec.term_masks()
+
+    # The remainder lives inside one occurrence-indexed substitution engine
+    # for the whole loop: each step enumerates only the terms that contain
+    # the substituted variable (index lookup) and merges their expansions
+    # back in place, so the (usually much larger) untouched part of the
+    # remainder is never scanned, copied, or re-hashed.  Only the variables
+    # still awaiting substitution are indexed; each one is retired from the
+    # index after its step (the consumer-first order guarantees it can never
+    # be re-introduced).
+    index_mask = 0
+    for var in tails:
+        index_mask |= 1 << var
+    engine = SubstitutionEngine(initial, index_mask,
+                                coefficient_modulus=modulus)
 
     for var in substitution_order(model, tails, options.order_scheme):
         if model.is_input_variable(var):
             continue
-        bit = 1 << var
-        # ``support`` is a superset of the live support (bits are never
-        # cleared); a stale bit only costs one scan that finds no terms.
-        if not support & bit:
-            continue
-        affected = [(mask, coeff) for mask, coeff in terms.items()
-                    if mask & bit]
+        affected = engine.substitute(var, list(tails[var].term_masks()),
+                                     retire=True)
         if not affected:
-            # The bit was stale; re-tighten the support superset so later
-            # stale variables do not trigger another full scan each.
-            support = 0
-            for mask in terms:
-                support |= mask
             continue
-        for mask, _ in affected:
-            del terms[mask]
-        tail_terms = list(tails[var].term_masks())
-        keep = ~bit
-        get = terms.get
-        touched: set[int] = set()
-        for mask, coeff in affected:
-            rest = mask & keep
-            for rep_mask, rep_coeff in tail_terms:
-                prod = rest | rep_mask
-                new = get(prod, 0) + coeff * rep_coeff
-                if new:
-                    terms[prod] = new
-                    touched.add(prod)
-                else:
-                    del terms[prod]
-                    touched.discard(prod)
-        for prod in touched:
-            support |= prod
-        if modulus is not None:
-            # Coefficients only changed on the touched keys; untouched terms
-            # were already filtered on an earlier step.
-            if low_bits is not None:
-                for prod in touched:
-                    if prod in terms and not terms[prod] & low_bits:
-                        del terms[prod]
-            else:
-                for prod in touched:
-                    if prod in terms and terms[prod] % modulus == 0:
-                        del terms[prod]
         trace.substitutions += 1
-        size = len(terms)
+        size = len(engine)
         if size > trace.peak_monomials:
             trace.peak_monomials = size
         if trace.record_history:
             trace.history.append((model.ring.name(var), size))
         if options.monomial_budget is not None and size > options.monomial_budget:
             trace.elapsed_s = time.perf_counter() - start
+            _copy_engine_counters(engine, trace)
             raise BlowUpError(
                 f"GB reduction exceeded the monomial budget at variable "
                 f"{model.ring.name(var)!r} ({size} > {options.monomial_budget})",
                 monomials=size, elapsed_s=trace.elapsed_s)
         if deadline is not None and time.perf_counter() > deadline:
             trace.elapsed_s = time.perf_counter() - start
+            _copy_engine_counters(engine, trace)
             raise BlowUpError(
                 "GB reduction exceeded the time budget",
                 monomials=size, elapsed_s=trace.elapsed_s)
 
     trace.elapsed_s = time.perf_counter() - start
-    return Polynomial._raw(terms)
+    _copy_engine_counters(engine, trace)
+    return Polynomial._raw(engine.terms)
+
+
+def _copy_engine_counters(engine: SubstitutionEngine,
+                          trace: ReductionTrace) -> None:
+    trace.affected_terms = engine.affected_terms
+    trace.modulus_removed_terms = engine.modulus_removed

@@ -13,7 +13,10 @@ to the XOR skeleton of the circuit (enabling the vanishing rule):
 * **common rewriting** (MT-LR step 2): keep variables used by more than one
   polynomial of the already-rewritten model.
 
-All three share the same generic :func:`gb_rewrite` procedure (Algorithm 2).
+All three share the same generic :func:`gb_rewrite` procedure (Algorithm 2),
+which runs on the occurrence-indexed
+:class:`~repro.algebra.substitution.SubstitutionEngine` — the same
+incremental kernel that executes the Gröbner-basis reduction.
 """
 
 from __future__ import annotations
@@ -21,7 +24,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.algebra.polynomial import Polynomial, substitute_term_masks
+from repro.algebra.polynomial import Polynomial
+from repro.algebra.substitution import SubstitutionEngine
 from repro.errors import BlowUpError
 from repro.modeling.model import AlgebraicModel
 from repro.verification.vanishing import VanishingRules
@@ -29,7 +33,12 @@ from repro.verification.vanishing import VanishingRules
 
 @dataclass
 class RewriteStatistics:
-    """Bookkeeping of one rewriting pass."""
+    """Bookkeeping of one rewriting pass.
+
+    The counters below ``peak_tail_terms`` are reported by the
+    :class:`~repro.algebra.substitution.SubstitutionEngine` that executes
+    the pass and are surfaced by ``repro-verify verify --stats``.
+    """
 
     scheme: str = ""
     kept_variables: int = 0
@@ -37,6 +46,12 @@ class RewriteStatistics:
     cancelled_vanishing_monomials: int = 0
     elapsed_s: float = 0.0
     peak_tail_terms: int = 0
+    #: Single-variable substitution steps executed across all tails.
+    substitution_steps: int = 0
+    #: Terms that contained the substituted variable, summed over all steps.
+    affected_terms: int = 0
+    #: Substitutions rolled back by the growth guard (variable kept instead).
+    rejected_substitutions: int = 0
 
 
 @dataclass
@@ -130,26 +145,35 @@ def gb_rewrite(tails: dict[int, Polynomial], keep_variables: set[int],
     removed_before = vanishing.removed_count if vanishing else 0
     rewritten: dict[int, Polynomial] = dict(tails)
 
+    # One occurrence-indexed substitution engine is reused for every tail of
+    # the pass; only variables that are substitution candidates (leading
+    # variables not selected by the keep set) are indexed, and the keep mask
+    # grows in place as the growth guard rejects inlinings.
+    candidate_mask = 0
+    for var in rewritten:
+        candidate_mask |= 1 << var
+    for var in keep_variables:
+        candidate_mask &= ~(1 << var)
+    engine = SubstitutionEngine(vanishing=vanishing)
+
     for lead_var in sorted(rewritten):
-        # The working tail stays a raw mask-keyed dict across all of its
+        poly = rewritten[lead_var]
+        if not poly.support_mask() & candidate_mask:
+            # No substitution candidate occurs in this tail: only the
+            # up-front vanishing sweep applies, with no term-map copy and no
+            # index build.  This is the common case — most gate tails only
+            # reference kept variables.
+            if vanishing is not None:
+                rewritten[lead_var] = vanishing.remove_vanishing(poly)
+            continue
+        # The working tail lives inside the engine across all of its
         # substitution steps; it is wrapped back into a Polynomial only once,
         # when the rewriting of this leading variable is finished.
-        tail = dict(rewritten[lead_var].term_masks())
-        if vanishing is not None:
-            vanishing.remove_vanishing_masks(tail)
-        rejected: set[int] = set()
+        engine.reset(poly.term_masks(), candidate_mask)
+        engine.prune_vanishing()
         while True:
-            support = 0
-            for mask in tail:
-                support |= mask
-            outside = []
-            while support:
-                low = support & -support
-                support ^= low
-                var = low.bit_length() - 1
-                if (var not in keep_variables and var in rewritten
-                        and var not in rejected):
-                    outside.append(var)
+            outside = [var for var in engine.active_variables()
+                       if var not in keep_variables]
             if not outside:
                 break
             # Substitute the variable with the smallest defining tail first.
@@ -157,30 +181,28 @@ def gb_rewrite(tails: dict[int, Polynomial], keep_variables: set[int],
             # reference earlier variables), so their rewriting is complete
             # and ``rewritten[target]`` is a finished Polynomial.
             target = min(outside, key=lambda var: rewritten[var].num_terms)
-            candidate = substitute_term_masks(
-                tail, target, list(rewritten[target].term_masks()))
-            if vanishing is not None:
-                vanishing.remove_vanishing_masks(candidate)
-            if growth_limit is not None and len(candidate) > max(
-                    growth_limit, 4 * len(tail)):
+            affected = engine.substitute(
+                target, list(rewritten[target].term_masks()),
+                growth_limit=growth_limit, retire=True)
+            if affected < 0:
                 # Inlining this variable would blow the polynomial up; keep it
                 # as a model variable instead.
                 keep_variables.add(target)
-                rejected.add(target)
+                candidate_mask &= ~(1 << target)
+                engine.unindex(target)
                 continue
-            tail = candidate
-            stats.peak_tail_terms = max(stats.peak_tail_terms, len(tail))
-            if monomial_budget is not None and len(tail) > monomial_budget:
+            stats.peak_tail_terms = max(stats.peak_tail_terms, len(engine))
+            if monomial_budget is not None and len(engine) > monomial_budget:
                 raise BlowUpError(
                     f"{scheme or 'rewriting'} exceeded the monomial budget "
-                    f"({len(tail)} > {monomial_budget}) while rewriting "
+                    f"({len(engine)} > {monomial_budget}) while rewriting "
                     f"{model.ring.name(lead_var)}",
-                    monomials=len(tail))
+                    monomials=len(engine))
             if deadline is not None and time.perf_counter() > deadline:
                 raise BlowUpError(
                     f"{scheme or 'rewriting'} exceeded the time budget",
                     elapsed_s=time.perf_counter() - start)
-        rewritten[lead_var] = Polynomial._raw(tail)
+        rewritten[lead_var] = Polynomial._raw(engine.terms)
 
     # UpdateModel: drop polynomials whose leading variable was substituted
     # away (not kept and not a primary output).
@@ -192,6 +214,9 @@ def gb_rewrite(tails: dict[int, Polynomial], keep_variables: set[int],
     stats.substituted_variables = len(rewritten) - len(kept)
     stats.cancelled_vanishing_monomials = (
         (vanishing.removed_count - removed_before) if vanishing else 0)
+    stats.substitution_steps = engine.substitutions
+    stats.affected_terms = engine.affected_terms
+    stats.rejected_substitutions = engine.rejected_substitutions
     stats.elapsed_s = time.perf_counter() - start
     return kept, stats
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.algebra.monomial import Monomial, bits_of, iter_bits, mask_of
 from repro.algebra.polynomial import Polynomial
+from repro.algebra.substitution import SubstitutionEngine
 from repro.circuit.gates import GateType
 from repro.modeling.model import AlgebraicModel
 
@@ -63,7 +64,9 @@ class VanishingRules:
     _xor_support: dict[int, tuple[int, ...]] = field(default_factory=dict, repr=False)
     _xnor_support: dict[int, tuple[int, ...]] = field(default_factory=dict, repr=False)
     _and_support: dict[int, frozenset[int]] = field(default_factory=dict, repr=False)
-    _cache: dict[int, bool] = field(default_factory=dict, repr=False)
+    #: Public mask→verdict memo; the substitution engine probes it
+    #: inline when sweeping freshly loaded term maps.
+    cache: dict[int, bool] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         self._build_structural_tables()
@@ -189,12 +192,12 @@ class VanishingRules:
         """Mask-level :meth:`is_vanishing` (the rewriting fast path)."""
         if mask.bit_count() < 2:
             return False
-        cached = self._cache.get(mask)
+        cached = self.cache.get(mask)
         if cached is not None:
             return cached
         result = (self._xor_and_rule(mask) if self.xor_and_only
                   else self._implied_literal_rule(mask))
-        self._cache[mask] = result
+        self.cache[mask] = result
         return result
 
     def _xor_and_rule(self, mask: int) -> bool:
@@ -254,32 +257,21 @@ class VanishingRules:
 
     # -- polynomial filtering ------------------------------------------------------
 
-    def remove_vanishing_masks(self, terms: dict[int, int]) -> int:
-        """Delete vanishing monomials from a raw term dict, in place.
+    def remove_vanishing(self, polynomial):
+        """Remove vanishing monomials from a polynomial, counting removals.
 
-        This is the one mask-level filtering loop shared by every caller:
-        it runs after each substitution of XOR rewriting, so the per-term
-        cache probe stays call-free.  Returns the number of removed terms;
-        the running total is accumulated in :attr:`removed_count` (the
-        ``#CVM`` statistic of Table III).
+        Filtering is delegated to the
+        :class:`~repro.algebra.substitution.SubstitutionEngine` (the one
+        shared term-map kernel); the removals accumulate in
+        :attr:`removed_count` (the ``#CVM`` statistic of Table III).  Inside
+        the rewriting loop the engine additionally keeps its working tails
+        vanishing-free incrementally, testing only newly created terms.
         """
-        cache = self._cache
-        is_vanishing_mask = self.is_vanishing_mask
-        doomed = []
-        for mask in terms:
-            vanishes = cache.get(mask)
-            if vanishes is None:
-                vanishes = is_vanishing_mask(mask)
-            if vanishes:
-                doomed.append(mask)
+        doomed = SubstitutionEngine.find_vanishing(polynomial.masks(), self)
+        if not doomed:
+            return polynomial
+        terms = dict(polynomial.term_masks())
         for mask in doomed:
             del terms[mask]
         self.removed_count += len(doomed)
-        return len(doomed)
-
-    def remove_vanishing(self, polynomial):
-        """Remove vanishing monomials from a polynomial, counting removals."""
-        terms = dict(polynomial.term_masks())
-        if self.remove_vanishing_masks(terms) == 0:
-            return polynomial
-        return Polynomial.from_term_masks(terms)
+        return Polynomial._raw(terms)

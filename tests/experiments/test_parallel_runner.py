@@ -125,6 +125,46 @@ def test_hard_task_timeout_kills_the_worker(config, monkeypatch):
     assert rows[1]["status"] == "ok"
 
 
+@needs_fork
+def test_workers_are_reused_across_jobs(config, monkeypatch):
+    """The pool must not fork one process per job."""
+
+    real_run_job = runner_module.run_job
+
+    def pid_stamping_run_job(job, cfg):
+        row = real_run_job(job, cfg)
+        row["worker_pid"] = os.getpid()
+        return row
+
+    monkeypatch.setattr(runner_module, "run_job", pid_stamping_run_job)
+    jobs = ParallelRunner.catalog(
+        ["SP-AR-RC", "SP-WT-CL", "SP-CT-BK", "SP-DT-HC"], [3], ["mt-lr"])
+    rows = ParallelRunner(config, workers=2).run(jobs)
+    pids = {row["worker_pid"] for row in rows}
+    assert len(pids) <= 2, "jobs must share the persistent workers"
+    assert all(row["verified"] for row in rows)
+
+
+@needs_fork
+def test_pool_survives_timeout_then_finishes_remaining_jobs(config, monkeypatch):
+    """A killed worker is replaced and the queue keeps draining."""
+
+    real_run_job = runner_module.run_job
+
+    def sleeping_run_job(job, cfg):
+        if job.architecture == "SP-WT-CL":
+            time.sleep(60)
+        return real_run_job(job, cfg)
+
+    monkeypatch.setattr(runner_module, "run_job", sleeping_run_job)
+    jobs = [VerificationJob("SP-WT-CL", 3, "mt-lr"),
+            VerificationJob("SP-AR-RC", 3, "mt-lr"),
+            VerificationJob("SP-DT-HC", 3, "mt-lr"),
+            VerificationJob("SP-CT-BK", 3, "mt-lr")]
+    rows = ParallelRunner(config, workers=1, task_timeout_s=1.0).run(jobs)
+    assert [row["status"] for row in rows] == ["TO", "ok", "ok", "ok"]
+
+
 def test_run_catalog_convenience(config):
     rows = run_catalog(["SP-AR-RC"], [3], ["mt-lr"], config=config, jobs=1)
     assert len(rows) == 1 and rows[0]["verified"] is True

@@ -1,0 +1,125 @@
+"""Tests for the on-disk verification result cache.
+
+The acceptance property: a cached re-run of an already-completed table
+executes zero verification jobs and reproduces byte-identical rows.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ParallelRunner,
+    ResultCache,
+    VerificationJob,
+)
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(widths=(3,), time_budget_s=60.0,
+                            monomial_budget=200_000)
+
+
+JOBS = [VerificationJob("SP-AR-RC", 3, "mt-lr"),
+        VerificationJob("SP-WT-CL", 3, "mt-lr"),
+        VerificationJob("SP-AR-RC", 3, "mt-fo")]
+
+
+def _run_counting(monkeypatch):
+    """Patch the job executor to count real executions."""
+    executed = []
+    real = runner_module._guarded_run_job
+
+    def counting(job, cfg):
+        executed.append(job.key)
+        return real(job, cfg)
+
+    monkeypatch.setattr(runner_module, "_guarded_run_job", counting)
+    return executed
+
+
+def test_cached_rerun_executes_zero_jobs_and_is_byte_identical(
+        tmp_path, config, monkeypatch):
+    executed = _run_counting(monkeypatch)
+    runner = ParallelRunner(config, workers=1, cache_dir=tmp_path)
+    first = runner.run(JOBS)
+    assert len(executed) == len(JOBS)
+    first_bytes = json.dumps(first, default=str)
+
+    executed.clear()
+    rerun = ParallelRunner(config, workers=1, cache_dir=tmp_path)
+    second = rerun.run(JOBS)
+    assert executed == [], "cached re-run must execute zero jobs"
+    assert json.dumps(second, default=str) == first_bytes
+
+
+def test_cache_streams_callbacks_for_cached_rows(tmp_path, config):
+    ParallelRunner(config, workers=1, cache_dir=tmp_path).run(JOBS)
+    seen = []
+    rows = ParallelRunner(config, workers=1, cache_dir=tmp_path).run(
+        JOBS, on_result=lambda job, row: seen.append(job.key))
+    assert seen == [job.key for job in JOBS]
+    assert all(row["verified"] for row in rows)
+
+
+def test_cache_key_depends_on_budgets_and_content(tmp_path, config):
+    cache = ResultCache(tmp_path)
+    job = VerificationJob("SP-AR-RC", 3, "mt-lr")
+    base = cache.key(job, config)
+    assert base == cache.key(job, config)
+    tighter = ExperimentConfig(widths=(3,), monomial_budget=1_000)
+    assert cache.key(job, tighter) != base
+    assert cache.key(job, config, task_timeout_s=5.0) != base
+    other_method = VerificationJob("SP-AR-RC", 3, "mt-fo")
+    assert cache.key(other_method, config) != base
+    unknown = VerificationJob("XX-YY-ZZ", 3, "mt-lr")
+    assert cache.key(unknown, config) is None
+
+
+def test_error_rows_are_not_cached(tmp_path, config, monkeypatch):
+    executed = _run_counting(monkeypatch)
+    jobs = [VerificationJob("SP-AR-RC", 3, "not-a-method")]
+    runner = ParallelRunner(config, workers=1, cache_dir=tmp_path)
+    rows = runner.run(jobs)
+    assert rows[0]["status"] == "error"
+    executed.clear()
+    rows = ParallelRunner(config, workers=1, cache_dir=tmp_path).run(jobs)
+    assert rows[0]["status"] == "error"
+    assert executed, "error rows must be re-executed, not served from cache"
+
+
+def test_partial_cache_runs_only_missing_jobs(tmp_path, config, monkeypatch):
+    executed = _run_counting(monkeypatch)
+    ParallelRunner(config, workers=1, cache_dir=tmp_path).run(JOBS[:2])
+    executed.clear()
+    rows = ParallelRunner(config, workers=1, cache_dir=tmp_path).run(JOBS)
+    assert executed == [JOBS[2].key]
+    assert [row["architecture"] for row in rows] == [
+        job.architecture for job in JOBS]
+
+
+def test_cache_from_environment(tmp_path, config, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path))
+    env_config = ExperimentConfig.from_environment()
+    assert env_config.cache_dir == str(tmp_path)
+    env_config.widths = (3,)
+    executed = _run_counting(monkeypatch)
+    ParallelRunner(env_config, workers=1).run(JOBS[:1])
+    executed.clear()
+    ParallelRunner(env_config, workers=1).run(JOBS[:1])
+    assert executed == []
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path, config):
+    cache = ResultCache(tmp_path)
+    job = JOBS[0]
+    key = cache.key(job, config)
+    (tmp_path / f"{key}.json").write_text("{not json", encoding="utf-8")
+    assert cache.get(key) is None
+    rows = ParallelRunner(config, workers=1, cache_dir=tmp_path).run([job])
+    assert rows[0]["verified"] is True

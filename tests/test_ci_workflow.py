@@ -15,12 +15,19 @@ import pytest
 yaml = pytest.importorskip("yaml")
 
 WORKFLOW = Path(__file__).resolve().parent.parent / ".github" / "workflows" / "ci.yml"
+WIDE_WORKFLOW = WORKFLOW.parent / "bench-wide.yml"
 
 
 @pytest.fixture(scope="module")
 def workflow():
     assert WORKFLOW.exists(), "missing .github/workflows/ci.yml"
     return yaml.safe_load(WORKFLOW.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def wide_workflow():
+    assert WIDE_WORKFLOW.exists(), "missing .github/workflows/bench-wide.yml"
+    return yaml.safe_load(WIDE_WORKFLOW.read_text(encoding="utf-8"))
 
 
 def test_workflow_parses_and_triggers(workflow):
@@ -61,12 +68,39 @@ def test_bench_smoke_job_gates_and_uploads(workflow):
     assert "BENCH" in uploads[0]["with"]["path"]
 
 
-def test_every_step_is_well_formed(workflow):
-    for name, job in workflow["jobs"].items():
-        assert "runs-on" in job, f"job {name} missing runs-on"
-        for step in job["steps"]:
-            assert "uses" in step or "run" in step, (
-                f"step in job {name} has neither 'uses' nor 'run'")
+def test_wide_bench_runs_on_schedule_and_dispatch(wide_workflow):
+    triggers = wide_workflow.get("on", wide_workflow.get(True))
+    assert "workflow_dispatch" in triggers
+    schedules = triggers["schedule"]
+    assert schedules and all("cron" in entry for entry in schedules)
+
+
+def test_wide_bench_covers_8_and_16_bits(wide_workflow):
+    job = wide_workflow["jobs"]["bench-wide"]
+    commands = " ".join(step.get("run", "") for step in job["steps"])
+    assert "benchmarks/smoke.py" in commands
+    assert "8,16" in commands
+    env = {}
+    for step in job["steps"]:
+        env.update(step.get("env", {}))
+    assert env.get("REPRO_BENCH_BITS") == "8,16"
+
+
+def test_wide_bench_uploads_artifact(wide_workflow):
+    job = wide_workflow["jobs"]["bench-wide"]
+    uploads = [step for step in job["steps"]
+               if "upload-artifact" in step.get("uses", "")]
+    assert uploads, "bench-wide must upload the BENCH_wide.json artifact"
+    assert "BENCH_wide" in uploads[0]["with"]["path"]
+
+
+def test_every_step_is_well_formed(workflow, wide_workflow):
+    for document in (workflow, wide_workflow):
+        for name, job in document["jobs"].items():
+            assert "runs-on" in job, f"job {name} missing runs-on"
+            for step in job["steps"]:
+                assert "uses" in step or "run" in step, (
+                    f"step in job {name} has neither 'uses' nor 'run'")
 
 
 def test_referenced_paths_exist():
