@@ -68,6 +68,39 @@ def _calibrate(config: ExperimentConfig, repeats: int = 5) -> float:
     return best
 
 
+def _vanishing_microbench(repeats: int = 7) -> dict:
+    """Micro-benchmark of ``VanishingRules.is_vanishing_mask`` itself.
+
+    The implied-literal rule is the dominant per-monomial cost of 16-bit
+    MT-LR rewriting, so the regression gate covers it directly: a
+    deterministic sample of monomials (pairwise products of the 8-bit
+    SP-DT-HC model's tail monomials) is classified on a cold cache, best of
+    ``repeats``.  The per-sample verdict counts are returned alongside the
+    timing so a semantic change to the rule fails the gate even on a fast
+    machine.
+    """
+    from repro.generators.multipliers import generate_multiplier
+    from repro.modeling.model import AlgebraicModel
+    from repro.verification.vanishing import VanishingRules
+
+    model = AlgebraicModel.from_netlist(generate_multiplier("SP-DT-HC", 8))
+    masks = sorted({mask for tail in model.tails.values()
+                    for mask in tail.masks() if mask})
+    sample = [first | second
+              for index, first in enumerate(masks[:256])
+              for second in masks[index + 1:index + 9]]
+    best = float("inf")
+    vanishing_count = 0
+    for _ in range(repeats):
+        rules = VanishingRules(model)
+        is_vanishing_mask = rules.is_vanishing_mask
+        start = time.perf_counter()
+        vanishing_count = sum(1 for mask in sample if is_vanishing_mask(mask))
+        best = min(best, time.perf_counter() - start)
+    return {"seconds": best, "samples": len(sample),
+            "vanishing": vanishing_count}
+
+
 def run_smoke(jobs: int, widths: tuple[int, ...] = (SMOKE_WIDTH,),
               task_timeout_s: float | None = None) -> dict:
     """Execute the benchmark grid and return the result document.
@@ -86,6 +119,7 @@ def run_smoke(jobs: int, widths: tuple[int, ...] = (SMOKE_WIDTH,),
     # not leak stale timings into the baseline or the regression gate.
     config.cache_dir = None
     calibration_s = _calibrate(config)
+    vanishing_bench = _vanishing_microbench()
     runner = ParallelRunner(config, workers=jobs,
                             task_timeout_s=task_timeout_s)
     grid = ParallelRunner.catalog(TABLE1_ARCHITECTURES, config.widths,
@@ -107,6 +141,7 @@ def run_smoke(jobs: int, widths: tuple[int, ...] = (SMOKE_WIDTH,),
         },
         "total_s": total_s,
         "work_s": work_s,
+        "vanishing_bench": vanishing_bench,
         "rows": rows,
     }
 
@@ -161,6 +196,23 @@ def compare_to_baseline(result: dict, baseline: dict,
             f"{budget:.3f}s (baseline {baseline[metric]:.3f}s x "
             f"machine-speed scale {scale:.2f} x tolerance "
             f"{1.0 + tolerance:.2f})")
+    base_bench = baseline.get("vanishing_bench")
+    bench = result.get("vanishing_bench")
+    if base_bench and bench:
+        for counter in ("samples", "vanishing"):
+            if bench.get(counter) != base_bench.get(counter):
+                failures.append(
+                    f"vanishing_bench {counter} changed "
+                    f"{base_bench.get(counter)!r} -> {bench.get(counter)!r}")
+        # A ~2 ms micro-benchmark is noisier than the multi-row aggregate,
+        # so it gets twice the relative headroom.
+        bench_budget = base_bench["seconds"] * scale * (1.0 + 2 * tolerance)
+        if bench["seconds"] > bench_budget:
+            failures.append(
+                f"vanishing_bench {bench['seconds'] * 1000:.2f}ms exceeds "
+                f"budget {bench_budget * 1000:.2f}ms (baseline "
+                f"{base_bench['seconds'] * 1000:.2f}ms x scale {scale:.2f} "
+                f"x tolerance {1.0 + tolerance:.2f})")
     return failures
 
 

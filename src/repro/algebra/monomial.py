@@ -69,6 +69,28 @@ def bits_of(mask: int) -> list[int]:
     return out
 
 
+def union_mask(masks: Iterable[int]) -> int:
+    """OR-union of an iterable of bitmasks (the support of a term map)."""
+    support = 0
+    for mask in masks:
+        support |= mask
+    return support
+
+
+def any_submask(candidates: Iterable[int], mask: int) -> bool:
+    """Return ``True`` if any candidate bitmask is a submask of ``mask``.
+
+    For multilinear monomials "submask" is divisibility, so this answers
+    whether ``mask`` is a multiple of any candidate — the monotonicity
+    shortcut of the vanishing-rule cache: a monomial divisible by a known
+    vanishing monomial vanishes too.
+    """
+    for candidate in candidates:
+        if candidate & mask == candidate:
+            return True
+    return False
+
+
 class Monomial:
     """An immutable product of distinct Boolean variables.
 

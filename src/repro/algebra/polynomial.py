@@ -130,6 +130,19 @@ class Polynomial:
         """Iterate over the raw monomial bitmasks (unordered)."""
         return iter(self._terms)
 
+    def mask_view(self):
+        """Set-like view of the raw monomial bitmasks (supports set algebra)."""
+        return self._terms.keys()
+
+    def term_view(self):
+        """Re-iterable ``(bitmask, coefficient)`` view of the term map.
+
+        Unlike :meth:`term_masks` (a one-shot iterator) the view can be
+        walked repeatedly, so it can feed substitution kernels that expand
+        a replacement once per affected term without a defensive copy.
+        """
+        return self._terms.items()
+
     def monomials(self) -> Iterator[Monomial]:
         """Iterate over the monomials (unordered)."""
         return (Monomial.from_mask(mask) for mask in self._terms)

@@ -28,6 +28,21 @@ class PolynomialRing:
 
     # -- variable management --------------------------------------------------
 
+    @classmethod
+    def from_ordered(cls, names: Iterable[str]) -> "PolynomialRing":
+        """Build a ring from an already-ordered name sequence in one shot.
+
+        Equivalent to adding the names one by one, without the per-variable
+        duplicate probing — model extraction creates thousands of variables
+        at once from a validated topological order.
+        """
+        ring = cls()
+        ring._names = ordered = list(names)
+        ring._index = {name: index for index, name in enumerate(ordered)}
+        if len(ring._index) != len(ordered):
+            raise AlgebraError("duplicate variable names")
+        return ring
+
     def add_variable(self, name: str) -> int:
         """Append ``name`` as the new largest variable and return its index."""
         if name in self._index:

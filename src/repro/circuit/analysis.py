@@ -7,7 +7,6 @@ XOR-gate connectivity for MT-LR).
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Iterable
 
 from repro.circuit.netlist import Netlist
@@ -25,24 +24,86 @@ def topological_signals(netlist: Netlist) -> list[str]:
     for gate in netlist.gates():
         indegree[gate.output] = len(gate.inputs)
         for signal in gate.inputs:
-            consumers.setdefault(signal, []).append(gate.output)
+            bucket = consumers.get(signal)
+            if bucket is None:
+                consumers[signal] = [gate.output]
+            else:
+                bucket.append(gate.output)
 
-    order: list[str] = []
-    ready = deque(netlist.inputs)
-    ready.extend(out for out, deg in indegree.items() if deg == 0)
-    seen = set(ready)
-    while ready:
-        signal = ready.popleft()
-        order.append(signal)
-        for consumer in consumers.get(signal, ()):  # gates reading this signal
-            indegree[consumer] -= 1
-            if indegree[consumer] == 0 and consumer not in seen:
+    # The ready FIFO *is* the topological order: consumers are appended as
+    # they become ready and a moving head replaces the deque.
+    order: list[str] = list(netlist.inputs)
+    order.extend(out for out, deg in indegree.items() if deg == 0)
+    seen = set(order)
+    consumers_get = consumers.get
+    head = 0
+    while head < len(order):
+        signal = order[head]
+        head += 1
+        for consumer in consumers_get(signal, ()):  # gates reading this signal
+            remaining = indegree[consumer] - 1
+            indegree[consumer] = remaining
+            if remaining == 0 and consumer not in seen:
                 seen.add(consumer)
-                ready.append(consumer)
+                order.append(consumer)
     expected = len(netlist.inputs) + netlist.num_gates
     if len(order) != expected:
         raise CircuitError("netlist contains a combinational loop")
     return order
+
+
+def topological_levels(netlist: Netlist) -> tuple[list[str], dict[str, int]]:
+    """Topological order and longest-path levels in one traversal.
+
+    Equivalent to :func:`topological_signals` followed by
+    :func:`signal_levels` — a gate's level is finalised the moment it
+    becomes ready, so both results fall out of the same Kahn pass.  Model
+    extraction calls this once per verification, which makes the saved
+    second traversal measurable.
+    """
+    indegree: dict[str, int] = {}
+    consumers: dict[str, list[str]] = {}
+    gates: dict[str, tuple[str, ...]] = {}
+    for gate in netlist.gates():
+        indegree[gate.output] = len(gate.inputs)
+        gates[gate.output] = gate.inputs
+        for signal in gate.inputs:
+            bucket = consumers.get(signal)
+            if bucket is None:
+                consumers[signal] = [gate.output]
+            else:
+                bucket.append(gate.output)
+
+    order: list[str] = list(netlist.inputs)
+    levels: dict[str, int] = {name: 0 for name in order}
+    for out, deg in indegree.items():
+        if deg == 0:
+            order.append(out)
+            levels[out] = 0
+    seen = set(order)
+    consumers_get = consumers.get
+    head = 0
+    while head < len(order):
+        signal = order[head]
+        head += 1
+        for consumer in consumers_get(signal, ()):
+            remaining = indegree[consumer] - 1
+            indegree[consumer] = remaining
+            if remaining == 0 and consumer not in seen:
+                seen.add(consumer)
+                order.append(consumer)
+                inputs = gates[consumer]
+                if len(inputs) == 2:
+                    first = levels[inputs[0]]
+                    second = levels[inputs[1]]
+                    levels[consumer] = 1 + (first if first >= second
+                                            else second)
+                else:
+                    levels[consumer] = 1 + max(levels[s] for s in inputs)
+    expected = len(netlist.inputs) + netlist.num_gates
+    if len(order) != expected:
+        raise CircuitError("netlist contains a combinational loop")
+    return order, levels
 
 
 def signal_levels(netlist: Netlist,
@@ -56,14 +117,21 @@ def signal_levels(netlist: Netlist,
     levels: dict[str, int] = {name: 0 for name in netlist.inputs}
     if order is None:
         order = topological_signals(netlist)
+    gate_of = netlist.gate_of
     for signal in order:
         if signal in levels:
             continue
-        gate = netlist.gate_of(signal)
-        if not gate.inputs:
+        inputs = gate_of(signal).inputs
+        if not inputs:
             levels[signal] = 0
+        elif len(inputs) == 2:
+            # The two-input case dominates synthesized netlists; dodging the
+            # generator machinery of ``max`` measurably speeds model builds.
+            first = levels[inputs[0]]
+            second = levels[inputs[1]]
+            levels[signal] = 1 + (first if first >= second else second)
         else:
-            levels[signal] = 1 + max(levels[s] for s in gate.inputs)
+            levels[signal] = 1 + max(levels[s] for s in inputs)
     return levels
 
 

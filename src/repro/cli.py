@@ -59,6 +59,9 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stats", action="store_true",
                         help="print the substitution-engine counters of the "
                              "rewriting passes and the GB reduction")
+    parser.add_argument("--vanishing-cache-limit", type=int, default=None,
+                        help="cap on the vanishing-rule verdict cache "
+                             "(whole-cache reset on overflow)")
 
 
 def _print_engine_stats(result) -> None:
@@ -71,12 +74,23 @@ def _print_engine_stats(result) -> None:
               f"peak-tail={stats.peak_tail_terms} "
               f"kept={stats.kept_variables} "
               f"substituted={stats.substituted_variables} "
+              f"batches={stats.batches} "
+              f"batched-steps={stats.batched_steps} "
               f"time={stats.elapsed_s:.3f}s")
+        if stats.vanishing_cache_hits or stats.vanishing_cache_misses:
+            print(f"  vanishing-cache[{stats.scheme}]: "
+                  f"hits={stats.vanishing_cache_hits} "
+                  f"misses={stats.vanishing_cache_misses} "
+                  f"size={stats.vanishing_cache_size} "
+                  f"resets={stats.vanishing_cache_resets} "
+                  f"witness-hits={stats.vanishing_witness_hits}")
     trace = result.reduction_trace
     print(f"reduction: substitutions={trace.substitutions} "
           f"affected-terms={trace.affected_terms} "
           f"modulus-removed={trace.modulus_removed_terms} "
           f"peak-remainder={trace.peak_monomials} "
+          f"batches={trace.batches} "
+          f"batched-steps={trace.batched_steps} "
           f"time={trace.elapsed_s:.3f}s")
 
 
@@ -102,12 +116,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         netlist = generate_adder(args.architecture, args.width)
         result = verify_adder(netlist, method=args.method,
                               monomial_budget=args.monomial_budget,
-                              time_budget_s=args.time_budget)
+                              time_budget_s=args.time_budget,
+                              vanishing_cache_limit=args.vanishing_cache_limit)
     else:
         netlist = generate_multiplier(args.architecture, args.width)
-        result = verify_multiplier(netlist, method=args.method,
-                                   monomial_budget=args.monomial_budget,
-                                   time_budget_s=args.time_budget)
+        result = verify_multiplier(
+            netlist, method=args.method,
+            monomial_budget=args.monomial_budget,
+            time_budget_s=args.time_budget,
+            vanishing_cache_limit=args.vanishing_cache_limit)
     return _report(result, show_stats=args.stats)
 
 
@@ -115,7 +132,8 @@ def _cmd_verify_verilog(args: argparse.Namespace) -> int:
     netlist = load_verilog(args.netlist)
     result = verify(netlist, specification=args.spec, method=args.method,
                     monomial_budget=args.monomial_budget,
-                    time_budget_s=args.time_budget)
+                    time_budget_s=args.time_budget,
+                    vanishing_cache_limit=args.vanishing_cache_limit)
     return _report(result, show_stats=args.stats)
 
 
@@ -186,6 +204,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
               f"{row['method']:<8} {verdict}")
     print("summary: " + " ".join(f"{verdict}={count}" for verdict, count
                                  in sorted(counts.items())))
+    if runner.cache is not None:
+        # Cache-aware footer: deterministic for a given cache directory, so
+        # the output stays byte-identical across --jobs values.
+        print(f"cache: hits={runner.last_cache_hits} "
+              f"executed={runner.last_executed}")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(rows, handle, indent=2, default=str)

@@ -205,6 +205,38 @@ def run_job(job: VerificationJob, config: ExperimentConfig) -> dict:
                      f"expected one of {JOB_METHODS}")
 
 
+#: Rough relative cost rank of the verification methods (used only for
+#: scheduling, never for results): the un-rewritten and fanout-rewritten
+#: membership tests blow up far earlier than MT-LR, and the conventional
+#: checkers sit in between.
+_METHOD_COST: dict[str, int] = {
+    "mt-naive": 5, "mt-fo": 4, "bdd-cec": 3, "sat-cec": 2,
+    "mt-xor": 1, "mt-lr": 0,
+}
+
+
+def expected_cost_key(job: VerificationJob) -> tuple[int, int, int]:
+    """Heuristic relative cost of a job, for longest-expected-first order.
+
+    Width dominates (verification cost grows steeply with operand width),
+    then the method rank, then the architecture family: Booth multipliers
+    carry the heaviest rewriting load, tree accumulators more than arrays.
+    The key orders *scheduling only* — result rows keep the grid order —
+    so one expensive job (a 16-bit Booth run, say) starts first instead of
+    serialising the tail of a batch.
+    """
+    architecture = job.architecture.upper()
+    cost = 0
+    if architecture.startswith("BP"):
+        cost += 4
+    for marker, weight in (("-DT-", 2), ("-WT-", 2), ("-CT-", 2),
+                           ("-RT-", 1), ("-OS-", 1)):
+        if marker in architecture:
+            cost += weight
+            break
+    return (job.width, _METHOD_COST.get(job.method, 0), cost)
+
+
 def _guarded_run_job(job: VerificationJob, config: ExperimentConfig) -> dict:
     """Run a job, converting any exception into an ``error`` row.
 
@@ -452,6 +484,9 @@ class ParallelRunner:
         self.task_timeout_s = task_timeout_s
         directory = cache_dir if cache_dir is not None else self.config.cache_dir
         self.cache = ResultCache(directory) if directory else None
+        #: Rows served from the cache / executed fresh by the last run.
+        self.last_cache_hits = 0
+        self.last_executed = 0
 
     # -- job catalog helpers ---------------------------------------------------
 
@@ -487,14 +522,19 @@ class ParallelRunner:
                    ) -> list[dict]:
         """Reference serial execution (same rows, same order, one process)."""
         rows = []
+        self.last_cache_hits = 0
+        self.last_executed = 0
         for job in jobs:
             key = self._cache_key(job)
             row = self.cache.get(key) if self.cache is not None else None
             if row is None:
+                self.last_executed += 1
                 row = _guarded_run_job(job, self.config)
                 self._finish_row(job, row, key, on_result)
-            elif on_result is not None:
-                on_result(job, row)
+            else:
+                self.last_cache_hits += 1
+                if on_result is not None:
+                    on_result(job, row)
             rows.append(row)
         return rows
 
@@ -504,6 +544,8 @@ class ParallelRunner:
         """Run all jobs and return their rows in job order."""
         jobs = list(jobs)
         if not jobs:
+            self.last_cache_hits = 0
+            self.last_executed = 0
             return []
 
         results: dict[int, dict] = {}
@@ -522,6 +564,8 @@ class ParallelRunner:
         else:
             keys = dict.fromkeys(range(len(jobs)))
             pending = list(range(len(jobs)))
+        self.last_cache_hits = len(jobs) - len(pending)
+        self.last_executed = len(pending)
 
         if not pending:
             return [results[i] for i in range(len(jobs))]
@@ -540,7 +584,13 @@ class ParallelRunner:
             "fork" if "fork" in multiprocessing.get_all_start_methods()
             else "spawn")
         result_queue = context.Queue()
-        queue_order = list(pending)
+        # Longest-expected-first assignment: without it a heavy job picked
+        # up late (one 16-bit Booth run, say) serialises the tail of the
+        # batch.  The sort is stable, so equal-cost jobs keep grid order,
+        # and the result rows are joined by index — byte-identical to the
+        # serial path regardless of the schedule.
+        queue_order = sorted(pending, key=lambda index:
+                             expected_cost_key(jobs[index]), reverse=True)
         next_slot = 0
         outstanding = len(pending)
         pool: list[_PoolWorker] = [
@@ -550,11 +600,18 @@ class ParallelRunner:
 
         def assign_idle() -> None:
             nonlocal next_slot
-            for worker in pool:
+            for slot, worker in enumerate(pool):
                 if next_slot >= len(queue_order):
                     break
                 if worker.busy:
                     continue
+                if not worker.process.is_alive():
+                    # An idle worker that died between jobs (e.g. an OOM
+                    # kill after delivering its result) must not receive
+                    # work — the job would be misreported as a crash.
+                    worker.kill()
+                    pool[slot] = worker = _PoolWorker(context, self.config,
+                                                      result_queue)
                 index = queue_order[next_slot]
                 next_slot += 1
                 worker.assign(index, jobs[index], self.task_timeout_s)

@@ -77,6 +77,22 @@ def gate_tail(gate_type: GateType, input_vars: Sequence[int]) -> Polynomial:
     directly as mask-keyed term maps — model extraction creates one per gate,
     which made the generic polynomial arithmetic a measurable startup cost.
     """
+    if len(input_vars) == 2 and input_vars[0] != input_vars[1]:
+        # Direct term maps for the two-input gates — the overwhelmingly
+        # common case of synthesized netlists — skip the fold machinery.
+        a, b = 1 << input_vars[0], 1 << input_vars[1]
+        if gate_type is GateType.AND:
+            return Polynomial._raw({a | b: 1})
+        if gate_type is GateType.XOR:
+            return Polynomial._raw({a: 1, b: 1, a | b: -2})
+        if gate_type is GateType.OR:
+            return Polynomial._raw({a: 1, b: 1, a | b: -1})
+        if gate_type is GateType.NAND:
+            return Polynomial._raw({0: 1, a | b: -1})
+        if gate_type is GateType.XNOR:
+            return Polynomial._raw({0: 1, a: -1, b: -1, a | b: 2})
+        if gate_type is GateType.NOR:
+            return Polynomial._raw({0: 1, a: -1, b: -1, a | b: 1})
     if gate_type is GateType.CONST0:
         return Polynomial.zero()
     if gate_type is GateType.CONST1:

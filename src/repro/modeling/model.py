@@ -20,7 +20,7 @@ from repro.algebra.monomial import Monomial
 from repro.algebra.ordering import LEX
 from repro.algebra.polynomial import Polynomial
 from repro.algebra.ring import PolynomialRing
-from repro.circuit.analysis import fanout_counts, signal_levels, topological_signals
+from repro.circuit.analysis import fanout_counts, topological_levels
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Netlist
 from repro.errors import ModelingError
@@ -70,32 +70,34 @@ class AlgebraicModel:
         # The topological traversal below raises on combinational loops, so
         # the (redundant) DFS cycle check of ``validate`` is skipped here.
         netlist.validate(check_cycles=False)
-        order = topological_signals(netlist)
-        levels = signal_levels(netlist, order=order)
+        order, levels = topological_levels(netlist)
         # Stable sort by level keeps same-level signals in construction order,
         # which groups sum/carry cells that share inputs next to each other —
         # the secondary criterion of the paper's substitution ordering.
-        ordered = sorted(order, key=lambda signal: levels[signal])
+        ordered = sorted(order, key=levels.__getitem__)
 
-        ring = PolynomialRing()
-        for signal in ordered:
-            ring.add_variable(signal)
+        ring = PolynomialRing.from_ordered(ordered)
 
+        # Direct index-map access skips the per-lookup error wrapping of
+        # ``ring.index`` — this loop resolves every gate input of the model.
+        index_of = ring._index.__getitem__
+        is_input = netlist.is_input
+        gate_of = netlist.gate_of
         tails: dict[int, Polynomial] = {}
         records: dict[int, GateRecord] = {}
         for signal in ordered:
-            var = ring.index(signal)
-            if netlist.is_input(signal):
+            var = index_of(signal)
+            if is_input(signal):
                 records[var] = GateRecord(var, None, (), 0)
                 continue
-            gate = netlist.gate_of(signal)
-            input_vars = tuple(ring.index(s) for s in gate.inputs)
+            gate = gate_of(signal)
+            input_vars = tuple(map(index_of, gate.inputs))
             records[var] = GateRecord(var, gate.gate_type, input_vars,
                                       levels[signal])
             tails[var] = gate_tail(gate.gate_type, input_vars)
 
-        input_vars = [ring.index(s) for s in netlist.inputs]
-        output_vars = [ring.index(s) for s in netlist.outputs]
+        input_vars = [index_of(s) for s in netlist.inputs]
+        output_vars = [index_of(s) for s in netlist.outputs]
         return cls(ring, tails, records, input_vars, output_vars, netlist)
 
     # -- queries ---------------------------------------------------------------

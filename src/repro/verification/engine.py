@@ -58,6 +58,7 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
            monomial_budget: int | None = 2_000_000,
            time_budget_s: float | None = None,
            xor_and_only: bool = False,
+           vanishing_cache_limit: int | None = None,
            find_counterexample: bool = True,
            counterexample_tries: int = 4096,
            seed: int = 0,
@@ -81,6 +82,10 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
     xor_and_only:
         Restrict the vanishing rule to the paper's literal XOR-AND pattern
         instead of the implied-literal generalisation.
+    vanishing_cache_limit:
+        Cap on the vanishing-rule verdict memo; the whole cache resets when
+        an insertion would exceed it (``None`` keeps the
+        :class:`~repro.verification.vanishing.VanishingRules` default).
     find_counterexample:
         On a non-zero remainder, search for a primary-input assignment that
         exhibits the mismatch.
@@ -101,7 +106,8 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
 
     # Step 2: rewriting.
     start_rewrite = time.perf_counter()
-    rewritten = _rewrite(model, method, xor_and_only, monomial_budget, deadline)
+    rewritten = _rewrite(model, method, xor_and_only, monomial_budget,
+                         deadline, vanishing_cache_limit)
     rewrite_time = time.perf_counter() - start_rewrite
 
     # Step 3: Gröbner-basis reduction.
@@ -177,13 +183,18 @@ def _resolve_specification(model: AlgebraicModel,
 
 
 def _rewrite(model: AlgebraicModel, method: str, xor_and_only: bool,
-             monomial_budget: int | None, deadline: float | None) -> RewrittenModel:
+             monomial_budget: int | None, deadline: float | None,
+             vanishing_cache_limit: int | None = None) -> RewrittenModel:
     if method == "mt-naive":
         return no_rewriting(model)
     if method == "mt-fo":
         return fanout_rewriting(model, monomial_budget=monomial_budget,
                                 deadline=deadline)
-    vanishing = VanishingRules(model, xor_and_only=xor_and_only)
+    if vanishing_cache_limit is not None:
+        vanishing = VanishingRules(model, xor_and_only=xor_and_only,
+                                   cache_limit=vanishing_cache_limit)
+    else:
+        vanishing = VanishingRules(model, xor_and_only=xor_and_only)
     return logic_reduction_rewriting(
         model, vanishing, apply_common=(method == "mt-lr"),
         monomial_budget=monomial_budget, deadline=deadline)

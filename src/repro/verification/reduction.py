@@ -55,6 +55,10 @@ class ReductionTrace:
     affected_terms: int = 0
     #: Terms dropped because their coefficient became a modulus multiple.
     modulus_removed_terms: int = 0
+    #: ``substitute_batch`` calls issued (the whole schedule is one batch
+    #: unless the engine fell back mid-run) and steps executed inside them.
+    batches: int = 0
+    batched_steps: int = 0
     history: list[tuple[str, int]] = field(default_factory=list)
     record_history: bool = False
 
@@ -88,47 +92,65 @@ def substitution_order(model: AlgebraicModel, tails: dict[int, Polynomial],
     if scheme != "structural":
         raise ValueError(f"unknown substitution order scheme {scheme!r}")
 
-    from heapq import heappush, heappop
+    from heapq import heapify, heappush, heappop
 
     from repro.circuit.gates import GateType
 
-    consumers: dict[int, set[int]] = {var: set() for var in tails}
-    pending: dict[int, int] = {}
+    # A variable's pending count is the number of tails that reference it;
+    # membership tests run against one bitmask and each tail contributes
+    # each referenced variable exactly once (support bits are a set).
+    tails_mask = 0
+    for var in tails:
+        tails_mask |= 1 << var
+    pending = dict.fromkeys(tails, 0)
+    children: dict[int, list[int]] = {}
     for lead, tail in tails.items():
-        for var in bits_of(tail.support_mask()):
-            if var in consumers:
-                consumers[var].add(lead)
-    for var in consumers:
-        pending[var] = len(consumers[var])
+        referenced = bits_of(tail.support_mask() & tails_mask)
+        children[lead] = referenced
+        for var in referenced:
+            pending[var] += 1
 
-    def priority(var: int) -> tuple[int, int]:
-        record = model.records.get(var)
-        is_xor = record is not None and record.gate_type in (
-            GateType.XOR, GateType.XNOR)
-        return (1 if is_xor else 0, -var)
+    # The heap priority ``(is_xor, -var)`` packs into one integer: XOR-gate
+    # variables sort after all non-XOR ones, deepest (highest index) first
+    # within each class.  Flat arrays keep the per-variable tests O(1).
+    size = (max(tails) + 1) if tails else 0
+    xor_bias = bytearray(size)
+    records = model.records
+    xor_gates = (GateType.XOR, GateType.XNOR)
+    for var in tails:
+        record = records.get(var)
+        if record is not None and record.gate_type in xor_gates:
+            xor_bias[var] = 1
+    bias = 1 << 62
+    half = bias >> 1
 
-    heap: list[tuple[tuple[int, int], int]] = []
-    for var, count in pending.items():
-        if count == 0:
-            heappush(heap, (priority(var), var))
+    # Plain-integer heap keys (no tuples to allocate or compare): a key
+    # above ``half`` decodes to an XOR variable, anything else to a negated
+    # non-XOR variable.  Every variable is pushed exactly once — on its
+    # pending-count transition to zero — so no stale-entry guard is needed.
+    heap = [(bias - var if xor_bias[var] else -var)
+            for var, count in pending.items() if count == 0]
+    heapify(heap)
     order: list[int] = []
-    scheduled: set[int] = set()
+    scheduled = bytearray(size)
     while heap:
-        _, var = heappop(heap)
-        if var in scheduled:
-            continue
-        scheduled.add(var)
+        key = heappop(heap)
+        var = bias - key if key > half else -key
+        scheduled[var] = 1
         order.append(var)
-        for child in bits_of(tails[var].support_mask()):
-            if child in pending and child not in scheduled:
-                pending[child] -= 1
-                if pending[child] == 0:
-                    heappush(heap, (priority(child), child))
+        for child in children[var]:
+            if scheduled[child]:
+                continue
+            count = pending[child] - 1
+            pending[child] = count
+            if count == 0:
+                heappush(heap, bias - child if xor_bias[child] else -child)
     # Any variables left (cyclic should not happen; isolated ones) are appended
     # in plain reverse topological order as a safety net.
-    for var in sorted(tails.keys(), reverse=True):
-        if var not in scheduled:
-            order.append(var)
+    if len(order) < len(tails):
+        for var in sorted(tails.keys(), reverse=True):
+            if not scheduled[var]:
+                order.append(var)
     return order
 
 
@@ -168,32 +190,40 @@ def groebner_basis_reduction(spec: Polynomial, model: AlgebraicModel,
     engine = SubstitutionEngine(initial, index_mask,
                                 coefficient_modulus=modulus)
 
-    for var in substitution_order(model, tails, options.order_scheme):
-        if model.is_input_variable(var):
-            continue
-        affected = engine.substitute(var, list(tails[var].term_masks()),
-                                     retire=True)
+    # The consumer-first schedule is fed to the engine as one batch: every
+    # variable is substituted exactly once and retired, so the fused kernel
+    # can defer all occurrence-index teardown (see ``substitute_batch``)
+    # while reproducing the per-step semantics — including the per-step
+    # budget/deadline checks — exactly.
+    # ``substitution_order`` schedules tail leading variables only (gate
+    # outputs — primary inputs never own a polynomial), so every scheduled
+    # variable is substitutable.
+    items = [(var, tails[var].term_view())
+             for var in substitution_order(model, tails, options.order_scheme)]
+    results, tripped = engine.substitute_batch(
+        items, retire=True, term_limit=options.monomial_budget,
+        deadline=deadline)
+    for (var, _), (affected, size) in zip(items, results):
         if not affected:
             continue
         trace.substitutions += 1
-        size = len(engine)
         if size > trace.peak_monomials:
             trace.peak_monomials = size
         if trace.record_history:
             trace.history.append((model.ring.name(var), size))
-        if options.monomial_budget is not None and size > options.monomial_budget:
-            trace.elapsed_s = time.perf_counter() - start
-            _copy_engine_counters(engine, trace)
+    if tripped is not None:
+        trace.elapsed_s = time.perf_counter() - start
+        _copy_engine_counters(engine, trace)
+        if tripped == "terms":
+            var = items[len(results) - 1][0]
             raise BlowUpError(
                 f"GB reduction exceeded the monomial budget at variable "
-                f"{model.ring.name(var)!r} ({size} > {options.monomial_budget})",
-                monomials=size, elapsed_s=trace.elapsed_s)
-        if deadline is not None and time.perf_counter() > deadline:
-            trace.elapsed_s = time.perf_counter() - start
-            _copy_engine_counters(engine, trace)
-            raise BlowUpError(
-                "GB reduction exceeded the time budget",
-                monomials=size, elapsed_s=trace.elapsed_s)
+                f"{model.ring.name(var)!r} ({len(engine)} > "
+                f"{options.monomial_budget})",
+                monomials=len(engine), elapsed_s=trace.elapsed_s)
+        raise BlowUpError(
+            "GB reduction exceeded the time budget",
+            monomials=len(engine), elapsed_s=trace.elapsed_s)
 
     trace.elapsed_s = time.perf_counter() - start
     _copy_engine_counters(engine, trace)
@@ -204,3 +234,5 @@ def _copy_engine_counters(engine: SubstitutionEngine,
                           trace: ReductionTrace) -> None:
     trace.affected_terms = engine.affected_terms
     trace.modulus_removed_terms = engine.modulus_removed
+    trace.batches = engine.batches
+    trace.batched_steps = engine.batch_steps

@@ -35,12 +35,20 @@ class ModelStatistics:
         """Compute the statistics of a tail map (each poly is ``-x + tail``)."""
         stats = cls()
         stats.num_polynomials = len(tails)
+        num_monomials = 0
+        max_terms = 0
+        max_degree = 0
         for tail in tails.values():
             terms = tail.num_terms + 1          # +1 for the leading term
-            stats.num_monomials += terms
-            stats.max_polynomial_terms = max(stats.max_polynomial_terms, terms)
-            stats.max_monomial_variables = max(stats.max_monomial_variables,
-                                               tail.max_monomial_degree())
+            num_monomials += terms
+            if terms > max_terms:
+                max_terms = terms
+            degree = tail.max_monomial_degree()
+            if degree > max_degree:
+                max_degree = degree
+        stats.num_monomials = num_monomials
+        stats.max_polynomial_terms = max_terms
+        stats.max_monomial_variables = max_degree
         return stats
 
 

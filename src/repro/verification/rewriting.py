@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.algebra.monomial import bits_of
 from repro.algebra.polynomial import Polynomial
 from repro.algebra.substitution import SubstitutionEngine
 from repro.errors import BlowUpError
@@ -52,6 +53,17 @@ class RewriteStatistics:
     affected_terms: int = 0
     #: Substitutions rolled back by the growth guard (variable kept instead).
     rejected_substitutions: int = 0
+    #: ``substitute_batch`` calls issued and steps executed inside them.
+    batches: int = 0
+    batched_steps: int = 0
+    #: Vanishing-rule cache counters of the pass that owns the oracle
+    #: (mask→verdict memo hits/misses, final size, cap-forced resets, and
+    #: verdicts answered by the minimal-witness monotonicity shortcut).
+    vanishing_cache_hits: int = 0
+    vanishing_cache_misses: int = 0
+    vanishing_cache_size: int = 0
+    vanishing_cache_resets: int = 0
+    vanishing_witness_hits: int = 0
 
 
 @dataclass
@@ -100,9 +112,10 @@ def common_rewriting_variables(tails: dict[int, Polynomial],
     inputs and outputs are always kept.
     """
     usage: dict[int, int] = {}
+    usage_get = usage.get
     for tail in tails.values():
-        for var in tail.support():
-            usage[var] = usage.get(var, 0) + 1
+        for var in bits_of(tail.support_mask()):
+            usage[var] = usage_get(var, 0) + 1
     keep = {var for var, count in usage.items() if count >= 2}
     keep.update(model.input_vars)
     keep.update(model.output_vars)
@@ -156,49 +169,65 @@ def gb_rewrite(tails: dict[int, Polynomial], keep_variables: set[int],
         candidate_mask &= ~(1 << var)
     engine = SubstitutionEngine(vanishing=vanishing)
 
+    remove_vanishing = vanishing.remove_vanishing if vanishing else None
+    vanishing_relevant = (getattr(vanishing, "relevant_mask", -1)
+                          if vanishing is not None else 0)
     for lead_var in sorted(rewritten):
         poly = rewritten[lead_var]
         if not poly.support_mask() & candidate_mask:
             # No substitution candidate occurs in this tail: only the
-            # up-front vanishing sweep applies, with no term-map copy and no
-            # index build.  This is the common case — most gate tails only
-            # reference kept variables.
-            if vanishing is not None:
-                rewritten[lead_var] = vanishing.remove_vanishing(poly)
+            # up-front vanishing sweep applies (skipped wholesale when no
+            # tail variable can contribute a contradiction), with no
+            # term-map copy and no index build.  This is the common case —
+            # most gate tails only reference kept variables.
+            if (remove_vanishing is not None
+                    and poly.support_mask() & vanishing_relevant):
+                rewritten[lead_var] = remove_vanishing(poly)
             continue
         # The working tail lives inside the engine across all of its
         # substitution steps; it is wrapped back into a Polynomial only once,
         # when the rewriting of this leading variable is finished.
-        engine.reset(poly.term_masks(), candidate_mask)
+        engine.reset(poly.term_view(), candidate_mask,
+                     support_mask=poly.support_mask())
         engine.prune_vanishing()
         while True:
-            outside = [var for var in engine.active_variables()
+            # The candidate superset needs no term scan; a stale bit only
+            # adds a no-op batch item, and retirement drains the mask, so
+            # the loop always terminates.
+            outside = [var for var in bits_of(engine.candidate_superset())
                        if var not in keep_variables]
             if not outside:
                 break
-            # Substitute the variable with the smallest defining tail first.
-            # Targets are always smaller than ``lead_var`` (tails only
-            # reference earlier variables), so their rewriting is complete
-            # and ``rewritten[target]`` is a finished Polynomial.
-            target = min(outside, key=lambda var: rewritten[var].num_terms)
-            affected = engine.substitute(
-                target, list(rewritten[target].term_masks()),
-                growth_limit=growth_limit, retire=True)
-            if affected < 0:
-                # Inlining this variable would blow the polynomial up; keep it
-                # as a model variable instead.
-                keep_variables.add(target)
-                candidate_mask &= ~(1 << target)
-                engine.unindex(target)
-                continue
-            stats.peak_tail_terms = max(stats.peak_tail_terms, len(engine))
-            if monomial_budget is not None and len(engine) > monomial_budget:
+            # One batch inlines every substitution candidate of this tail,
+            # smallest defining tail first (ties by variable index — the
+            # order the old pick-the-minimum loop realised).  Replacement
+            # tails only reference finished (kept) variables, so the batch
+            # cannot surface new candidates; the loop re-checks anyway and
+            # also re-collects after a growth-guard rejection.  Targets are
+            # always smaller than ``lead_var`` (tails only reference
+            # earlier variables), so their rewriting is complete and
+            # ``rewritten[target]`` is a finished Polynomial.
+            outside.sort(key=lambda var: (rewritten[var].num_terms, var))
+            items = [(var, rewritten[var].term_view()) for var in outside]
+            results, tripped = engine.substitute_batch(
+                items, growth_limit=growth_limit, retire=True,
+                term_limit=monomial_budget, deadline=deadline)
+            for (target, _), (affected, size) in zip(items, results):
+                if affected < 0:
+                    # Inlining this variable would blow the polynomial up;
+                    # keep it as a model variable instead.
+                    keep_variables.add(target)
+                    candidate_mask &= ~(1 << target)
+                    engine.unindex(target)
+                elif affected and size > stats.peak_tail_terms:
+                    stats.peak_tail_terms = size
+            if tripped == "terms":
                 raise BlowUpError(
                     f"{scheme or 'rewriting'} exceeded the monomial budget "
                     f"({len(engine)} > {monomial_budget}) while rewriting "
                     f"{model.ring.name(lead_var)}",
                     monomials=len(engine))
-            if deadline is not None and time.perf_counter() > deadline:
+            if tripped == "deadline":
                 raise BlowUpError(
                     f"{scheme or 'rewriting'} exceeded the time budget",
                     elapsed_s=time.perf_counter() - start)
@@ -217,6 +246,14 @@ def gb_rewrite(tails: dict[int, Polynomial], keep_variables: set[int],
     stats.substitution_steps = engine.substitutions
     stats.affected_terms = engine.affected_terms
     stats.rejected_substitutions = engine.rejected_substitutions
+    stats.batches = engine.batches
+    stats.batched_steps = engine.batch_steps
+    if vanishing is not None:
+        stats.vanishing_cache_hits = getattr(vanishing, "cache_hits", 0)
+        stats.vanishing_cache_misses = getattr(vanishing, "cache_misses", 0)
+        stats.vanishing_cache_size = len(getattr(vanishing, "cache", ()))
+        stats.vanishing_cache_resets = getattr(vanishing, "cache_resets", 0)
+        stats.vanishing_witness_hits = getattr(vanishing, "witness_hits", 0)
     stats.elapsed_s = time.perf_counter() - start
     return kept, stats
 

@@ -19,23 +19,46 @@ polarities of some signal, or if it violates the XOR/XNOR constraint of a
 gate whose output is in ``M``, the monomial is identically zero and can be
 removed.  The paper's rule is the special case "XOR output + AND output over
 the same input pair".
+
+Everything is packed into integer bitmasks.  An implied-literal set is a
+``(pos, neg)`` pair of variable masks, their union over a monomial is two OR
+reductions, and the contradiction test is ``pos & neg != 0``.  Because every
+variable trivially implies its own positive literal, ``pos`` always contains
+the monomial mask itself — so the accumulation loop only has to visit the
+variables whose table holds *more* than the self-literal (AND/OR-family
+gates; XOR outputs and primary inputs are skipped wholesale through one AND
+with the precomputed :attr:`VanishingRules._nontrivial_mask`).  The XOR/XNOR
+consistency checks run on per-gate input-support masks, so the whole rule
+touches no Python sets or tuples on the hot path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.algebra.monomial import Monomial, bits_of, iter_bits, mask_of
+from repro.algebra.monomial import any_submask, bits_of, mask_of, Monomial
 from repro.algebra.polynomial import Polynomial
-from repro.algebra.substitution import SubstitutionEngine
 from repro.circuit.gates import GateType
 from repro.modeling.model import AlgebraicModel
 
 #: A literal is ``(variable, polarity)`` with polarity ``True`` for positive.
 Literal = tuple[int, bool]
 
+#: An implied-literal table entry: ``(pos, neg)`` bitmasks over variables.
+MustMasks = tuple[int, int]
 
-@dataclass
+#: Cap on the minimal-witness set behind the cache's monotonicity shortcut.
+WITNESS_LIMIT = 128
+
+#: Gate types whose ``must1`` table can exceed the self-literal.  A 1 on an
+#: AND/BUF output forces its inputs high, on a NOT/NOR output it forces them
+#: low, and a CONST0 output is self-contradictory; every other gate type
+#: (XOR/XNOR/OR/NAND outputs, primary inputs) implies nothing when high.
+_NONTRIVIAL_MUST1 = (GateType.AND, GateType.BUF, GateType.NOT, GateType.NOR,
+                     GateType.CONST0)
+
+
+@dataclass(slots=True)
 class VanishingRules:
     """Structural vanishing-monomial detector for one circuit model.
 
@@ -53,20 +76,57 @@ class VanishingRules:
         Cap on the size of the implied-literal sets (memory guard for very
         deep AND/OR chains); truncation only weakens the rule, never makes it
         unsound.
+    cache_limit:
+        Cap on the mask→verdict memo; when the cache is full at the next
+        insertion of a computed verdict, the whole cache is reset (counted
+        in :attr:`cache_resets`).  ``None`` disables the bound.
     """
 
     model: AlgebraicModel
     xor_and_only: bool = False
     max_implied_literals: int = 256
+    cache_limit: int | None = 1_000_000
     removed_count: int = 0
-    _must1: dict[int, frozenset[Literal]] = field(default_factory=dict, repr=False)
-    _must0: dict[int, frozenset[Literal]] = field(default_factory=dict, repr=False)
+    #: Verdicts served from :attr:`cache` (including the inline probes of
+    #: :meth:`SubstitutionEngine.find_vanishing`).
+    cache_hits: int = 0
+    #: Verdicts that had to be computed (witness shortcut included).
+    cache_misses: int = 0
+    #: Uncached verdicts answered by the minimal-witness divisibility check.
+    witness_hits: int = 0
+    #: Whole-cache resets forced by :attr:`cache_limit`.
+    cache_resets: int = 0
+    _must1: dict[int, MustMasks] = field(default_factory=dict, repr=False)
+    _must0: dict[int, MustMasks] = field(default_factory=dict, repr=False)
     _xor_support: dict[int, tuple[int, ...]] = field(default_factory=dict, repr=False)
     _xnor_support: dict[int, tuple[int, ...]] = field(default_factory=dict, repr=False)
     _and_support: dict[int, frozenset[int]] = field(default_factory=dict, repr=False)
+    #: Per-gate input support masks of the XOR/XNOR gates (bit ``a`` | bit ``b``).
+    _pair_mask: dict[int, int] = field(default_factory=dict, repr=False)
+    #: All XOR (resp. XNOR) gate outputs, packed into one mask each.
+    _xor_out_mask: int = field(default=0, repr=False)
+    _xnor_out_mask: int = field(default=0, repr=False)
+    #: Variables whose ``must1`` table may exceed the self-literal; all other
+    #: variables are folded into the accumulated ``pos`` mask in one AND.
+    _nontrivial_mask: int = field(default=0, repr=False)
+    #: Minimal recorded vanishing masks, bucketed by their lowest variable;
+    #: any multiple of one vanishes too (the rule is monotone under adding
+    #: variables), so a supermask query is answered without running the
+    #: rule.  A witness that divides the queried mask must have its lowest
+    #: bit inside the mask, so one AND against :attr:`_witness_low_mask`
+    #: rejects most queries before any bucket is scanned.
+    _witness_low: dict[int, list[int]] = field(default_factory=dict, repr=False)
+    _witness_low_mask: int = field(default=0, repr=False)
+    _witness_count: int = field(default=0, repr=False)
     #: Public mask→verdict memo; the substitution engine probes it
     #: inline when sweeping freshly loaded term maps.
     cache: dict[int, bool] = field(default_factory=dict, repr=False)
+    #: Variables a vanishing monomial must touch: a monomial disjoint from
+    #: every non-trivial ``must1`` table and every XOR/XNOR output has
+    #: ``pos == mask`` and ``neg == 0``, which cannot trip any rule check —
+    #: one AND against this mask rejects it (and whole tails of such
+    #: monomials) without probing the cache or running the rule.
+    relevant_mask: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         self._build_structural_tables()
@@ -74,16 +134,105 @@ class VanishingRules:
     # -- construction of the structural tables ---------------------------------
 
     def _build_structural_tables(self) -> None:
+        """One ascending pass over the gate records builds every table.
+
+        Besides the XOR/XNOR support structures and the non-trivial
+        ``must1`` selector, the pass resolves the *relevance* closure
+        flags: the implied-literal rule can only answer ``True`` when some
+        variable of the monomial either
+
+        * carries a *negative* implied literal in its ``must1`` closure
+          (only NOT/NOR/CONST0 gates, or AND/BUF chains reaching one,
+          produce those — they feed the ``pos & neg`` contradiction and the
+          ``neg``-gated XOR/XNOR checks), or
+        * has a closure whose positive part touches an XOR output (the only
+          check left when no negative literal exists: an XOR forced high
+          with both inputs forced high).
+
+        A monomial over pure-positive AND/BUF cones (e.g. the partial
+        products of a multiplier and their accumulation trees) is always
+        satisfiable — force every involved input high — so the union of the
+        two flags is an exact necessary condition; it becomes
+        :attr:`relevant_mask`, the one-AND prefilter of every vanishing
+        test.  Variables are numbered topologically (children first), so
+        one ascending pass resolves the transitive closures with flat flag
+        arrays (big-int shifts would make this pass quadratic).
+        """
         records = self.model.records
+        gate_xor = GateType.XOR
+        gate_xnor = GateType.XNOR
+        gate_and = GateType.AND
+        gate_or = GateType.OR
+        gate_not = GateType.NOT
+        gate_buf = GateType.BUF
+        nontrivial_gates = _NONTRIVIAL_MUST1
+        neg_roots = (gate_not, GateType.NOR, GateType.CONST0)
+        and_like = (gate_and, gate_buf)
+        size = (max(records) + 1) if records else 0
+        neg1 = bytearray(size)   # must1 closure contains a negative literal
+        xr1 = bytearray(size)    # must1 closure's positive part touches an XOR
+        nontrivial = 0
+        xor_pairs = self._xor_support
+        xnor_pairs = self._xnor_support
+        pair_mask = self._pair_mask
+        xor_out_mask = 0
+        xnor_out_mask = 0
         for var, record in records.items():
             gate = record.gate_type
-            if gate is GateType.XOR and len(record.inputs) == 2:
-                self._xor_support[var] = record.inputs
-            elif gate is GateType.XNOR and len(record.inputs) == 2:
-                self._xnor_support[var] = record.inputs
-            if gate is GateType.AND and len(record.inputs) == 2:
-                self._and_support[var] = frozenset(record.inputs)
-        # The implied-literal sets (``must1``/``must0``) are resolved lazily
+            if gate is None:
+                continue
+            inputs = record.inputs
+            if gate is gate_xor:
+                if len(inputs) == 2:
+                    xor_pairs[var] = inputs
+                    xor_out_mask |= 1 << var
+                    a, b = inputs
+                    pair_mask[var] = (1 << a) | (1 << b)
+                xr1[var] = 1
+                continue
+            if gate is gate_xnor:
+                if len(inputs) == 2:
+                    xnor_pairs[var] = inputs
+                    xnor_out_mask |= 1 << var
+                    a, b = inputs
+                    pair_mask[var] = (1 << a) | (1 << b)
+                continue
+            if gate in nontrivial_gates:
+                nontrivial |= 1 << var
+            if gate in and_like:
+                for child in inputs:
+                    if neg1[child]:
+                        neg1[var] = 1
+                        break
+                for child in inputs:
+                    if xr1[child]:
+                        xr1[var] = 1
+                        break
+                continue
+            if gate in neg_roots:
+                # NOT/NOR closures can also reach an XOR output through the
+                # inverted side, but these gates make the variable relevant
+                # through ``neg1`` already, so tracking that reach would
+                # never change ``neg1 | xr1``.
+                neg1[var] = 1
+        self._xor_out_mask = xor_out_mask
+        self._xnor_out_mask = xnor_out_mask
+        if self.xor_and_only:
+            # The strict rule requires an XOR output inside the monomial,
+            # and it is the only consumer of the AND-gate support sets.
+            self.relevant_mask = xor_out_mask
+            for var, record in records.items():
+                if (record.gate_type is gate_and
+                        and len(record.inputs) == 2):
+                    self._and_support[var] = frozenset(record.inputs)
+        else:
+            self._nontrivial_mask = nontrivial
+            relevant = 0
+            for var in range(size):
+                if neg1[var] or xr1[var]:
+                    relevant |= 1 << var
+            self.relevant_mask = relevant
+        # The implied-literal tables (``must1``/``must0``) are resolved lazily
         # by :meth:`_must` — only variables that actually appear in tested
         # monomials pay for their (transitive) table construction.
 
@@ -109,7 +258,7 @@ class VanishingRules:
                 return [(child, True) for child in record.inputs]
         return []
 
-    def _must(self, var: int, value: bool) -> frozenset[Literal]:
+    def _must(self, var: int, value: bool) -> MustMasks:
         """Implied literals of ``var = value``, resolving dependencies lazily.
 
         An explicit work stack (instead of recursion) keeps deep AND/OR
@@ -119,68 +268,92 @@ class VanishingRules:
         cached = table.get(var)
         if cached is not None:
             return cached
-        if var not in self.model.records:
-            return frozenset({(var, value)})
+        records = self.model.records
+        if var not in records:
+            return (1 << var, 0) if value else (0, 1 << var)
+        must1 = self._must1
+        must0 = self._must0
+        dependencies = self._must_dependencies
+        compute = self._compute_must
         stack: list[tuple[int, bool]] = [(var, value)]
         while stack:
             current, current_value = stack[-1]
-            current_table = self._must1 if current_value else self._must0
+            current_table = must1 if current_value else must0
             if current in current_table:
                 stack.pop()
                 continue
-            missing = [
-                (child, child_value)
-                for child, child_value in self._must_dependencies(
-                    current, current_value)
-                if child != current and child not in (
-                    self._must1 if child_value else self._must0)
-                and child in self.model.records]
-            if missing:
-                stack.extend(missing)
-                continue
-            current_table[current] = self._compute_must(current, current_value)
-            stack.pop()
+            ready = True
+            for child, child_value in dependencies(current, current_value):
+                if (child != current and child in records
+                        and child not in (must1 if child_value else must0)):
+                    stack.append((child, child_value))
+                    ready = False
+            if ready:
+                current_table[current] = compute(current, current_value)
+                stack.pop()
         return table[var]
 
-    def _compute_must(self, var: int, value: bool) -> frozenset[Literal]:
+    def _compute_must(self, var: int, value: bool) -> MustMasks:
         record = self.model.records[var]
         gate = record.gate_type
-        literals: set[Literal] = {(var, value)}
+        pos, neg = ((1 << var), 0) if value else (0, (1 << var))
         if gate is None or self.xor_and_only:
-            return frozenset(literals)
-
-        def implied_when_true(child: int) -> frozenset[Literal]:
-            return self._must1.get(child, frozenset({(child, True)}))
-
-        def implied_when_false(child: int) -> frozenset[Literal]:
-            return self._must0.get(child, frozenset({(child, False)}))
+            return (pos, neg)
+        must1 = self._must1
+        must0 = self._must0
 
         if value:
             if gate in (GateType.AND, GateType.BUF):
                 for child in record.inputs:
-                    literals |= implied_when_true(child)
+                    child_pos, child_neg = must1.get(child, (1 << child, 0))
+                    pos |= child_pos
+                    neg |= child_neg
             elif gate is GateType.NOT:
-                literals |= implied_when_false(record.inputs[0])
+                child = record.inputs[0]
+                child_pos, child_neg = must0.get(child, (0, 1 << child))
+                pos |= child_pos
+                neg |= child_neg
             elif gate is GateType.NOR:
                 for child in record.inputs:
-                    literals |= implied_when_false(child)
+                    child_pos, child_neg = must0.get(child, (0, 1 << child))
+                    pos |= child_pos
+                    neg |= child_neg
             elif gate is GateType.CONST0:
                 # A constant-0 output can never be 1: mark as self-contradictory.
-                literals.add((var, False))
+                neg |= 1 << var
         else:
             if gate in (GateType.OR, GateType.BUF):
                 for child in record.inputs:
-                    literals |= implied_when_false(child)
+                    child_pos, child_neg = must0.get(child, (0, 1 << child))
+                    pos |= child_pos
+                    neg |= child_neg
             elif gate is GateType.NOT:
-                literals |= implied_when_true(record.inputs[0])
+                child = record.inputs[0]
+                child_pos, child_neg = must1.get(child, (1 << child, 0))
+                pos |= child_pos
+                neg |= child_neg
             elif gate is GateType.NAND:
                 for child in record.inputs:
-                    literals |= implied_when_true(child)
+                    child_pos, child_neg = must1.get(child, (1 << child, 0))
+                    pos |= child_pos
+                    neg |= child_neg
             elif gate is GateType.CONST1:
-                literals.add((var, True))
-        if len(literals) > self.max_implied_literals:
-            literals = {(var, value)}
-        return frozenset(literals)
+                pos |= 1 << var
+        if pos.bit_count() + neg.bit_count() > self.max_implied_literals:
+            return ((1 << var), 0) if value else (0, (1 << var))
+        return (pos, neg)
+
+    # -- literal views (reference/compatibility) --------------------------------
+
+    def implied_literals(self, var: int, value: bool) -> frozenset[Literal]:
+        """The implied-literal set of ``var = value`` as ``(var, polarity)`` pairs.
+
+        The packed ``(pos, neg)`` masks are the storage format; this view
+        exists for tests and debugging, not for the hot path.
+        """
+        pos, neg = self._must(var, value)
+        return frozenset([(v, True) for v in bits_of(pos)]
+                         + [(v, False) for v in bits_of(neg)])
 
     # -- the vanishing test ------------------------------------------------------
 
@@ -190,69 +363,155 @@ class VanishingRules:
 
     def is_vanishing_mask(self, mask: int) -> bool:
         """Mask-level :meth:`is_vanishing` (the rewriting fast path)."""
-        if mask.bit_count() < 2:
+        if not mask & self.relevant_mask:
+            # The monomial touches no variable that could contribute a
+            # contradiction: it cannot vanish under either rule.
             return False
         cached = self.cache.get(mask)
         if cached is not None:
+            self.cache_hits += 1
             return cached
-        result = (self._xor_and_rule(mask) if self.xor_and_only
-                  else self._implied_literal_rule(mask))
-        self.cache[mask] = result
+        return self._test_new_mask(mask)
+
+    def _test_new_mask(self, mask: int) -> bool:
+        """Uncached-verdict path: callers guarantee a relevance-checked miss."""
+        if mask.bit_count() < 2:
+            # Cached so the inline probes of repeated sweeps hit instead of
+            # falling through to a call; the verdict is always ``False``
+            # (a single variable or the constant ``1`` never vanishes).
+            cache = self.cache
+            if self.cache_limit is not None and len(cache) >= self.cache_limit:
+                cache.clear()
+                self.cache_resets += 1
+            cache[mask] = False
+            return False
+        self.cache_misses += 1
+        # Monotonicity shortcut: a multiple of a recorded vanishing monomial
+        # vanishes without re-running the rule (both rules only ever gain
+        # contradictions when variables are added, never lose them).
+        if self._witness_low_mask & mask and self._witness_divides(mask):
+            self.witness_hits += 1
+            result = True
+        else:
+            result = (self._xor_and_rule(mask) if self.xor_and_only
+                      else self._implied_literal_rule(mask))
+            if result:
+                self._record_witness(mask)
+        cache = self.cache
+        if self.cache_limit is not None and len(cache) >= self.cache_limit:
+            cache.clear()
+            self.cache_resets += 1
+        cache[mask] = result
         return result
+
+    def _witness_divides(self, mask: int) -> bool:
+        """Whether a recorded vanishing mask divides (is a submask of) ``mask``.
+
+        Only the buckets of the witness low-bits present in ``mask`` are
+        scanned — a dividing witness necessarily has its lowest variable
+        inside the mask.
+        """
+        buckets = self._witness_low
+        gate = mask & self._witness_low_mask
+        while gate:
+            low = gate & -gate
+            gate ^= low
+            if any_submask(buckets[low.bit_length() - 1], mask):
+                return True
+        return False
+
+    def _record_witness(self, mask: int) -> None:
+        """Add a newly proven vanishing mask to the minimal-witness set.
+
+        New witnesses are only recorded when no recorded witness already
+        divides them (guaranteed by the lookup order of
+        :meth:`is_vanishing_mask`) and recorded multiples sharing the same
+        lowest variable are evicted, keeping the set near-minimal.  The cap
+        of :data:`WITNESS_LIMIT` bounds the lookup cost; forgetting a
+        witness never changes a verdict, only the shortcut's reach.
+        """
+        if self._witness_count >= WITNESS_LIMIT:
+            return
+        low_var = (mask & -mask).bit_length() - 1
+        bucket = self._witness_low.get(low_var)
+        if bucket is None:
+            self._witness_low[low_var] = [mask]
+            self._witness_low_mask |= 1 << low_var
+        else:
+            survivors = [w for w in bucket if w & mask != mask]
+            self._witness_count -= len(bucket) - len(survivors)
+            survivors.append(mask)
+            self._witness_low[low_var] = survivors
+        self._witness_count += 1
 
     def _xor_and_rule(self, mask: int) -> bool:
         """The literal rule from the paper: XOR and AND over the same pair."""
-        xor_pairs = [frozenset(self._xor_support[v]) for v in iter_bits(mask)
+        xor_pairs = [frozenset(self._xor_support[v]) for v in bits_of(mask)
                      if v in self._xor_support]
         if not xor_pairs:
             return False
-        and_pairs = {self._and_support[v] for v in iter_bits(mask)
+        and_pairs = {self._and_support[v] for v in bits_of(mask)
                      if v in self._and_support}
         return any(pair in and_pairs for pair in xor_pairs)
 
     def _implied_literal_rule(self, mask: int) -> bool:
-        """Sound generalisation via implied-literal consistency."""
-        positive: set[int] = set()
-        negative: set[int] = set()
+        """Sound generalisation via implied-literal consistency.
+
+        Every variable implies its own positive literal, so the accumulated
+        ``pos`` mask starts as the monomial mask itself and the loop only
+        visits variables whose table can hold more (one AND with
+        :attr:`_nontrivial_mask` selects them — XOR outputs and primary
+        inputs, the bulk of rewriting monomials, are skipped wholesale).
+        A contradiction is one AND; the XOR/XNOR follow-up only visits gate
+        outputs that are actually implied, checking each against its
+        precomputed input-support mask.
+        """
+        pos = mask
+        neg = 0
         must1 = self._must1
-        for var in bits_of(mask):
-            literals = must1.get(var)
-            if literals is None:
-                literals = self._must(var, True)
-            for lit_var, polarity in literals:
-                if polarity:
-                    if lit_var in negative:
-                        return True
-                    positive.add(lit_var)
-                else:
-                    if lit_var in positive:
-                        return True
-                    negative.add(lit_var)
-        # XOR/XNOR consistency of gates whose output is implied positive.
-        for var in positive:
-            support = self._xor_support.get(var)
-            if support is not None:
-                a, b = support
-                if (a in positive and b in positive) or (a in negative and b in negative):
+        remaining = mask & self._nontrivial_mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            var = low.bit_length() - 1
+            entry = must1.get(var)
+            if entry is None:
+                entry = self._must(var, True)
+            pos |= entry[0]
+            neg |= entry[1]
+        if pos & neg:
+            return True
+        # XOR outputs implied positive and XNOR outputs implied negative
+        # force their inputs to *differ*: contradiction if both inputs are
+        # forced to the same polarity.  The converse gates force *equal*
+        # inputs: contradiction if the inputs are forced to differ (one
+        # positive, one negative — ``pos`` and ``neg`` are disjoint here).
+        # Without negative literals (the common pure-positive monomial) only
+        # the positive-side check of the first form can fire.
+        pair_mask = self._pair_mask
+        if not neg:
+            differing = pos & self._xor_out_mask
+            while differing:
+                low = differing & -differing
+                differing ^= low
+                support = pair_mask[low.bit_length() - 1]
+                if pos & support == support:
                     return True
-            support = self._xnor_support.get(var)
-            if support is not None:
-                a, b = support
-                if (a in positive and b in negative) or (a in negative and b in positive):
-                    return True
-        # XOR gates implied *negative* force equal inputs; contradiction if
-        # the monomial also forces the inputs to differ.
-        for var in negative:
-            support = self._xor_support.get(var)
-            if support is not None:
-                a, b = support
-                if (a in positive and b in negative) or (a in negative and b in positive):
-                    return True
-            support = self._xnor_support.get(var)
-            if support is not None:
-                a, b = support
-                if (a in positive and b in positive) or (a in negative and b in negative):
-                    return True
+            return False
+        differing = (pos & self._xor_out_mask) | (neg & self._xnor_out_mask)
+        while differing:
+            low = differing & -differing
+            differing ^= low
+            support = pair_mask[low.bit_length() - 1]
+            if pos & support == support or neg & support == support:
+                return True
+        equal = (neg & self._xor_out_mask) | (pos & self._xnor_out_mask)
+        while equal:
+            low = equal & -equal
+            equal ^= low
+            support = pair_mask[low.bit_length() - 1]
+            if pos & support and neg & support:
+                return True
         return False
 
     # -- polynomial filtering ------------------------------------------------------
@@ -260,14 +519,39 @@ class VanishingRules:
     def remove_vanishing(self, polynomial):
         """Remove vanishing monomials from a polynomial, counting removals.
 
-        Filtering is delegated to the
-        :class:`~repro.algebra.substitution.SubstitutionEngine` (the one
-        shared term-map kernel); the removals accumulate in
+        The inline sweep resolves already-tested masks with one cache
+        probe each; the removals accumulate in
         :attr:`removed_count` (the ``#CVM`` statistic of Table III).  Inside
-        the rewriting loop the engine additionally keeps its working tails
-        vanishing-free incrementally, testing only newly created terms.
+        the rewriting loop the substitution engine additionally keeps its
+        working tails vanishing-free incrementally, testing only newly
+        created terms.
         """
-        doomed = SubstitutionEngine.find_vanishing(polynomial.masks(), self)
+        relevant = self.relevant_mask
+        if not polynomial.support_mask() & relevant:
+            # No variable of this polynomial can contribute a contradiction:
+            # skip the sweep outright (one AND instead of a probe per term).
+            return polynomial
+        # The sweep runs once per candidate-free tail of a rewriting
+        # pass, so it is inlined — the call layers count at that rate.
+        cache_get = self.cache.get
+        test_new_mask = self._test_new_mask
+        doomed = None
+        probe_hits = 0
+        for mask in polynomial.mask_view():
+            if not mask & relevant:
+                continue
+            verdict = cache_get(mask)
+            if verdict is None:
+                verdict = test_new_mask(mask)
+            else:
+                probe_hits += 1
+            if verdict:
+                if doomed is None:
+                    doomed = [mask]
+                else:
+                    doomed.append(mask)
+        if probe_hits:
+            self.cache_hits += probe_hits
         if not doomed:
             return polynomial
         terms = dict(polynomial.term_masks())

@@ -245,6 +245,158 @@ def test_polynomial_substitute_delegates_to_engine():
     assert dict(result.term_masks()) == expected
 
 
+# ---------------------------------------------------------------------------
+# substitute_batch: differential equivalence with the sequential kernel
+# ---------------------------------------------------------------------------
+
+def _random_replacements(rng: random.Random,
+                         order: list[int]) -> list[tuple[int, list]]:
+    """One replacement per variable, over strictly smaller variables."""
+    items = []
+    for var in order:
+        tail = _random_terms(rng, rng.randint(1, 4), max(var, 1))
+        items.append((var, list(tail.items()) or [(0, 1)]))
+    return items
+
+
+def _sequential_engine(terms, index_mask, items, *, force_index=False,
+                       growth_limit=None, retire=True, vanishing=None,
+                       modulus=None):
+    engine = SubstitutionEngine(terms, index_mask, vanishing=vanishing,
+                                coefficient_modulus=modulus)
+    if force_index:
+        engine._build_index()
+    outcomes = []
+    for var, replacement in items:
+        affected = engine.substitute(var, replacement, growth_limit, retire)
+        outcomes.append((affected, len(engine.terms)))
+    return engine, outcomes
+
+
+@pytest.mark.parametrize("force_index", [False, True])
+@pytest.mark.parametrize("modulus", [None, 16])
+def test_substitute_batch_matches_sequential_substitute(force_index, modulus):
+    """Term maps, per-step results, and statistics are batch-identical."""
+    rng = random.Random(42)
+    for trial in range(20):
+        terms = _random_terms(rng, 50, 14)
+        order = sorted(rng.sample(range(4, 14), rng.randint(2, 7)),
+                       reverse=True)
+        items = _random_replacements(rng, order)
+        index_mask = sum(1 << var for var in order)
+
+        reference, expected = _sequential_engine(
+            terms, index_mask, items, force_index=force_index,
+            modulus=modulus)
+
+        engine = SubstitutionEngine(terms, index_mask,
+                                    coefficient_modulus=modulus)
+        if force_index:
+            engine._build_index()
+        results, tripped = engine.substitute_batch(items, retire=True)
+        assert tripped is None
+        assert results == expected, f"per-step results differ on trial {trial}"
+        assert engine.terms == reference.terms, f"term map differs on {trial}"
+        assert engine.substitutions == reference.substitutions
+        assert engine.affected_terms == reference.affected_terms
+        assert engine.modulus_removed == reference.modulus_removed
+        assert engine.peak_terms == reference.peak_terms
+        # Remaining candidates were retired in both.
+        assert engine.active_variables() == reference.active_variables()
+
+
+@pytest.mark.parametrize("force_index", [False, True])
+def test_substitute_batch_vanishing_matches_sequential(force_index):
+    """Per-step created-term filtering and #CVM are batch-identical."""
+    rng = random.Random(17)
+    for trial in range(15):
+        terms = _random_terms(rng, 40, 12)
+        order = sorted(rng.sample(range(4, 12), rng.randint(2, 6)),
+                       reverse=True)
+        items = _random_replacements(rng, order)
+        index_mask = sum(1 << var for var in order)
+        doomed = {mask for mask in _random_terms(rng, 6, 10)}
+
+        ref_oracle = _FakeOracle(set(doomed))
+        reference, expected = _sequential_engine(
+            terms, index_mask, items, force_index=force_index,
+            vanishing=ref_oracle)
+
+        oracle = _FakeOracle(set(doomed))
+        engine = SubstitutionEngine(terms, index_mask, vanishing=oracle)
+        if force_index:
+            engine._build_index()
+        results, tripped = engine.substitute_batch(items, retire=True)
+        assert tripped is None
+        assert results == expected
+        assert engine.terms == reference.terms
+        assert oracle.removed_count == ref_oracle.removed_count
+        assert engine.vanishing_removed == reference.vanishing_removed
+
+
+def test_substitute_batch_growth_guard_rolls_back_per_step():
+    """Rejected steps report -1 and leave the map exactly as sequential."""
+    rng = random.Random(5)
+    for trial in range(15):
+        terms = _random_terms(rng, 30, 12)
+        order = sorted(rng.sample(range(4, 12), 5), reverse=True)
+        items = []
+        for var in order:
+            if rng.random() < 0.4:
+                # A wide tail that will trip the growth guard.
+                replacement = [(1 << (20 + j), 1) for j in range(40)]
+            else:
+                replacement = list(
+                    _random_terms(rng, 2, max(var, 1)).items()) or [(0, 1)]
+            items.append((var, replacement))
+
+        reference, expected = _sequential_engine(
+            terms, sum(1 << v for v in order), items, growth_limit=8)
+        engine = SubstitutionEngine(terms, sum(1 << v for v in order))
+        results, tripped = engine.substitute_batch(items, growth_limit=8,
+                                                   retire=True)
+        assert tripped is None
+        assert results == expected
+        assert engine.terms == reference.terms
+        assert engine.rejected_substitutions == reference.rejected_substitutions
+        assert any(affected < 0 for affected, _ in results) or trial
+
+
+def test_substitute_batch_term_limit_trips_like_sequential_budget():
+    """The batch stops right after the step that exceeds the term limit."""
+    var_a, var_b = 10, 11
+    terms = {(1 << var_a) | 1: 1, (1 << var_b) | 2: 1}
+    wide = [(1 << (20 + j), 1) for j in range(30)]
+    items = [(var_a, wide), (var_b, wide)]
+    engine = SubstitutionEngine(terms, (1 << var_a) | (1 << var_b))
+    results, tripped = engine.substitute_batch(items, retire=True,
+                                               term_limit=10)
+    assert tripped == "terms"
+    assert len(results) == 1 and results[0][0] == 1
+    assert results[0][1] > 10
+    # The second variable was never processed.
+    assert engine.contains(var_b)
+
+
+def test_substitute_batch_mixed_mode_transition():
+    """A batch that grows the map across the index threshold stays exact."""
+    rng = random.Random(23)
+    terms = _random_terms(rng, 20, 10)
+    order = sorted(rng.sample(range(3, 10), 5), reverse=True)
+    items = []
+    for var in order:
+        replacement = [(1 << (12 + j), 1) for j in range(INDEX_THRESHOLD // 2)]
+        items.append((var, replacement))
+    index_mask = sum(1 << v for v in order)
+
+    reference, expected = _sequential_engine(terms, index_mask, items)
+    engine = SubstitutionEngine(terms, index_mask)
+    results, tripped = engine.substitute_batch(items, retire=True)
+    assert tripped is None
+    assert results == expected
+    assert engine.terms == reference.terms
+
+
 def test_no_private_substitution_loops_outside_the_engine():
     """reduction/rewriting/vanishing must not re-implement the kernel.
 
@@ -259,3 +411,23 @@ def test_no_private_substitution_loops_outside_the_engine():
         text = (src / module).read_text(encoding="utf-8")
         assert not pattern.search(text), (
             f"{module} contains a private substitution loop")
+
+
+def test_build_index_commits_support_for_candidate_superset():
+    """Regression: an indexed reset must expose the loaded map's support.
+
+    ``candidate_superset`` (and the load-time vanishing sweep) read
+    ``_support`` in indexed mode too; a stale mask would hide candidates
+    from ``gb_rewrite`` and drop their polynomials without inlining them.
+    """
+    var = 70
+    small = {0b1: 1}
+    big = {(1 << var) | (1 << i): 1 for i in range(2 * INDEX_THRESHOLD)}
+    engine = SubstitutionEngine(small, 1 << var)
+    assert engine.candidate_superset() == 0
+    engine.reset(big, 1 << var)
+    assert engine.indexed
+    assert engine.candidate_superset() == 1 << var
+    results, tripped = engine.substitute_batch([(var, [(0, 1)])], retire=True)
+    assert tripped is None
+    assert results[0][0] == 2 * INDEX_THRESHOLD

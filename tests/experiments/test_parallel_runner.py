@@ -173,3 +173,55 @@ def test_run_catalog_convenience(config):
 def test_config_jobs_from_environment(monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_JOBS", "3")
     assert ExperimentConfig.from_environment().jobs == 3
+
+
+# ---------------------------------------------------------------------------
+# Longest-expected-first scheduling
+# ---------------------------------------------------------------------------
+
+def test_expected_cost_key_orders_width_then_method_then_architecture():
+    from repro.experiments.runner import expected_cost_key
+
+    light = VerificationJob("SP-AR-RC", 4, "mt-lr")
+    wide = VerificationJob("SP-AR-RC", 16, "mt-lr")
+    heavy_method = VerificationJob("SP-AR-RC", 16, "mt-naive")
+    booth_tree = VerificationJob("BP-WT-CL", 16, "mt-naive")
+    assert expected_cost_key(light) < expected_cost_key(wide)
+    assert expected_cost_key(wide) < expected_cost_key(heavy_method)
+    assert expected_cost_key(heavy_method) < expected_cost_key(booth_tree)
+
+
+def test_parallel_assignment_prefers_expensive_jobs_first(config, monkeypatch):
+    """The widest/heaviest job must be assigned before the light tail."""
+    from repro.experiments.runner import expected_cost_key
+
+    assigned = []
+    original_assign = runner_module._PoolWorker.assign
+
+    def spy(self, index, job, task_timeout_s):
+        assigned.append(job)
+        return original_assign(self, index, job, task_timeout_s)
+
+    monkeypatch.setattr(runner_module._PoolWorker, "assign", spy)
+    jobs = [VerificationJob("SP-AR-RC", 3, "mt-lr"),
+            VerificationJob("SP-AR-RC", 3, "mt-fo"),
+            VerificationJob("SP-WT-RC", 4, "mt-lr"),
+            VerificationJob("BP-WT-RC", 4, "mt-fo")]
+    runner = ParallelRunner(config, workers=2)
+    rows = runner.run(jobs)
+    # Results keep grid order regardless of the schedule.
+    assert [row["architecture"] for row in rows] == [
+        job.architecture for job in jobs]
+    # The first assignment is the heaviest job by the cost heuristic.
+    heaviest = max(jobs, key=expected_cost_key)
+    assert assigned[0] == heaviest
+
+
+def test_parallel_schedule_matches_serial_rows(config):
+    """Scheduling order never leaks into the result rows."""
+    jobs = [VerificationJob(arch, width, "mt-lr")
+            for width in (2, 3) for arch in ("SP-AR-RC", "SP-WT-RC")]
+    runner = ParallelRunner(config, workers=2)
+    serial = runner.run_serial(jobs)
+    parallel = runner.run(jobs)
+    assert _deterministic(serial) == _deterministic(parallel)

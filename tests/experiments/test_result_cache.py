@@ -123,3 +123,41 @@ def test_corrupt_cache_entry_is_a_miss(tmp_path, config):
     assert cache.get(key) is None
     rows = ParallelRunner(config, workers=1, cache_dir=tmp_path).run([job])
     assert rows[0]["verified"] is True
+
+
+def test_runner_reports_cache_hit_and_executed_counts(tmp_path, config):
+    jobs = [VerificationJob("SP-AR-RC", 3, "mt-lr"),
+            VerificationJob("SP-WT-RC", 3, "mt-lr")]
+    runner = ParallelRunner(config, workers=1, cache_dir=tmp_path)
+    runner.run(jobs)
+    assert runner.last_cache_hits == 0
+    assert runner.last_executed == len(jobs)
+    rerun = ParallelRunner(config, workers=1, cache_dir=tmp_path)
+    rerun.run(jobs)
+    assert rerun.last_cache_hits == len(jobs)
+    assert rerun.last_executed == 0
+
+
+def test_batch_cli_prints_cache_footer(tmp_path, capsys):
+    from repro.cli import main
+
+    argv = ["batch", "-a", "SP-AR-RC", "-w", "3", "-m", "mt-lr",
+            "--cache", str(tmp_path)]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "cache: hits=0 executed=1" in first
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "cache: hits=1 executed=0" in second
+    # Aside from the cache footer, the cached re-run is byte-identical.
+    strip = lambda text: [line for line in text.splitlines()
+                          if not line.startswith("cache:")]
+    assert strip(first) == strip(second)
+
+
+def test_batch_cli_has_no_footer_without_cache(capsys):
+    from repro.cli import main
+
+    assert main(["batch", "-a", "SP-AR-RC", "-w", "2", "-m", "mt-lr"]) == 0
+    out = capsys.readouterr().out
+    assert "cache:" not in out

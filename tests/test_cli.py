@@ -87,3 +87,23 @@ def test_batch_writes_json_results(tmp_path, capsys):
 def test_batch_rejects_unknown_method(capsys):
     assert main(["batch", "-a", "SP-AR-RC", "-w", "3", "-m", "bogus"]) == 1
     assert "unknown method" in capsys.readouterr().err
+
+
+def test_verify_stats_surfaces_engine_and_vanishing_counters(capsys):
+    assert main(["verify", "-a", "SP-AR-RC", "-w", "4", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "rewrite[xor-rewriting]:" in out
+    assert "vanishing-cache[xor-rewriting]:" in out
+    assert "hits=" in out and "misses=" in out and "size=" in out
+    assert "witness-hits=" in out
+    assert "batches=" in out and "batched-steps=" in out
+    assert "reduction: substitutions=" in out
+
+
+def test_verify_vanishing_cache_limit_flag(capsys):
+    assert main(["verify", "-a", "SP-AR-RC", "-w", "4", "--stats",
+                 "--vanishing-cache-limit", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "VERIFIED" in out
+    # A tiny cap forces at least one whole-cache reset, visible in --stats.
+    assert "resets=0" not in out.split("vanishing-cache", 1)[1].splitlines()[0]
