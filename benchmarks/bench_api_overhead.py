@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Façade-overhead check: VerificationService vs the bare engine call.
+
+ISSUE 4 hygiene gate — the service layer (request resolution, registry
+lookup, report construction) must add no measurable per-verify overhead.
+Interleaved best-of-N on the 8-bit MT-LR smoke rows, asserting the service
+path stays within ``--tolerance`` (default 2%) of the direct
+``verify_multiplier`` call.
+
+Run manually (not part of the tier-1 suite — wall-clock assertions are
+machine-dependent)::
+
+    PYTHONPATH=src python benchmarks/bench_api_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.api import Budgets, VerificationRequest, VerificationService
+from repro.generators.catalog import TABLE1_ARCHITECTURES
+from repro.generators.multipliers import generate_multiplier
+from repro.verification.engine import verify_multiplier
+
+WIDTH = 8
+METHOD = "mt-lr"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=60)
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="allowed relative service overhead (default 2%%)")
+    args = parser.parse_args()
+
+    service = VerificationService()
+    budgets = Budgets()
+    failures = []
+    for architecture in TABLE1_ARCHITECTURES:
+        netlist = generate_multiplier(architecture, WIDTH)
+        request = VerificationRequest.from_netlist(netlist, method=METHOD,
+                                                   budgets=budgets)
+        best_direct = best_service = float("inf")
+        # Interleaved so drift (thermal, scheduler) hits both paths alike.
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            result = verify_multiplier(netlist, method=METHOD)
+            best_direct = min(best_direct, time.perf_counter() - start)
+            assert result.verified
+
+            start = time.perf_counter()
+            report = service.submit(request)
+            best_service = min(best_service, time.perf_counter() - start)
+            assert report.verdict == "verified"
+        overhead = best_service / best_direct - 1.0
+        marker = "" if overhead <= args.tolerance else "  <-- FAIL"
+        print(f"{architecture:<10} direct={best_direct * 1000:7.2f}ms "
+              f"service={best_service * 1000:7.2f}ms "
+              f"overhead={overhead * 100:+.2f}%{marker}")
+        if overhead > args.tolerance:
+            failures.append(architecture)
+    if failures:
+        print(f"FAIL: service façade exceeds {args.tolerance:.0%} overhead "
+              f"on {failures}")
+        return 1
+    print(f"ok: façade overhead within {args.tolerance:.0%} on all "
+          f"{len(TABLE1_ARCHITECTURES)} rows")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,10 +6,10 @@ Run with::
     python examples/quickstart.py
 """
 
+from repro.api import VerificationRequest, VerificationService
 from repro.circuit.netlist import Netlist
 from repro.generators import generate_multiplier
 from repro.modeling.model import AlgebraicModel
-from repro.verification import verify_multiplier
 
 
 def full_adder_example() -> None:
@@ -36,14 +36,19 @@ def verify_a_multiplier() -> None:
     netlist = generate_multiplier("BP-WT-CL", 8)
     print(f"generated {netlist.name}: {netlist.num_gates} gates")
 
-    result = verify_multiplier(netlist, method="mt-lr")
-    print(result.summary())
-    stats = result.model_statistics
-    print(f"rewritten model: #P={stats.num_polynomials} #M={stats.num_monomials} "
-          f"#MP={stats.max_polynomial_terms} #VM={stats.max_monomial_variables}")
+    service = VerificationService()
+    report = service.submit(VerificationRequest.from_netlist(netlist,
+                                                            method="mt-lr"))
+    print(report.summary())
+    counters = report.counters
+    print(f"rewritten model: #P={counters['num_polynomials']} "
+          f"#M={counters['num_monomials']} "
+          f"#MP={counters['max_polynomial_terms']} "
+          f"#VM={counters['max_monomial_variables']}")
     print(f"vanishing monomials cancelled by the XOR-AND rule: "
-          f"{result.cancelled_vanishing_monomials}")
-    assert result.verified
+          f"{counters['cancelled_vanishing_monomials']}")
+    assert report.verdict == "verified"
+    print("report JSON:", report.to_json())
 
 
 if __name__ == "__main__":

@@ -14,16 +14,18 @@ The package provides:
   the XOR-AND vanishing rule (``repro.modeling``, ``repro.verification``),
 * SAT- and BDD-based equivalence-checking baselines (``repro.baselines``),
 * the benchmark harness regenerating the paper's Tables I–III
-  (``repro.experiments``).
+  (``repro.experiments``),
+* the unified service layer — typed requests, pluggable backend registry,
+  structured JSON reports (``repro.api``).
 
 Quickstart::
 
-    from repro.generators import generate_multiplier
-    from repro.verification import verify_multiplier
+    from repro.api import VerificationRequest, VerificationService
 
-    netlist = generate_multiplier("BP-WT-CL", 8)
-    result = verify_multiplier(netlist, method="mt-lr")
-    assert result.verified
+    service = VerificationService()
+    report = service.submit(
+        VerificationRequest.from_architecture("BP-WT-CL", 8, method="mt-lr"))
+    assert report.verdict == "verified"
 """
 
 from repro.errors import (

@@ -1,0 +1,225 @@
+"""The verification service: one front door over every backend.
+
+:class:`VerificationService` is the programmatic entry point of the
+reproduction.  :meth:`~VerificationService.submit` runs a single
+:class:`~repro.api.request.VerificationRequest` in-process and returns a
+:class:`~repro.api.report.VerificationReport`; budget trips come back as
+``verdict="budget"`` reports instead of exceptions.
+:meth:`~VerificationService.run_batch` fans many requests across the
+persistent worker pool of :class:`~repro.experiments.runner.ParallelRunner`
+— crash isolation, hard task timeouts, the on-disk result cache, and
+longest-expected-first scheduling included — without the caller touching
+runner internals.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Sequence
+
+from repro.api.registry import get_backend
+from repro.api.report import VerificationReport
+from repro.api.request import Budgets, VerificationRequest
+from repro.errors import BlowUpError, VerificationError
+
+
+class VerificationService:
+    """Submit verification requests against the registered backends.
+
+    Parameters
+    ----------
+    budgets:
+        Default budgets applied to requests that carry none-overridden
+        defaults; also the budgets of every :meth:`run_batch` job.
+    golden_architecture:
+        Reference architecture the SAT baseline compares against.
+    jobs:
+        Default worker-process count of :meth:`run_batch`.
+    task_timeout_s:
+        Default hard per-job wall-clock limit of :meth:`run_batch`.
+    cache_dir:
+        On-disk result cache directory for :meth:`run_batch` (also
+        honours ``REPRO_BENCH_CACHE`` when left unset, like the runner).
+    """
+
+    def __init__(self, budgets: Budgets | None = None,
+                 golden_architecture: str = "SP-AR-RC",
+                 jobs: int = 1,
+                 task_timeout_s: float | None = None,
+                 cache_dir: str | os.PathLike | None = None) -> None:
+        self.budgets = budgets if budgets is not None else Budgets()
+        self.golden_architecture = golden_architecture
+        self.jobs = jobs
+        self.task_timeout_s = task_timeout_s
+        self.cache_dir = cache_dir
+        #: Cache hit / fresh-execution counts of the last :meth:`run_batch`.
+        self.last_cache_hits = 0
+        self.last_executed = 0
+
+    # -- single requests -------------------------------------------------------
+
+    def submit(self, request: VerificationRequest) -> VerificationReport:
+        """Run one request in-process and return its report.
+
+        Budget trips (:class:`~repro.errors.BlowUpError`) are reported as
+        ``verdict="budget"``; malformed requests (unknown architecture,
+        unparsable Verilog, inapplicable specification) still raise
+        :class:`~repro.errors.ReproError` subclasses.
+        """
+        backend = get_backend(request.method)
+        budgets = request.budgets
+        netlist = request.resolve_netlist()
+        circuit = request.display_name(netlist)
+        width = request.width or len(netlist.input_word("a")) or None
+        if backend.kind == "algebraic":
+            return self._submit_algebraic(request, netlist, circuit, width,
+                                          budgets)
+        if request.resolve_specification() != "multiplier":
+            raise VerificationError(
+                f"backend {backend.name!r} only supports the multiplier "
+                "specification")
+        if backend.kind == "sat":
+            return self._submit_sat(netlist, circuit, width, budgets,
+                                    method=backend.name)
+        return self._submit_bdd(netlist, circuit, width, budgets,
+                                method=backend.name)
+
+    def _submit_algebraic(self, request: VerificationRequest, netlist,
+                          circuit: str, width: int | None,
+                          budgets: Budgets) -> VerificationReport:
+        from repro.verification.engine import verify
+        start = time.perf_counter()
+        try:
+            result = verify(netlist,
+                            specification=request.resolve_specification(),
+                            method=request.method,
+                            budgets=budgets,
+                            xor_and_only=request.xor_and_only,
+                            find_counterexample=request.find_counterexample,
+                            seed=request.seed)
+        except BlowUpError as error:
+            return VerificationReport.from_blowup(
+                error, method=request.method, circuit=circuit, width=width,
+                elapsed_s=time.perf_counter() - start)
+        return VerificationReport.from_result(result, circuit=circuit,
+                                              width=width)
+
+    def _submit_sat(self, netlist, circuit: str, width: int | None,
+                    budgets: Budgets, method: str = "sat-cec",
+                    ) -> VerificationReport:
+        from repro.baselines.sat.miter import sat_equivalence_check
+        from repro.generators.multipliers import generate_multiplier
+        if not width:
+            raise VerificationError(
+                f"{method} needs the operand width to build the golden "
+                "reference (no 'a' input word found)")
+        golden = generate_multiplier(self.golden_architecture, width)
+        result = sat_equivalence_check(
+            netlist, golden, conflict_limit=budgets.sat_conflict_budget,
+            time_budget_s=budgets.time_budget_s)
+        return VerificationReport.from_sat_result(result, circuit=circuit,
+                                                  width=width, method=method)
+
+    def _submit_bdd(self, netlist, circuit: str, width: int | None,
+                    budgets: Budgets, method: str = "bdd-cec",
+                    ) -> VerificationReport:
+        from repro.baselines.bdd.equivalence import bdd_equivalence_check
+        result = bdd_equivalence_check(netlist, "multiply",
+                                       node_budget=budgets.bdd_node_budget)
+        return VerificationReport.from_bdd_result(result, circuit=circuit,
+                                                  width=width, method=method)
+
+    # -- batches ---------------------------------------------------------------
+
+    def _experiment_config(self, budgets: Budgets):
+        """Map the budget bundle onto the runner's config, verbatim.
+
+        The budgets are authoritative — ``None`` means "guard disabled"
+        exactly as in :meth:`submit`, and ``REPRO_BENCH_*`` environment
+        overrides do not apply (callers who want them can build their
+        budgets with ``Budgets.from_config(ExperimentConfig
+        .from_environment())``).
+        """
+        from repro.experiments.runner import ExperimentConfig
+        config = ExperimentConfig()
+        config.monomial_budget = budgets.monomial_budget
+        config.time_budget_s = budgets.time_budget_s
+        config.sat_conflict_budget = budgets.sat_conflict_budget
+        config.bdd_node_budget = budgets.bdd_node_budget
+        config.golden_architecture = self.golden_architecture
+        return config
+
+    def run_batch(self, requests: Sequence[VerificationRequest],
+                  jobs: int | None = None,
+                  on_report: Callable[[VerificationReport], None] | None = None,
+                  ) -> list[VerificationReport]:
+        """Run many requests and return their reports in request order.
+
+        Architecture-sourced multiplier requests with the runner-default
+        knobs are fanned across the persistent worker pool (with the
+        on-disk cache and longest-expected-first scheduling); everything
+        else — netlist/Verilog/adder sources, ``xor_and_only``, a custom
+        seed, or ``find_counterexample=True`` (the pool never searches
+        counterexamples) — falls back to in-process :meth:`submit`, so a
+        request always means the same thing through either path.  All
+        requests of one batch share the service-level :attr:`budgets` —
+        per-request budgets must match them (the pool applies one
+        :class:`~repro.experiments.runner.ExperimentConfig` to every job).
+        """
+        from repro.experiments.runner import ParallelRunner, VerificationJob
+        requests = list(requests)
+        for request in requests:
+            if request.budgets != self.budgets:
+                raise VerificationError(
+                    "run_batch applies the service-level budgets to every "
+                    "job; per-request budgets must equal service.budgets "
+                    "(use submit() for one-off budgets)")
+        pooled: list[int] = []
+        reports: dict[int, VerificationReport] = {}
+        for index, request in enumerate(requests):
+            if (request.architecture is not None
+                    and request.circuit_kind == "multiplier"
+                    and request.specification is None
+                    and not request.xor_and_only
+                    and not request.find_counterexample
+                    and request.seed == 0):
+                pooled.append(index)
+        runner = ParallelRunner(
+            self._experiment_config(self.budgets),
+            workers=jobs if jobs is not None else self.jobs,
+            task_timeout_s=self.budgets.task_timeout_s
+            if self.budgets.task_timeout_s is not None else self.task_timeout_s,
+            cache_dir=self.cache_dir)
+        grid = [VerificationJob(requests[i].architecture, requests[i].width,
+                                requests[i].method) for i in pooled]
+        rows = runner.run(grid)
+        self.last_cache_hits = runner.last_cache_hits
+        self.last_executed = runner.last_executed
+        for index, row in zip(pooled, rows):
+            reports[index] = VerificationReport.from_row(row)
+        for index, request in enumerate(requests):
+            if index not in reports:
+                reports[index] = self.submit(request)
+        ordered = [reports[i] for i in range(len(requests))]
+        if on_report is not None:
+            for report in ordered:
+                on_report(report)
+        return ordered
+
+    def run_grid(self, architectures: Sequence[str], widths: Sequence[int],
+                 methods: Sequence[str], jobs: int | None = None,
+                 ) -> list[VerificationReport]:
+        """Convenience: the full (architecture, width, method) grid as a batch.
+
+        Grid requests skip the counterexample search (the experiment-runner
+        contract: table rows report verdicts and counters, not witnesses),
+        which keeps every cell eligible for the worker pool.
+        """
+        requests = [
+            VerificationRequest.from_architecture(architecture, width, method,
+                                                  budgets=self.budgets,
+                                                  find_counterexample=False)
+            for width in widths for architecture in architectures
+            for method in methods]
+        return self.run_batch(requests, jobs=jobs)

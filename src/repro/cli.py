@@ -22,6 +22,20 @@ Print one of the paper's tables (optionally across 4 worker processes)::
 Verify a whole architecture catalog in parallel::
 
     repro-verify batch --width 4 --methods mt-lr,mt-fo --jobs 4
+
+Exit codes (driven by the report verdict, uniform across ``verify``,
+``verify-verilog`` and ``batch``):
+
+* ``0`` — verified (or nothing applicable to check),
+* ``1`` — usage or infrastructure error,
+* ``2`` — refuted (a mismatch was proven),
+* ``3`` — a budget/timeout tripped before a verdict (``batch`` also uses
+  3 when any row crashed or errored without a refutation).
+
+``--json`` makes ``verify``/``verify-verilog`` emit one
+:class:`~repro.api.report.VerificationReport` JSON object and ``batch``
+one JSON line per row — the same schema the Python API returns (see
+``repro/api/__init__.py``).
 """
 
 from __future__ import annotations
@@ -30,7 +44,11 @@ import argparse
 import json
 import sys
 
-from repro.circuit.verilog import load_verilog, save_verilog
+from repro.api.registry import backend_names, has_backend
+from repro.api.report import VerificationReport
+from repro.api.request import Budgets, VerificationRequest
+from repro.api.service import VerificationService
+from repro.circuit.verilog import save_verilog
 from repro.errors import BlowUpError, ReproError
 from repro.experiments.runner import (
     ExperimentConfig,
@@ -45,13 +63,12 @@ from repro.generators.catalog import (
     architecture_names,
 )
 from repro.generators.multipliers import generate_multiplier
-from repro.verification.engine import verify, verify_adder, verify_multiplier
 
 
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--method", default="mt-lr",
-                        choices=["mt-lr", "mt-fo", "mt-naive", "mt-xor"],
-                        help="verification method (default: mt-lr)")
+                        choices=list(backend_names()),
+                        help="verification backend (default: mt-lr)")
     parser.add_argument("--monomial-budget", type=int, default=2_000_000,
                         help="abort when the remainder exceeds this many monomials")
     parser.add_argument("--time-budget", type=float, default=None,
@@ -62,6 +79,15 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--vanishing-cache-limit", type=int, default=None,
                         help="cap on the vanishing-rule verdict cache "
                              "(whole-cache reset on overflow)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the verification report as one JSON "
+                             "object (schema in repro/api/__init__.py)")
+
+
+def _budgets_from_args(args: argparse.Namespace) -> Budgets:
+    return Budgets(monomial_budget=args.monomial_budget,
+                   time_budget_s=args.time_budget,
+                   vanishing_cache_limit=args.vanishing_cache_limit)
 
 
 def _print_engine_stats(result) -> None:
@@ -94,6 +120,12 @@ def _print_engine_stats(result) -> None:
           f"time={trace.elapsed_s:.3f}s")
 
 
+def _print_counterexample(counterexample: dict[str, int]) -> None:
+    assignment = ", ".join(f"{k}={v}" for k, v in
+                           sorted(counterexample.items()))
+    print("counterexample:", assignment)
+
+
 def _report(result, show_stats: bool = False) -> int:
     print(result.summary())
     if show_stats:
@@ -101,9 +133,7 @@ def _report(result, show_stats: bool = False) -> int:
     if not result.verified:
         print("remainder:", result.remainder_text or "(non-zero)")
         if result.counterexample:
-            assignment = ", ".join(f"{k}={v}" for k, v in
-                                   sorted(result.counterexample.items()))
-            print("counterexample:", assignment)
+            _print_counterexample(result.counterexample)
         return 2
     stats = result.model_statistics
     print(f"model: #P={stats.num_polynomials} #M={stats.num_monomials} "
@@ -111,30 +141,40 @@ def _report(result, show_stats: bool = False) -> int:
     return 0
 
 
+def _run_request(request: VerificationRequest, args: argparse.Namespace) -> int:
+    """Submit one request to the service and render its report."""
+    report = VerificationService().submit(request)
+    if args.json:
+        print(report.to_json())
+        return report.exit_code
+    if report.verdict == "budget":
+        reason = report.reason or "budget exhausted before a verdict"
+        print(f"TIMEOUT/BLOW-UP: {reason}", file=sys.stderr)
+        return report.exit_code
+    if report.result is not None and hasattr(report.result, "summary"):
+        # Algebraic backends: the rich engine output (+ --stats counters).
+        _report(report.result, show_stats=args.stats)
+        return report.exit_code
+    # SAT/BDD baselines: the uniform report summary.
+    print(report.summary())
+    if report.verdict == "refuted" and report.counterexample:
+        _print_counterexample(report.counterexample)
+    return report.exit_code
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
-    if args.adder:
-        netlist = generate_adder(args.architecture, args.width)
-        result = verify_adder(netlist, method=args.method,
-                              monomial_budget=args.monomial_budget,
-                              time_budget_s=args.time_budget,
-                              vanishing_cache_limit=args.vanishing_cache_limit)
-    else:
-        netlist = generate_multiplier(args.architecture, args.width)
-        result = verify_multiplier(
-            netlist, method=args.method,
-            monomial_budget=args.monomial_budget,
-            time_budget_s=args.time_budget,
-            vanishing_cache_limit=args.vanishing_cache_limit)
-    return _report(result, show_stats=args.stats)
+    request = VerificationRequest.from_architecture(
+        args.architecture, args.width, method=args.method,
+        circuit_kind="adder" if args.adder else "multiplier",
+        budgets=_budgets_from_args(args))
+    return _run_request(request, args)
 
 
 def _cmd_verify_verilog(args: argparse.Namespace) -> int:
-    netlist = load_verilog(args.netlist)
-    result = verify(netlist, specification=args.spec, method=args.method,
-                    monomial_budget=args.monomial_budget,
-                    time_budget_s=args.time_budget,
-                    vanishing_cache_limit=args.vanishing_cache_limit)
-    return _report(result, show_stats=args.stats)
+    request = VerificationRequest.from_verilog(
+        path=args.netlist, method=args.method, specification=args.spec,
+        budgets=_budgets_from_args(args))
+    return _run_request(request, args)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -178,7 +218,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     architectures = _resolve_batch_architectures(args.architectures)
     methods = [m.strip() for m in args.methods.split(",") if m.strip()]
     for method in methods:
-        if method not in JOB_METHODS:
+        if not has_backend(method):
             print(f"error: unknown method {method!r}; expected one of "
                   f"{', '.join(JOB_METHODS)}", file=sys.stderr)
             return 1
@@ -193,29 +233,38 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                             cache_dir=args.cache)
     grid = ParallelRunner.catalog(architectures, config.widths, methods)
     rows = runner.run(grid)
+    reports = [VerificationReport.from_row(row) for row in rows]
 
-    counts: dict[str, int] = {}
-    for row in rows:
-        verdict = ("pass" if row["verified"] else
-                   "FAIL" if row["verified"] is False else
-                   row["status"])
-        counts[verdict] = counts.get(verdict, 0) + 1
-        print(f"{row['architecture']:<12} {row['width']:>3} "
-              f"{row['method']:<8} {verdict}")
-    print("summary: " + " ".join(f"{verdict}={count}" for verdict, count
-                                 in sorted(counts.items())))
-    if runner.cache is not None:
-        # Cache-aware footer: deterministic for a given cache directory, so
-        # the output stays byte-identical across --jobs values.
-        print(f"cache: hits={runner.last_cache_hits} "
-              f"executed={runner.last_executed}")
+    if args.json:
+        # One report JSON line per row — the same schema as the Python API
+        # and `verify --json`; summary/cache footers are human output only.
+        for report in reports:
+            print(report.to_json())
+    else:
+        counts: dict[str, int] = {}
+        for row in rows:
+            verdict = ("pass" if row["verified"] else
+                       "FAIL" if row["verified"] is False else
+                       row["status"])
+            counts[verdict] = counts.get(verdict, 0) + 1
+            print(f"{row['architecture']:<12} {row['width']:>3} "
+                  f"{row['method']:<8} {verdict}")
+        print("summary: " + " ".join(f"{verdict}={count}" for verdict, count
+                                     in sorted(counts.items())))
+        if runner.cache is not None:
+            # Cache-aware footer: deterministic for a given cache directory,
+            # so the output stays byte-identical across --jobs values.
+            print(f"cache: hits={runner.last_cache_hits} "
+                  f"executed={runner.last_executed}")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(rows, handle, indent=2, default=str)
         print(f"wrote {len(rows)} rows to {args.output}", file=sys.stderr)
-    if any(row["verified"] is False for row in rows):
+    # Exit-code mapping (see module docstring): refutations dominate, then
+    # budget trips / infrastructure failures, then success.
+    if any(report.verdict == "refuted" for report in reports):
         return 2
-    if any(row["status"] in ("TO", "error", "crash") for row in rows):
+    if any(report.verdict in ("budget", "error") for report in reports):
         return 3
     return 0
 
@@ -286,6 +335,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override the REPRO_BENCH_MONOMIAL_BUDGET / "
                               "default budget for this batch")
     p_batch.add_argument("--time-budget", type=float, default=None)
+    p_batch.add_argument("--json", action="store_true",
+                         help="emit one verification-report JSON line per "
+                              "row instead of the verdict table")
     p_batch.set_defaults(func=_cmd_batch)
     return parser
 

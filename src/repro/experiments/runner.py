@@ -31,11 +31,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from repro.api.registry import backend_names, get_backend, scheduling_rank
+from repro.api.report import VerificationReport, format_seconds
 from repro.baselines.bdd.equivalence import bdd_equivalence_check
 from repro.baselines.sat.miter import sat_equivalence_check
 from repro.errors import BlowUpError, ReproError
 from repro.generators.multipliers import generate_multiplier
-from repro.verification.engine import METHODS, verify_multiplier
+from repro.verification.engine import verify_multiplier
 
 
 @dataclass
@@ -83,11 +85,8 @@ class ExperimentConfig:
         return config
 
 
-def _format_seconds(seconds: float) -> str:
-    hours = int(seconds // 3600)
-    minutes = int((seconds % 3600) // 60)
-    secs = seconds % 60
-    return f"{hours:02d}:{minutes:02d}:{secs:05.2f}"
+#: Legacy alias — the canonical formatter lives with the report schema.
+_format_seconds = format_seconds
 
 
 def run_membership_testing(architecture: str, width: int, method: str,
@@ -100,31 +99,17 @@ def run_membership_testing(architecture: str, width: int, method: str,
             netlist, method=method, monomial_budget=config.monomial_budget,
             time_budget_s=config.time_budget_s, find_counterexample=False)
     except BlowUpError as error:
-        elapsed = time.perf_counter() - start
-        return {
-            "architecture": architecture, "width": width, "method": method,
-            "status": "TO", "time": "TO", "time_s": elapsed,
-            "verified": None, "reason": str(error),
-        }
-    return {
-        "architecture": architecture, "width": width, "method": method,
-        "status": "ok" if result.verified else "mismatch",
-        "time": _format_seconds(result.total_time_s),
-        "time_s": result.total_time_s,
-        "verified": result.verified,
-        "cancelled_vanishing_monomials": result.cancelled_vanishing_monomials,
-        "reduction_time_s": result.reduction_time_s,
-        "rewrite_time_s": result.rewrite_time_s,
-        "num_polynomials": result.model_statistics.num_polynomials,
-        "num_monomials": result.model_statistics.num_monomials,
-        "max_polynomial_terms": result.model_statistics.max_polynomial_terms,
-        "max_monomial_variables": result.model_statistics.max_monomial_variables,
-        "peak_remainder": result.reduction_trace.peak_monomials,
-    }
+        report = VerificationReport.from_blowup(
+            error, method=method, circuit=architecture, width=width,
+            elapsed_s=time.perf_counter() - start)
+        return report.to_row()
+    return VerificationReport.from_result(result, circuit=architecture,
+                                          width=width).to_row()
 
 
 def run_sat_cec(architecture: str, width: int, config: ExperimentConfig,
-                booth_supported: bool = True) -> dict:
+                booth_supported: bool = True,
+                method: str = "sat-cec") -> dict:
     """Run the SAT-miter equivalence check against the golden array multiplier.
 
     With ``booth_supported=False`` the run is reported as not applicable for
@@ -132,50 +117,36 @@ def run_sat_cec(architecture: str, width: int, config: ExperimentConfig,
     Table II.
     """
     if not booth_supported and architecture.upper().startswith("BP"):
-        return {"architecture": architecture, "width": width,
-                "method": "sat-cec", "status": "n/a", "time": "-",
-                "time_s": None, "verified": None}
+        return VerificationReport.not_applicable(
+            method, circuit=architecture, width=width).to_row()
     netlist = generate_multiplier(architecture, width)
     golden = generate_multiplier(config.golden_architecture, width)
     result = sat_equivalence_check(netlist, golden,
                                    conflict_limit=config.sat_conflict_budget,
                                    time_budget_s=config.time_budget_s)
-    status = {"equivalent": "ok", "different": "mismatch",
-              "unknown": "TO"}[result.status]
-    return {
-        "architecture": architecture, "width": width, "method": "sat-cec",
-        "status": status,
-        "time": "TO" if result.timed_out else _format_seconds(result.elapsed_s),
-        "time_s": result.elapsed_s,
-        "verified": result.equivalent if not result.timed_out else None,
-        "conflicts": result.conflicts,
-        "clauses": result.num_clauses,
-    }
+    return VerificationReport.from_sat_result(result, circuit=architecture,
+                                              width=width,
+                                              method=method).to_row()
 
 
-def run_bdd_cec(architecture: str, width: int, config: ExperimentConfig) -> dict:
+def run_bdd_cec(architecture: str, width: int, config: ExperimentConfig,
+                method: str = "bdd-cec") -> dict:
     """Run the BDD equivalence check against the word-level product."""
     netlist = generate_multiplier(architecture, width)
     result = bdd_equivalence_check(netlist, "multiply",
                                    node_budget=config.bdd_node_budget)
-    status = {"equivalent": "ok", "different": "mismatch",
-              "unknown": "TO"}[result.status]
-    return {
-        "architecture": architecture, "width": width, "method": "bdd-cec",
-        "status": status,
-        "time": "TO" if result.timed_out else _format_seconds(result.elapsed_s),
-        "time_s": result.elapsed_s,
-        "verified": result.equivalent if not result.timed_out else None,
-        "bdd_nodes": result.num_nodes,
-    }
+    return VerificationReport.from_bdd_result(result, circuit=architecture,
+                                              width=width,
+                                              method=method).to_row()
 
 
 # ---------------------------------------------------------------------------
 # Batch execution: job catalog, serial runner, parallel runner
 # ---------------------------------------------------------------------------
 
-#: Methods understood by :func:`run_job` (membership testing + baselines).
-JOB_METHODS: tuple[str, ...] = METHODS + ("sat-cec", "bdd-cec")
+#: Methods understood by :func:`run_job` — derived from the backend
+#: registry (:mod:`repro.api.registry`), the single source of truth.
+JOB_METHODS: tuple[str, ...] = backend_names()
 
 
 @dataclass(frozen=True)
@@ -193,37 +164,36 @@ class VerificationJob:
 
 
 def run_job(job: VerificationJob, config: ExperimentConfig) -> dict:
-    """Run one verification job and return its table row (uniform dispatch)."""
-    if job.method in METHODS:
+    """Run one verification job and return its table row (uniform dispatch).
+
+    Dispatch is driven by the registered backend's ``kind`` — plugging a
+    new backend into :mod:`repro.api.registry` with an existing kind makes
+    it batchable with no change here.
+    """
+    try:
+        backend = get_backend(job.method)
+    except ReproError:
+        raise ReproError(f"unknown job method {job.method!r}; "
+                         f"expected one of {JOB_METHODS}") from None
+    if backend.kind == "algebraic":
         return run_membership_testing(job.architecture, job.width, job.method,
                                       config)
-    if job.method == "sat-cec":
-        return run_sat_cec(job.architecture, job.width, config)
-    if job.method == "bdd-cec":
-        return run_bdd_cec(job.architecture, job.width, config)
-    raise ReproError(f"unknown job method {job.method!r}; "
-                     f"expected one of {JOB_METHODS}")
-
-
-#: Rough relative cost rank of the verification methods (used only for
-#: scheduling, never for results): the un-rewritten and fanout-rewritten
-#: membership tests blow up far earlier than MT-LR, and the conventional
-#: checkers sit in between.
-_METHOD_COST: dict[str, int] = {
-    "mt-naive": 5, "mt-fo": 4, "bdd-cec": 3, "sat-cec": 2,
-    "mt-xor": 1, "mt-lr": 0,
-}
+    if backend.kind == "sat":
+        return run_sat_cec(job.architecture, job.width, config,
+                           method=job.method)
+    return run_bdd_cec(job.architecture, job.width, config,
+                       method=job.method)
 
 
 def expected_cost_key(job: VerificationJob) -> tuple[int, int, int]:
     """Heuristic relative cost of a job, for longest-expected-first order.
 
     Width dominates (verification cost grows steeply with operand width),
-    then the method rank, then the architecture family: Booth multipliers
-    carry the heaviest rewriting load, tree accumulators more than arrays.
-    The key orders *scheduling only* — result rows keep the grid order —
-    so one expensive job (a 16-bit Booth run, say) starts first instead of
-    serialising the tail of a batch.
+    then the registry's per-backend cost rank, then the architecture
+    family: Booth multipliers carry the heaviest rewriting load, tree
+    accumulators more than arrays.  The key orders *scheduling only* —
+    result rows keep the grid order — so one expensive job (a 16-bit Booth
+    run, say) starts first instead of serialising the tail of a batch.
     """
     architecture = job.architecture.upper()
     cost = 0
@@ -234,7 +204,7 @@ def expected_cost_key(job: VerificationJob) -> tuple[int, int, int]:
         if marker in architecture:
             cost += weight
             break
-    return (job.width, _METHOD_COST.get(job.method, 0), cost)
+    return (job.width, scheduling_rank(job.method), cost)
 
 
 def _guarded_run_job(job: VerificationJob, config: ExperimentConfig) -> dict:
@@ -279,10 +249,15 @@ class ResultCache:
     reproduce its timeouts too.  They are still wall-clock-dependent, so to
     re-measure timeouts on a faster machine, point ``--cache`` at a fresh
     directory (or delete the entry).
+
+    On-disk entries store the unified
+    :class:`~repro.api.report.VerificationReport` schema (see
+    ``repro/api/__init__.py``); table rows are reconstructed from it on
+    every hit, byte-identical to freshly executed rows.
     """
 
-    #: Bump when the row format or its semantics change within a version.
-    SCHEMA = 1
+    #: Bump when the stored schema or its semantics change within a version.
+    SCHEMA = 2
 
     #: Row statuses that are deterministic outcomes of (circuit, budgets).
     CACHEABLE_STATUSES = ("ok", "mismatch", "TO", "n/a")
@@ -339,14 +314,19 @@ class ResultCache:
 
     def get(self, key: str | None) -> dict | None:
         """Return the cached row for ``key``, or ``None`` on a miss."""
+        report = self.get_report(key)
+        return report.to_row() if report is not None else None
+
+    def get_report(self, key: str | None) -> "VerificationReport | None":
+        """Return the cached report for ``key``, or ``None`` on a miss."""
         if key is None:
             return None
         path = self.directory / f"{key}.json"
         try:
             document = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            return VerificationReport.from_dict(document["report"])
+        except (OSError, ValueError, KeyError, ReproError):
             return None
-        return document.get("row")
 
     def put(self, key: str | None, job: VerificationJob, row: dict) -> None:
         """Store a completed row unless it reports an infrastructure failure."""
@@ -354,7 +334,7 @@ class ResultCache:
             return
         document = {"job": {"architecture": job.architecture,
                             "width": job.width, "method": job.method},
-                    "row": row}
+                    "report": VerificationReport.from_row(row).to_dict()}
         path = self.directory / f"{key}.json"
         # Atomic publish so concurrent table runs never read half a row.
         temporary = path.with_suffix(f".tmp.{os.getpid()}")

@@ -22,6 +22,13 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.api.registry import (
+    ABLATION_METHODS,
+    ADDER_BLOWUP_METHODS,
+    COMPARISON_METHODS,
+    TABLE1_BASELINES,
+    TABLE2_BASELINES,
+)
 from repro.errors import BlowUpError
 from repro.experiments.runner import (
     ExperimentConfig,
@@ -59,20 +66,20 @@ def table1_rows(config: ExperimentConfig | None = None,
                 include_baselines: bool = True) -> list[dict]:
     """Verification results for simple-partial-product multipliers (Table I)."""
     config = config or ExperimentConfig.from_environment()
-    methods = (["sat-cec", "bdd-cec"] if include_baselines else [])
-    methods += ["mt-fo", "mt-lr"]
+    methods = (list(TABLE1_BASELINES) if include_baselines else [])
+    methods += list(COMPARISON_METHODS)
     grid = _method_grid(architectures, methods, config)
     rows = []
     for width in config.widths:
         for architecture in architectures:
             columns = {}
             if include_baselines:
-                columns["sat-cec"] = grid[architecture, width, "sat-cec"]["time"]
-                columns["bdd-cec"] = grid[architecture, width, "bdd-cec"]["time"]
-            columns["mt-fo"] = grid[architecture, width, "mt-fo"]["time"]
-            mt_lr = grid[architecture, width, "mt-lr"]
-            columns["mt-lr"] = mt_lr["time"]
-            columns["verified"] = mt_lr["verified"]
+                for baseline in TABLE1_BASELINES:
+                    columns[baseline] = grid[architecture, width, baseline]["time"]
+            for method in COMPARISON_METHODS:
+                columns[method] = grid[architecture, width, method]["time"]
+            primary = grid[architecture, width, COMPARISON_METHODS[-1]]
+            columns["verified"] = primary["verified"]
             rows.append(_merge_method_columns(architecture, width, columns))
     return rows
 
@@ -86,21 +93,23 @@ def table2_rows(config: ExperimentConfig | None = None,
     not support Booth partial products (see the paper's Table II).
     """
     config = config or ExperimentConfig.from_environment()
-    methods = (["sat-cec"] if include_baselines else []) + ["mt-fo", "mt-lr"]
+    methods = (list(TABLE2_BASELINES) if include_baselines else [])
+    methods += list(COMPARISON_METHODS)
     grid = _method_grid(architectures, methods, config)
     rows = []
     for width in config.widths:
         for architecture in architectures:
             columns = {}
             if include_baselines:
-                columns["sat-cec"] = grid[architecture, width, "sat-cec"]["time"]
+                for baseline in TABLE2_BASELINES:
+                    columns[baseline] = grid[architecture, width, baseline]["time"]
                 # The CPP stand-in does not support Booth partial products.
                 columns["cpp"] = run_sat_cec(architecture, width, config,
                                              booth_supported=False)["time"]
-            columns["mt-fo"] = grid[architecture, width, "mt-fo"]["time"]
-            mt_lr = grid[architecture, width, "mt-lr"]
-            columns["mt-lr"] = mt_lr["time"]
-            columns["verified"] = mt_lr["verified"]
+            for method in COMPARISON_METHODS:
+                columns[method] = grid[architecture, width, method]["time"]
+            primary = grid[architecture, width, COMPARISON_METHODS[-1]]
+            columns["verified"] = primary["verified"]
             rows.append(_merge_method_columns(architecture, width, columns))
     return rows
 
@@ -111,8 +120,11 @@ def table3_rows(config: ExperimentConfig | None = None,
     config = config or ExperimentConfig.from_environment()
     rows = []
     width = max(config.widths)
+    # Table III reports the paper's primary method (the last comparison
+    # column, MT-LR).
     runs = {row["architecture"]: row
-            for row in run_catalog(architectures, [width], ["mt-lr"],
+            for row in run_catalog(architectures, [width],
+                                   [COMPARISON_METHODS[-1]],
                                    config=config, jobs=config.jobs)}
     for architecture in architectures:
         run = runs[architecture]
@@ -147,7 +159,7 @@ def adder_blowup_rows(widths: Iterable[int] = (4, 8, 12, 16, 24, 32),
     rows = []
     for width in widths:
         row = {"adder": f"{adder_kind}-{width}"}
-        for method in ("mt-naive", "mt-fo", "mt-lr"):
+        for method in ADDER_BLOWUP_METHODS:
             netlist = generate_adder(adder_kind, width)
             try:
                 result = verify_adder(netlist, method=method,
@@ -176,7 +188,7 @@ def ablation_rows(config: ExperimentConfig | None = None,
     width = max(config.widths)
     for architecture in architectures:
         row = {"benchmark": architecture, "bits": f"{width}/{2 * width}"}
-        for method in ("mt-fo", "mt-xor", "mt-lr"):
+        for method in ABLATION_METHODS:
             run = run_membership_testing(architecture, width, method, config)
             row[method] = run["time"]
             row[f"{method}-peak"] = run.get("peak_remainder", "-")

@@ -27,6 +27,7 @@ import random
 import time
 
 from repro.algebra.polynomial import Polynomial
+from repro.api.registry import algebraic_backend_names
 from repro.circuit.netlist import Netlist
 from repro.errors import VerificationError
 from repro.modeling.model import AlgebraicModel
@@ -49,12 +50,14 @@ from repro.verification.rewriting import (
 from repro.verification.result import ModelStatistics, VerificationResult
 from repro.verification.vanishing import VanishingRules
 
-#: Supported verification methods.
-METHODS = ("mt-lr", "mt-fo", "mt-naive", "mt-xor")
+#: Supported verification methods (derived from the backend registry —
+#: the single source of truth in :mod:`repro.api.registry`).
+METHODS = algebraic_backend_names()
 
 
 def verify(netlist: Netlist, specification: Specification | str = "multiplier",
            method: str = "mt-lr", *,
+           budgets=None,
            monomial_budget: int | None = 2_000_000,
            time_budget_s: float | None = None,
            xor_and_only: bool = False,
@@ -64,6 +67,16 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
            seed: int = 0,
            model: AlgebraicModel | None = None) -> VerificationResult:
     """Verify a gate-level circuit against an arithmetic specification.
+
+    The canonical entry point is the service layer
+    (:class:`repro.api.VerificationService` with a typed
+    :class:`~repro.api.request.VerificationRequest`); this function is the
+    pipeline it drives.  The individual budget keyword arguments
+    (``monomial_budget``, ``time_budget_s``, ``vanishing_cache_limit``,
+    ``counterexample_tries``) are the historical pre-``Budgets`` surface,
+    kept as a thin deprecation shim: they are normalized into a
+    :class:`~repro.api.request.Budgets` and ignored whenever ``budgets``
+    is passed explicitly.
 
     Parameters
     ----------
@@ -75,17 +88,16 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
         specification from the circuit's ``a``/``b``/``s`` words.
     method:
         One of :data:`METHODS`.
-    monomial_budget / time_budget_s:
-        Blow-up guards; exceeding them raises
+    budgets:
+        A :class:`~repro.api.request.Budgets` bundle; the monomial/time
+        budgets are blow-up guards whose violation raises
         :class:`~repro.errors.BlowUpError` (reported as a time-out in the
-        benchmark tables).
+        benchmark tables), ``vanishing_cache_limit`` caps the
+        vanishing-rule verdict memo (whole-cache reset on overflow), and
+        ``counterexample_tries`` bounds the counterexample search.
     xor_and_only:
         Restrict the vanishing rule to the paper's literal XOR-AND pattern
         instead of the implied-literal generalisation.
-    vanishing_cache_limit:
-        Cap on the vanishing-rule verdict memo; the whole cache resets when
-        an insertion would exceed it (``None`` keeps the
-        :class:`~repro.verification.vanishing.VanishingRules` default).
     find_counterexample:
         On a non-zero remainder, search for a primary-input assignment that
         exhibits the mismatch.
@@ -97,6 +109,16 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
     """
     if method not in METHODS:
         raise VerificationError(f"unknown method {method!r}; expected {METHODS}")
+    if budgets is None:
+        from repro.api.request import Budgets
+        budgets = Budgets(monomial_budget=monomial_budget,
+                          time_budget_s=time_budget_s,
+                          vanishing_cache_limit=vanishing_cache_limit,
+                          counterexample_tries=counterexample_tries)
+    monomial_budget = budgets.monomial_budget
+    time_budget_s = budgets.time_budget_s
+    vanishing_cache_limit = budgets.vanishing_cache_limit
+    counterexample_tries = budgets.counterexample_tries
     start_total = time.perf_counter()
     deadline = start_total + time_budget_s if time_budget_s is not None else None
 

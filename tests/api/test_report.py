@@ -1,0 +1,159 @@
+"""Tests of the unified report schema: JSON and table-row round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.report import (
+    EXIT_CODES,
+    REPORT_SCHEMA,
+    STATUS_TO_VERDICT,
+    VerificationReport,
+    format_seconds,
+)
+from repro.api.request import Budgets, VerificationRequest
+from repro.api.service import VerificationService
+from repro.errors import VerificationError
+from repro.experiments.runner import (
+    ExperimentConfig,
+    run_bdd_cec,
+    run_membership_testing,
+    run_sat_cec,
+)
+
+CONFIG = ExperimentConfig(widths=(3,), time_budget_s=60.0,
+                          monomial_budget=200_000)
+
+
+def _assert_row_roundtrip(row: dict) -> None:
+    """from_row -> to_row is the identity, byte-for-byte in key order."""
+    report = VerificationReport.from_row(row)
+    assert report.to_row() == row
+    assert list(report.to_row()) == list(row)
+    # ... and survives the canonical JSON serialization unchanged.
+    revived = VerificationReport.from_json(report.to_json())
+    assert revived.to_row() == row
+    assert list(revived.to_row()) == list(row)
+
+
+def test_membership_row_roundtrip():
+    _assert_row_roundtrip(run_membership_testing("SP-AR-RC", 3, "mt-lr", CONFIG))
+
+
+def test_membership_budget_trip_row_roundtrip():
+    tight = ExperimentConfig(widths=(4,), monomial_budget=10)
+    row = run_membership_testing("SP-RT-KS", 4, "mt-naive", tight)
+    assert row["status"] == "TO"
+    _assert_row_roundtrip(row)
+
+
+def test_sat_row_roundtrip():
+    _assert_row_roundtrip(run_sat_cec("SP-WT-CL", 3, CONFIG))
+
+
+def test_sat_not_applicable_row_roundtrip():
+    row = run_sat_cec("BP-AR-RC", 3, CONFIG, booth_supported=False)
+    assert row["status"] == "n/a"
+    _assert_row_roundtrip(row)
+
+
+def test_bdd_row_roundtrip():
+    _assert_row_roundtrip(run_bdd_cec("SP-CT-BK", 3, CONFIG))
+
+
+def test_error_and_crash_row_roundtrip():
+    for status in ("error", "crash"):
+        _assert_row_roundtrip({
+            "architecture": "SP-AR-RC", "width": 3, "method": "mt-lr",
+            "status": status, "time": "-", "time_s": None, "verified": None,
+            "reason": "worker exited with code -9",
+        })
+
+
+def test_json_roundtrip_is_byte_identical():
+    row = run_membership_testing("SP-AR-RC", 3, "mt-lr", CONFIG)
+    text = VerificationReport.from_row(row).to_json()
+    assert VerificationReport.from_json(text).to_json() == text
+    document = json.loads(text)
+    assert document["schema"] == REPORT_SCHEMA
+    assert list(document) == ["schema", "verdict", "status", "method",
+                              "circuit", "width", "specification", "time",
+                              "time_s", "reason", "counterexample",
+                              "remainder", "counters"]
+
+
+def test_verdict_status_and_exit_code_mapping():
+    for status, verdict in STATUS_TO_VERDICT.items():
+        report = VerificationReport(verdict=verdict, status=status,
+                                    method="mt-lr", circuit="X")
+        assert report.verdict == verdict
+    assert EXIT_CODES == {"verified": 0, "refuted": 2, "budget": 3,
+                          "not_applicable": 0, "error": 1}
+    assert VerificationReport(verdict="verified", method="m",
+                              circuit="c").exit_code == 0
+    assert VerificationReport(verdict="refuted", method="m",
+                              circuit="c").exit_code == 2
+    assert VerificationReport(verdict="budget", method="m",
+                              circuit="c").exit_code == 3
+
+
+def test_verified_tristate():
+    assert VerificationReport(verdict="verified", method="m",
+                              circuit="c").verified is True
+    assert VerificationReport(verdict="refuted", method="m",
+                              circuit="c").verified is False
+    assert VerificationReport(verdict="budget", method="m",
+                              circuit="c").verified is None
+
+
+def test_unknown_verdict_and_status_rejected():
+    with pytest.raises(VerificationError, match="unknown verdict"):
+        VerificationReport(verdict="maybe", method="m", circuit="c")
+    with pytest.raises(VerificationError, match="unknown row status"):
+        VerificationReport.from_row({"architecture": "c", "width": 3,
+                                     "method": "m", "status": "odd",
+                                     "time": "-", "time_s": None,
+                                     "verified": None})
+
+
+def test_from_json_rejects_other_schema_versions():
+    report = VerificationReport(verdict="verified", method="m", circuit="c")
+    document = report.to_dict()
+    document["schema"] = 99
+    with pytest.raises(VerificationError, match="unsupported report schema"):
+        VerificationReport.from_dict(document)
+
+
+def test_refuted_report_carries_remainder_and_counterexample():
+    from repro.circuit.mutate import apply_mutation, list_mutations
+    from repro.generators.multipliers import generate_multiplier
+
+    netlist = generate_multiplier("SP-AR-RC", 3)
+    buggy = apply_mutation(netlist, list_mutations(netlist)[0])
+    report = VerificationService().submit(
+        VerificationRequest.from_netlist(buggy, method="mt-lr"))
+    assert report.verdict == "refuted"
+    assert report.remainder
+    assert report.counterexample
+    revived = VerificationReport.from_json(report.to_json())
+    assert revived.counterexample == report.counterexample
+    assert revived.remainder == report.remainder
+
+
+def test_budget_report_from_service():
+    service = VerificationService()
+    report = service.submit(VerificationRequest.from_architecture(
+        "SP-RT-KS", 6, method="mt-naive",
+        budgets=Budgets(monomial_budget=50)))
+    assert report.verdict == "budget"
+    assert report.status == "TO"
+    assert report.time == "TO"
+    assert report.reason
+    assert report.exit_code == 3
+
+
+def test_format_seconds():
+    assert format_seconds(0.0) == "00:00:00.00"
+    assert format_seconds(3725.5) == "01:02:05.50"

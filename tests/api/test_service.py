@@ -1,0 +1,229 @@
+"""Tests of the verification service façade.
+
+Covers the ISSUE 4 acceptance tests: every registered backend runs on the
+4-bit catalog with byte-identical report JSON round-trips, the SAT/BDD
+baselines agree with the algebraic methods verdict-for-verdict, the old
+``verify(**kwargs)`` shim pins to the new pipeline's results, and
+``run_batch`` reproduces the parallel runner's rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.registry import backend_names
+from repro.api.report import VerificationReport
+from repro.api.request import Budgets, VerificationRequest
+from repro.api.service import VerificationService
+from repro.circuit.mutate import apply_mutation, list_mutations
+from repro.errors import VerificationError
+from repro.experiments.runner import ParallelRunner
+from repro.circuit.simulate import simulate_words
+from repro.generators.multipliers import generate_multiplier
+from repro.verification.engine import verify
+
+CATALOG_4BIT = ("SP-AR-RC", "SP-WT-CL", "BP-CT-BK")
+
+
+@pytest.fixture(scope="module")
+def service():
+    return VerificationService(budgets=Budgets(time_budget_s=60.0))
+
+
+@pytest.mark.parametrize("method", backend_names())
+@pytest.mark.parametrize("architecture", CATALOG_4BIT)
+def test_every_backend_verifies_the_4bit_catalog_and_roundtrips(
+        service, architecture, method):
+    """Registry round-trip: every backend runs and its JSON is byte-stable."""
+    report = service.submit(
+        VerificationRequest.from_architecture(architecture, 4, method=method,
+                                              budgets=service.budgets))
+    assert report.verdict == "verified"
+    assert report.method == method
+    assert report.circuit == architecture
+    assert report.width == 4
+    text = report.to_json()
+    revived = VerificationReport.from_json(text)
+    assert revived.to_json() == text
+    assert revived.to_row() == report.to_row()
+
+
+def _observable_bug(netlist):
+    """A mutated copy that provably computes a wrong product somewhere."""
+    for mutation in list_mutations(netlist):
+        buggy = apply_mutation(netlist, mutation)
+        for a in range(4):
+            for b in range(16):
+                if simulate_words(buggy, {"a": a, "b": b}) != a * b:
+                    return buggy
+    raise AssertionError("no observable mutation found")
+
+
+@pytest.mark.parametrize("architecture", CATALOG_4BIT)
+def test_verdict_parity_grid_on_injected_bug(service, architecture):
+    """SAT, BDD and MT must agree on buggy circuits at 4 bit."""
+    buggy = _observable_bug(generate_multiplier(architecture, 4))
+    verdicts = {}
+    for method in backend_names():
+        report = service.submit(VerificationRequest.from_netlist(
+            buggy, method=method, budgets=service.budgets))
+        verdicts[method] = report.verdict
+    assert set(verdicts.values()) == {"refuted"}, verdicts
+
+
+def test_deprecation_shim_pins_old_kwargs_to_new_pipeline(service):
+    """`verify(**kwargs)` must reproduce the service pipeline's results."""
+    netlist = generate_multiplier("SP-CT-BK", 4)
+    old = verify(netlist, method="mt-lr", monomial_budget=100_000,
+                 time_budget_s=60.0, vanishing_cache_limit=4096,
+                 counterexample_tries=16, seed=7)
+    new = service.submit(VerificationRequest.from_netlist(
+        netlist, method="mt-lr",
+        budgets=Budgets(monomial_budget=100_000, time_budget_s=60.0,
+                        vanishing_cache_limit=4096, counterexample_tries=16),
+        seed=7))
+    assert new.verdict == "verified"
+    assert old.verified is True
+    fresh = VerificationReport.from_result(old, circuit="SP-CT-BK", width=4)
+
+    def deterministic(counters):
+        return {k: v for k, v in counters.items()
+                if not k.endswith("_time_s")}
+
+    assert deterministic(fresh.counters) == deterministic(new.counters)
+    assert fresh.verdict == new.verdict
+    # The shim also accepts a ready Budgets object directly.
+    via_budgets = verify(netlist, method="mt-lr",
+                         budgets=Budgets(monomial_budget=100_000))
+    assert via_budgets.verified is True
+    assert (via_budgets.cancelled_vanishing_monomials
+            == old.cancelled_vanishing_monomials)
+
+
+_TIMING_KEYS = ("time", "time_s", "reduction_time_s", "rewrite_time_s",
+                "conflicts", "decisions")
+
+
+def _stable(row: dict) -> dict:
+    """A row with the run-to-run-varying timing fields masked out."""
+    return {key: ("*" if key in _TIMING_KEYS else value)
+            for key, value in row.items()}
+
+
+def test_run_batch_matches_parallel_runner_rows(service):
+    architectures = ["SP-AR-RC", "SP-WT-CL"]
+    methods = ["mt-lr", "sat-cec", "bdd-cec"]
+    reports = service.run_grid(architectures, [3], methods)
+    config = service._experiment_config(service.budgets)
+    runner = ParallelRunner(config, workers=1)
+    rows = runner.run(ParallelRunner.catalog(architectures, [3], methods))
+    assert [_stable(report.to_row()) for report in reports] == [
+        _stable(row) for row in rows]
+    assert service.last_executed == len(rows)
+
+
+def test_run_batch_parallel_matches_serial(service):
+    requests = [VerificationRequest.from_architecture(
+                    arch, 3, method, budgets=service.budgets,
+                    find_counterexample=False)
+                for arch in ("SP-AR-RC", "SP-CT-BK")
+                for method in ("mt-lr", "mt-fo")]
+    serial = service.run_batch(requests, jobs=1)
+    parallel = service.run_batch(requests, jobs=2)
+    assert [_stable(r.to_row()) for r in serial] == [
+        _stable(r.to_row()) for r in parallel]
+
+
+def test_run_batch_mixes_pooled_and_inprocess_requests(service):
+    netlist = generate_multiplier("SP-AR-RC", 3)
+    requests = [
+        VerificationRequest.from_architecture("SP-WT-CL", 3,
+                                              budgets=service.budgets,
+                                              find_counterexample=False),
+        VerificationRequest.from_netlist(netlist, budgets=service.budgets),
+    ]
+    reports = service.run_batch(requests)
+    assert [r.verdict for r in reports] == ["verified", "verified"]
+    assert reports[0].circuit == "SP-WT-CL"
+    assert reports[1].circuit == netlist.name
+
+
+def test_run_batch_rejects_mismatched_budgets(service):
+    request = VerificationRequest.from_architecture(
+        "SP-AR-RC", 3, budgets=Budgets(monomial_budget=99))
+    with pytest.raises(VerificationError, match="service-level budgets"):
+        service.run_batch([request])
+
+
+def test_run_batch_uses_result_cache(tmp_path):
+    service = VerificationService(cache_dir=tmp_path)
+    requests = [VerificationRequest.from_architecture(
+        "SP-AR-RC", 3, find_counterexample=False)]
+    first = service.run_batch(requests)
+    assert service.last_executed == 1
+    second = service.run_batch(requests)
+    assert service.last_cache_hits == 1
+    assert service.last_executed == 0
+    assert [r.to_row() for r in first] == [r.to_row() for r in second]
+
+
+def test_experiment_config_maps_budgets_verbatim(monkeypatch):
+    """run_batch must obey the same budget semantics as submit: None means
+    disabled, and REPRO_BENCH_* environment overrides do not sneak in."""
+    monkeypatch.setenv("REPRO_BENCH_TIMEOUT", "7")
+    monkeypatch.setenv("REPRO_BENCH_MONOMIAL_BUDGET", "123")
+    service = VerificationService()          # default Budgets: no time guard
+    config = service._experiment_config(service.budgets)
+    assert config.time_budget_s is None
+    assert config.monomial_budget == service.budgets.monomial_budget
+    assert config.sat_conflict_budget == service.budgets.sat_conflict_budget
+    assert config.bdd_node_budget == service.budgets.bdd_node_budget
+
+
+def test_run_batch_honours_non_default_request_knobs(service):
+    """xor_and_only / seed / counterexample requests must not be silently
+    pooled with default semantics — batch and submit must agree."""
+    request = VerificationRequest.from_architecture(
+        "SP-AR-RC", 3, method="mt-lr", budgets=service.budgets,
+        xor_and_only=True, find_counterexample=False)
+    [batched] = service.run_batch([request])
+    direct = service.submit(request)
+    assert service.last_executed == 0        # routed in-process, not pooled
+    assert batched.counters["cancelled_vanishing_monomials"] == \
+        direct.counters["cancelled_vanishing_monomials"]
+
+
+def test_custom_backend_method_name_propagates():
+    """A second sat-kind backend must not be mislabelled as sat-cec."""
+    from repro.api.registry import BackendSpec, register, unregister
+
+    register(BackendSpec(name="sat-custom", kind="sat",
+                         description="test plug-in", cost_rank=9))
+    try:
+        service = VerificationService()
+        report = service.submit(VerificationRequest.from_architecture(
+            "SP-AR-RC", 3, method="sat-custom"))
+        assert report.method == "sat-custom"
+        assert report.verdict == "verified"
+
+        from repro.experiments.runner import VerificationJob, run_job
+        config = service._experiment_config(service.budgets)
+        row = run_job(VerificationJob("SP-AR-RC", 3, "sat-custom"), config)
+        assert row["method"] == "sat-custom"
+    finally:
+        unregister("sat-custom")
+
+
+def test_baselines_reject_non_multiplier_specifications(service):
+    with pytest.raises(VerificationError, match="multiplier"):
+        service.submit(VerificationRequest.from_architecture(
+            "KS", 4, method="sat-cec", circuit_kind="adder",
+            budgets=service.budgets))
+
+
+def test_adder_verification_through_the_service(service):
+    report = service.submit(VerificationRequest.from_architecture(
+        "KS", 5, method="mt-lr", circuit_kind="adder",
+        budgets=service.budgets))
+    assert report.verdict == "verified"
+    assert "adder" in (report.specification or "")

@@ -68,6 +68,16 @@ def test_bench_smoke_job_gates_and_uploads(workflow):
     assert "BENCH" in uploads[0]["with"]["path"]
 
 
+def test_json_report_smoke_step_validates_schema(workflow):
+    """The CI must pipe `--json` output through a JSON parser and check keys."""
+    commands = " ".join(step.get("run", "")
+                        for step in workflow["jobs"]["bench-smoke"]["steps"])
+    assert "--json" in commands
+    assert "json.tool" in commands
+    assert "verdict" in commands
+    assert "counters" in commands
+
+
 def test_wide_bench_runs_on_schedule_and_dispatch(wide_workflow):
     triggers = wide_workflow.get("on", wide_workflow.get(True))
     assert "workflow_dispatch" in triggers

@@ -100,6 +100,73 @@ def test_verify_stats_surfaces_engine_and_vanishing_counters(capsys):
     assert "reduction: substitutions=" in out
 
 
+def test_verify_json_emits_one_report_object(capsys):
+    import json
+    assert main(["verify", "-a", "SP-WT-CL", "-w", "3", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == 1
+    assert report["verdict"] == "verified"
+    assert report["method"] == "mt-lr"
+    assert report["circuit"] == "SP-WT-CL"
+    assert report["width"] == 3
+    assert "counters" in report
+
+
+def test_verify_json_budget_trip_exit_3(capsys):
+    import json
+    code = main(["verify", "-a", "BP-RT-KS", "-w", "6", "--method", "mt-fo",
+                 "--monomial-budget", "500", "--json"])
+    assert code == 3
+    report = json.loads(capsys.readouterr().out)
+    assert report["verdict"] == "budget"
+    assert report["status"] == "TO"
+    assert report["reason"]
+
+
+def test_verify_verilog_json_and_refuted_exit_2(tmp_path, capsys):
+    import json
+    netlist = generate_multiplier("SP-AR-RC", 3)
+    buggy = apply_mutation(netlist, [m for m in list_mutations(netlist)
+                                     if m.signal.startswith("pp")][0])
+    path = tmp_path / "buggy.v"
+    save_verilog(buggy, str(path))
+    assert main(["verify-verilog", str(path), "--json"]) == 2
+    report = json.loads(capsys.readouterr().out)
+    assert report["verdict"] == "refuted"
+    assert report["counterexample"]
+    assert report["remainder"]
+
+
+def test_verify_sat_and_bdd_methods_through_the_cli(capsys):
+    assert main(["verify", "-a", "SP-AR-RC", "-w", "3",
+                 "--method", "sat-cec"]) == 0
+    assert "VERIFIED" in capsys.readouterr().out
+    assert main(["verify", "-a", "SP-AR-RC", "-w", "3",
+                 "--method", "bdd-cec"]) == 0
+    assert "VERIFIED" in capsys.readouterr().out
+
+
+def test_batch_json_emits_one_line_per_row(capsys):
+    import json
+    assert main(["batch", "-a", "SP-AR-RC,SP-CT-BK", "-w", "3",
+                 "-m", "mt-lr,sat-cec", "--json"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 4
+    reports = [json.loads(line) for line in lines]
+    assert all(report["verdict"] == "verified" for report in reports)
+    assert [r["method"] for r in reports] == ["mt-lr", "sat-cec"] * 2
+
+
+def test_batch_and_verify_share_the_report_schema(capsys):
+    import json
+    assert main(["verify", "-a", "SP-AR-RC", "-w", "3", "--json"]) == 0
+    single = json.loads(capsys.readouterr().out)
+    assert main(["batch", "-a", "SP-AR-RC", "-w", "3", "-m", "mt-lr",
+                 "--json"]) == 0
+    batch = json.loads(capsys.readouterr().out.strip())
+    assert list(single) == list(batch)
+
+
 def test_verify_vanishing_cache_limit_flag(capsys):
     assert main(["verify", "-a", "SP-AR-RC", "-w", "4", "--stats",
                  "--vanishing-cache-limit", "4"]) == 0
