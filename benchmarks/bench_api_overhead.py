@@ -1,11 +1,18 @@
 #!/usr/bin/env python
-"""Façade-overhead check: VerificationService vs the bare engine call.
+"""Façade-overhead check: service vs bare engine, plus loopback HTTP.
 
 ISSUE 4 hygiene gate — the service layer (request resolution, registry
 lookup, report construction) must add no measurable per-verify overhead.
 Interleaved best-of-N on the 8-bit MT-LR smoke rows, asserting the service
 path stays within ``--tolerance`` (default 2%) of the direct
 ``verify_multiplier`` call.
+
+ISSUE 5 extension — a loopback-HTTP row per architecture: the same
+architecture-sourced request through ``POST /v1/verify`` on an in-thread
+server vs the in-process ``VerificationService.submit()``.  HTTP dispatch
+cost (connection setup, JSON round trip, thread-pool hop) is constant per
+request, so it is gated by the absolute ``--http-overhead-budget``
+(default 50 ms) rather than a ratio.
 
 Run manually (not part of the tier-1 suite — wall-clock assertions are
 machine-dependent)::
@@ -21,10 +28,44 @@ import time
 from repro.api import Budgets, VerificationRequest, VerificationService
 from repro.generators.catalog import TABLE1_ARCHITECTURES
 from repro.generators.multipliers import generate_multiplier
+from repro.server import ServerThread, VerificationClient, VerificationServerApp
 from repro.verification.engine import verify_multiplier
 
 WIDTH = 8
 METHOD = "mt-lr"
+
+
+def bench_http_dispatch(repeats: int, budget_s: float) -> list[str]:
+    """Loopback-HTTP dispatch cost per verify; returns failing rows."""
+    failures = []
+    with ServerThread(VerificationServerApp()) as server:
+        client = VerificationClient(port=server.port)
+        service = VerificationService()
+        for architecture in TABLE1_ARCHITECTURES:
+            document = {"architecture": architecture, "width": WIDTH,
+                        "method": METHOD, "find_counterexample": False}
+            request = VerificationRequest.from_architecture(
+                architecture, WIDTH, method=METHOD,
+                find_counterexample=False)
+            best_local = best_http = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                report = service.submit(request)
+                best_local = min(best_local, time.perf_counter() - start)
+                assert report.verdict == "verified"
+
+                start = time.perf_counter()
+                report = client.verify(document)
+                best_http = min(best_http, time.perf_counter() - start)
+                assert report.verdict == "verified"
+            dispatch = best_http - best_local
+            marker = "" if dispatch <= budget_s else "  <-- FAIL"
+            print(f"{architecture:<10} local={best_local * 1000:7.2f}ms "
+                  f"http={best_http * 1000:7.2f}ms "
+                  f"dispatch={dispatch * 1000:+7.2f}ms{marker}")
+            if dispatch > budget_s:
+                failures.append(architecture)
+    return failures
 
 
 def main() -> int:
@@ -32,6 +73,11 @@ def main() -> int:
     parser.add_argument("--repeats", type=int, default=60)
     parser.add_argument("--tolerance", type=float, default=0.02,
                         help="allowed relative service overhead (default 2%%)")
+    parser.add_argument("--http-repeats", type=int, default=20,
+                        help="interleaved repeats of the loopback-HTTP row")
+    parser.add_argument("--http-overhead-budget", type=float, default=0.050,
+                        help="allowed absolute HTTP dispatch cost per "
+                             "verify, in seconds (default 0.050)")
     args = parser.parse_args()
 
     service = VerificationService()
@@ -66,6 +112,16 @@ def main() -> int:
         return 1
     print(f"ok: façade overhead within {args.tolerance:.0%} on all "
           f"{len(TABLE1_ARCHITECTURES)} rows")
+
+    print("\nloopback HTTP dispatch (POST /v1/verify vs in-process submit):")
+    http_failures = bench_http_dispatch(args.http_repeats,
+                                        args.http_overhead_budget)
+    if http_failures:
+        print(f"FAIL: HTTP dispatch exceeds "
+              f"{args.http_overhead_budget * 1000:.0f}ms on {http_failures}")
+        return 1
+    print(f"ok: HTTP dispatch within {args.http_overhead_budget * 1000:.0f}ms "
+          f"on all {len(TABLE1_ARCHITECTURES)} rows")
     return 0
 
 

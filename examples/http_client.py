@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Drive the HTTP verification server end to end.
+
+Boots an in-process server (the same code ``repro-verify serve`` runs),
+submits an asynchronous batch with heterogeneous per-request budgets,
+polls the job to completion, and prints a Table-I-style slice from the
+returned reports.  Point ``VerificationClient`` at a host/port instead of
+using :class:`~repro.server.http.ServerThread` to drive a remote server.
+
+Run with::
+
+    PYTHONPATH=src python examples/http_client.py
+"""
+
+from repro.server import ServerThread, VerificationClient, VerificationServerApp
+
+#: Table I architectures (simple partial products) at 4-bit operands,
+#: each method under its own budget group: mt-lr runs with the default
+#: budgets, mt-naive under a deliberately tight monomial budget to show
+#: a "TO" row, sat-cec under a conflict cap.
+ARCHITECTURES = ("SP-AR-RC", "SP-WT-CL", "SP-CT-BK", "SP-DT-HC")
+METHOD_BUDGETS = {
+    "mt-lr": None,
+    "mt-naive": {"monomial_budget": 100},
+    "sat-cec": {"sat_conflict_budget": 200_000},
+}
+
+
+def build_requests() -> list[dict]:
+    documents = []
+    for architecture in ARCHITECTURES:
+        for method, budgets in METHOD_BUDGETS.items():
+            document = {"architecture": architecture, "width": 4,
+                        "method": method, "find_counterexample": False}
+            if budgets is not None:
+                document["budgets"] = budgets
+            documents.append(document)
+    return documents
+
+
+def print_table(reports) -> None:
+    methods = list(METHOD_BUDGETS)
+    print(f"{'benchmark':<12}" + "".join(f"{m:>12}" for m in methods))
+    by_key = {(r.circuit, r.method): r for r in reports}
+    for architecture in ARCHITECTURES:
+        cells = []
+        for method in methods:
+            report = by_key[architecture, method]
+            cells.append(report.time if report.verdict != "budget" else "TO")
+        print(f"{architecture:<12}" + "".join(f"{c:>12}" for c in cells))
+
+
+def main() -> None:
+    with ServerThread(VerificationServerApp(jobs=2)) as server:
+        client = VerificationClient(port=server.port)
+        health = client.healthz()
+        print(f"server up: version {health['version']}, "
+              f"{len(client.backends())} backends\n")
+
+        job_id = client.submit_batch(build_requests(), jobs=2)
+        print(f"submitted async batch as job {job_id}; polling ...")
+        reports = client.wait(job_id, timeout_s=300.0)
+        verdicts = {r.verdict for r in reports}
+        print(f"job done: {len(reports)} reports, verdicts {sorted(verdicts)}\n")
+
+        print_table(reports)
+
+        metrics = client.metrics()
+        print(f"\nserver metrics: {metrics['http']['requests_total']} requests, "
+              f"{metrics['reports']['total']} reports, "
+              f"cache executed={metrics['cache']['executed_total']} "
+              f"hits={metrics['cache']['hits_total']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,8 +23,13 @@ from repro.generators.catalog import TABLE1_ARCHITECTURES, TABLE2_ARCHITECTURES
 def main() -> None:
     width = int(sys.argv[1]) if len(sys.argv) > 1 and sys.argv[1].isdigit() else 8
     include_baselines = "--baselines" in sys.argv
-    jobs = (int(sys.argv[sys.argv.index("--jobs") + 1])
-            if "--jobs" in sys.argv else 1)
+    jobs = 1
+    if "--jobs" in sys.argv:
+        position = sys.argv.index("--jobs") + 1
+        if position >= len(sys.argv) or not sys.argv[position].isdigit():
+            raise SystemExit("usage: verify_architectures.py [width] "
+                             "[--baselines] [--jobs N]")
+        jobs = int(sys.argv[position])
 
     service = VerificationService(
         budgets=Budgets(time_budget_s=30.0, sat_conflict_budget=30_000))

@@ -16,7 +16,9 @@ The package provides:
 * the benchmark harness regenerating the paper's Tables I–III
   (``repro.experiments``),
 * the unified service layer — typed requests, pluggable backend registry,
-  structured JSON reports (``repro.api``).
+  structured JSON reports (``repro.api``),
+* the HTTP/async front end serving all of the above over the network
+  (``repro.server``, ``repro-verify serve``).
 
 Quickstart::
 

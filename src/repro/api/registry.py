@@ -135,44 +135,91 @@ _ALGEBRAIC_BUDGETS = ("monomial_budget", "time_budget_s",
 
 register(BackendSpec(
     name="mt-lr", kind="algebraic",
-    description="membership testing with the paper's logic reduction "
-                "rewriting (XOR rewriting + XOR-AND vanishing rule + "
-                "common rewriting)",
+    description="The paper's method: membership testing with logic "
+                "reduction rewriting — XOR rewriting with the XOR-AND "
+                "vanishing rule applied after every substitution, then "
+                "common rewriting — before the Gröbner-basis reduction of "
+                "the word-level specification. Verifies every catalog "
+                "architecture at every tested width, which is why it is "
+                "the cheapest-ranked algebraic backend for scheduling. "
+                "Honours monomial_budget and time_budget_s (trips report "
+                "verdict=budget), vanishing_cache_limit (verdict-cache "
+                "cap), and counterexample_tries; produces "
+                "simulation-validated counterexamples on refutations and "
+                "full substitution-engine counters (--stats).",
     supports_counterexample=True, supports_stats=True, cost_rank=0,
     budget_keys=_ALGEBRAIC_BUDGETS))
 
 register(BackendSpec(
     name="mt-fo", kind="algebraic",
-    description="membership testing with fanout rewriting "
-                "[Farahmandi & Alizadeh], no vanishing rule",
+    description="Membership testing with fanout rewriting [Farahmandi & "
+                "Alizadeh]: variables read by more than one gate (plus "
+                "primary inputs/outputs) are kept, everything else is "
+                "substituted away, and no vanishing rule runs. The "
+                "comparison baseline of Tables I/II — it survives the "
+                "array/ripple-carry designs but blows up on tree "
+                "accumulators, hence its high scheduling cost rank. Same "
+                "budget keys and capability flags as the other "
+                "membership-testing backends (monomial_budget, "
+                "time_budget_s, vanishing_cache_limit, "
+                "counterexample_tries).",
     supports_counterexample=True, supports_stats=True, cost_rank=4,
     budget_keys=_ALGEBRAIC_BUDGETS))
 
 register(BackendSpec(
     name="mt-naive", kind="algebraic",
-    description="membership testing on the raw gate-level Gröbner basis "
-                "(no rewriting)",
+    description="Membership testing on the raw gate-level Gröbner basis: "
+                "no rewriting at all, the specification is divided "
+                "directly by one polynomial per gate. Exists to "
+                "demonstrate the intermediate-remainder blow-up that "
+                "motivates rewriting (the Section III adder observation), "
+                "so it carries the highest scheduling cost rank and is "
+                "expected to trip monomial_budget/time_budget_s into "
+                "verdict=budget beyond small widths. Counterexamples and "
+                "engine counters work as in the other algebraic backends.",
     supports_counterexample=True, supports_stats=True, cost_rank=5,
     budget_keys=_ALGEBRAIC_BUDGETS))
 
 register(BackendSpec(
     name="mt-xor", kind="algebraic",
-    description="XOR rewriting only — the Section IV-B ablation without "
-                "the common-rewriting pass",
+    description="XOR rewriting with the vanishing rule but without the "
+                "common-rewriting pass — the Section IV-B ablation "
+                "isolating how much of MT-LR's power comes from each "
+                "rewriting stage. Scheduling-ranked just above mt-lr; "
+                "honours the same budget keys (monomial_budget, "
+                "time_budget_s, vanishing_cache_limit, "
+                "counterexample_tries) and reports the same "
+                "counterexamples and substitution-engine counters.",
     supports_counterexample=True, supports_stats=True, cost_rank=1,
     budget_keys=_ALGEBRAIC_BUDGETS))
 
 register(BackendSpec(
     name="sat-cec", kind="sat",
-    description="CDCL SAT miter check against the golden array multiplier "
-                "(the commercial-CEC stand-in)",
+    description="The conventional-CEC stand-in: a miter between the "
+                "circuit under verification and a golden array multiplier "
+                "of the same width, Tseitin-encoded and solved by the "
+                "built-in CDCL solver. A satisfying assignment is a "
+                "primary-input counterexample; UNSAT proves equivalence. "
+                "Honours sat_conflict_budget (CDCL conflict cap) and "
+                "time_budget_s, both reported as verdict=budget — the "
+                "expected fate on wide multipliers, mirroring the paper's "
+                "commercial-checker timeouts. Multiplier specification "
+                "only; no substitution-engine counters.",
     supports_counterexample=True, supports_stats=False, cost_rank=2,
     budget_keys=("sat_conflict_budget", "time_budget_s")))
 
 register(BackendSpec(
     name="bdd-cec", kind="bdd",
-    description="ROBDD comparison against the word-level product "
-                "specification",
+    description="The decision-diagram stand-in: every output bit is built "
+                "into a shared ROBDD and compared against the word-level "
+                "product specification; canonical form makes each "
+                "comparison a pointer equality. Honours bdd_node_budget — "
+                "multiplier BDDs grow exponentially with operand width, "
+                "so the budget trips to verdict=budget well before wide "
+                "circuits finish, like the paper's decision-diagram "
+                "column. Multiplier specification only; reports the peak "
+                "node count but no counterexamples (a differing BDD pair "
+                "is not materialized into an assignment).",
     supports_counterexample=False, supports_stats=False, cost_rank=3,
     budget_keys=("bdd_node_budget",)))
 

@@ -60,6 +60,8 @@ class Budgets:
                    time_budget_s=config.time_budget_s,
                    sat_conflict_budget=config.sat_conflict_budget,
                    bdd_node_budget=config.bdd_node_budget,
+                   vanishing_cache_limit=getattr(
+                       config, "vanishing_cache_limit", None),
                    task_timeout_s=task_timeout_s)
 
 

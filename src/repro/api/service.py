@@ -30,8 +30,9 @@ class VerificationService:
     Parameters
     ----------
     budgets:
-        Default budgets applied to requests that carry none-overridden
-        defaults; also the budgets of every :meth:`run_batch` job.
+        Service-level default budgets; :meth:`run_batch` jobs run under
+        them unless a request carries its own budget group (per-request
+        :class:`~repro.api.request.Budgets` are honoured job-by-job).
     golden_architecture:
         Reference architecture the SAT baseline compares against.
     jobs:
@@ -147,6 +148,7 @@ class VerificationService:
         config.time_budget_s = budgets.time_budget_s
         config.sat_conflict_budget = budgets.sat_conflict_budget
         config.bdd_node_budget = budgets.bdd_node_budget
+        config.vanishing_cache_limit = budgets.vanishing_cache_limit
         config.golden_architecture = self.golden_architecture
         return config
 
@@ -162,19 +164,18 @@ class VerificationService:
         else — netlist/Verilog/adder sources, ``xor_and_only``, a custom
         seed, or ``find_counterexample=True`` (the pool never searches
         counterexamples) — falls back to in-process :meth:`submit`, so a
-        request always means the same thing through either path.  All
-        requests of one batch share the service-level :attr:`budgets` —
-        per-request budgets must match them (the pool applies one
-        :class:`~repro.experiments.runner.ExperimentConfig` to every job).
+        request always means the same thing through either path.
+        Per-request budget groups are honoured: a pooled request whose
+        :class:`~repro.api.request.Budgets` differ from the service-level
+        :attr:`budgets` carries its own job-level
+        :class:`~repro.experiments.runner.ExperimentConfig` (and hard task
+        timeout) into the pool, and the result cache keys each job by the
+        budgets it actually ran under.  A per-request
+        ``budgets.task_timeout_s`` of ``None`` falls back to the
+        service-level hard limit rather than disabling it.
         """
         from repro.experiments.runner import ParallelRunner, VerificationJob
         requests = list(requests)
-        for request in requests:
-            if request.budgets != self.budgets:
-                raise VerificationError(
-                    "run_batch applies the service-level budgets to every "
-                    "job; per-request budgets must equal service.budgets "
-                    "(use submit() for one-off budgets)")
         pooled: list[int] = []
         reports: dict[int, VerificationReport] = {}
         for index, request in enumerate(requests):
@@ -191,8 +192,17 @@ class VerificationService:
             task_timeout_s=self.budgets.task_timeout_s
             if self.budgets.task_timeout_s is not None else self.task_timeout_s,
             cache_dir=self.cache_dir)
-        grid = [VerificationJob(requests[i].architecture, requests[i].width,
-                                requests[i].method) for i in pooled]
+        grid = []
+        for index in pooled:
+            request = requests[index]
+            if request.budgets == self.budgets:
+                config = task_timeout_s = None
+            else:
+                config = self._experiment_config(request.budgets)
+                task_timeout_s = request.budgets.task_timeout_s
+            grid.append(VerificationJob(request.architecture, request.width,
+                                        request.method, config=config,
+                                        task_timeout_s=task_timeout_s))
         rows = runner.run(grid)
         self.last_cache_hits = runner.last_cache_hits
         self.last_executed = runner.last_executed

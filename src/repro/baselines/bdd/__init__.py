@@ -1,4 +1,18 @@
-"""Reduced ordered binary decision diagram (ROBDD) baseline."""
+"""Reduced ordered binary decision diagram (ROBDD) baseline.
+
+The decision-diagram column of the paper's comparison: every output bit
+of the circuit is built into a shared hash-consed ROBDD
+(:class:`~repro.baselines.bdd.bdd.BddManager`, complement-edge-free,
+with an ITE computed table) and compared against the BDD of the
+word-level product specification
+(:func:`~repro.baselines.bdd.equivalence.bdd_equivalence_check`).
+Canonical form makes the comparison a pointer equality per output bit —
+and also makes the expected failure mode visible: multiplier BDDs grow
+exponentially with operand width, so the ``bdd_node_budget`` budget
+trips as ``verdict="budget"`` well before wide circuits finish, exactly
+like the paper's decision-diagram timeouts.  Registered as backend
+``bdd-cec`` in :mod:`repro.api.registry`.
+"""
 
 from repro.baselines.bdd.bdd import BddManager
 from repro.baselines.bdd.equivalence import bdd_equivalence_check, BddCheckResult

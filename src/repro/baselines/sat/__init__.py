@@ -1,4 +1,16 @@
-"""SAT-based combinational equivalence checking (CEC) baseline."""
+"""SAT-based combinational equivalence checking (CEC) baseline.
+
+The stand-in for the paper's commercial-equivalence column: the circuit
+under verification and a golden array multiplier are joined into a miter
+(:func:`~repro.baselines.sat.miter.build_miter`), Tseitin-encoded into
+CNF (:mod:`~repro.baselines.sat.cnf`), and handed to the built-in CDCL
+solver (:class:`~repro.baselines.sat.solver.CdclSolver` — watched
+literals, first-UIP learning, restarts).  A satisfying assignment is a
+primary-input counterexample; UNSAT proves equivalence; the
+``sat_conflict_budget`` / ``time_budget_s`` budgets bound the search and
+surface as ``verdict="budget"`` reports, mirroring the paper's timeout
+entries.  Registered as backend ``sat-cec`` in :mod:`repro.api.registry`.
+"""
 
 from repro.baselines.sat.cnf import CNF, tseitin_encode
 from repro.baselines.sat.solver import CdclSolver, SolverResult

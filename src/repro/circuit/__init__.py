@@ -1,4 +1,18 @@
-"""Gate-level circuit substrate: netlists, analysis, simulation, Verilog I/O."""
+"""Gate-level circuit substrate: netlists, analysis, simulation, Verilog I/O.
+
+Everything above this package manipulates circuits through
+:class:`~repro.circuit.netlist.Netlist` — a named DAG of single-output
+gates (:mod:`repro.circuit.gates`) with declared primary inputs/outputs
+and word-level accessors used by the generators and specifications.
+Supporting modules: :mod:`~repro.circuit.analysis` (fanout counts,
+topological orders, level maps — the inputs of substitution ordering),
+:mod:`~repro.circuit.simulate` (bit- and word-level evaluation,
+exhaustive equivalence checks for the small widths the tests pin),
+:mod:`~repro.circuit.verilog` (structural gate-level Verilog reader and
+writer; the netlist content hash of the result cache is the written
+Verilog), and :mod:`~repro.circuit.mutate` (single-gate fault injection
+for the refutation and counterexample test campaigns).
+"""
 
 from repro.circuit.gates import GateType, Gate, evaluate_gate
 from repro.circuit.netlist import Netlist

@@ -23,6 +23,10 @@ Verify a whole architecture catalog in parallel::
 
     repro-verify batch --width 4 --methods mt-lr,mt-fo --jobs 4
 
+Serve verification over HTTP (endpoints in ``docs/http-api.md``)::
+
+    repro-verify serve --port 8585 --jobs 4 --cache .bench-cache
+
 Exit codes (driven by the report verdict, uniform across ``verify``,
 ``verify-verilog`` and ``batch``):
 
@@ -208,6 +212,25 @@ def _resolve_batch_architectures(spec: str) -> list[str]:
     return [name.strip() for name in spec.split(",") if name.strip()]
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP verification server until interrupted."""
+    from repro.server import serve
+
+    def announce(server) -> None:
+        print(f"repro-verify serve: listening on "
+              f"http://{server.host}:{server.port} "
+              f"(jobs={args.jobs}, cache={args.cache or '-'})",
+              file=sys.stderr, flush=True)
+
+    serve(host=args.host, port=args.port, announce=announce,
+          budgets=Budgets(monomial_budget=args.monomial_budget,
+                          time_budget_s=args.time_budget,
+                          task_timeout_s=args.task_timeout),
+          jobs=args.jobs, cache_dir=args.cache,
+          job_store_limit=args.job_store_limit)
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Run a catalog of verification jobs, optionally across processes.
 
@@ -339,6 +362,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit one verification-report JSON line per "
                               "row instead of the verdict table")
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve verification over HTTP (see docs/http-api.md)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", "-p", type=int, default=8585,
+                         help="TCP port; 0 binds an ephemeral port "
+                              "(default: 8585)")
+    p_serve.add_argument("--jobs", "-j", type=int, default=1,
+                         help="worker processes per batch (default: 1)")
+    p_serve.add_argument("--cache", default=None, metavar="DIR",
+                         help="on-disk result cache directory shared by "
+                              "every batch (also REPRO_BENCH_CACHE)")
+    p_serve.add_argument("--job-store-limit", type=int, default=256,
+                         help="bound on the async job store; finished jobs "
+                              "are evicted oldest-first (default: 256)")
+    p_serve.add_argument("--monomial-budget", type=int, default=2_000_000,
+                         help="default monomial budget of served requests")
+    p_serve.add_argument("--time-budget", type=float, default=None,
+                         help="default per-request time budget in seconds")
+    p_serve.add_argument("--task-timeout", type=float, default=None,
+                         help="default hard per-job wall-clock limit of "
+                              "served batches")
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

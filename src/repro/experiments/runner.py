@@ -27,7 +27,7 @@ import json
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -59,6 +59,8 @@ class ExperimentConfig:
     monomial_budget: int = 2_000_000
     sat_conflict_budget: int = 200_000
     bdd_node_budget: int = 1_000_000
+    #: Cap on the vanishing-rule verdict cache (``None`` = unlimited).
+    vanishing_cache_limit: int | None = None
     golden_architecture: str = "SP-AR-RC"
     #: Worker processes used by :class:`ParallelRunner` consumers (1 = serial).
     jobs: int = 1
@@ -97,7 +99,9 @@ def run_membership_testing(architecture: str, width: int, method: str,
     try:
         result = verify_multiplier(
             netlist, method=method, monomial_budget=config.monomial_budget,
-            time_budget_s=config.time_budget_s, find_counterexample=False)
+            time_budget_s=config.time_budget_s,
+            vanishing_cache_limit=config.vanishing_cache_limit,
+            find_counterexample=False)
     except BlowUpError as error:
         report = VerificationReport.from_blowup(
             error, method=method, circuit=architecture, width=width,
@@ -151,11 +155,22 @@ JOB_METHODS: tuple[str, ...] = backend_names()
 
 @dataclass(frozen=True)
 class VerificationJob:
-    """One (architecture, width, method) cell of an evaluation table."""
+    """One (architecture, width, method) cell of an evaluation table.
+
+    ``config`` optionally overrides the batch-level
+    :class:`ExperimentConfig` for this job only — the per-request budget
+    groups of :meth:`repro.api.service.VerificationService.run_batch` ride
+    on it.  It travels with the job through the worker-pool queues and is
+    part of the cache key (via the budgets it carries), but not of the job
+    identity.  ``task_timeout_s`` likewise overrides the runner-level hard
+    wall-clock limit for this job.
+    """
 
     architecture: str
     width: int
     method: str
+    config: ExperimentConfig | None = field(default=None, compare=False)
+    task_timeout_s: float | None = field(default=None, compare=False)
 
     @property
     def key(self) -> tuple[str, int, str]:
@@ -168,8 +183,11 @@ def run_job(job: VerificationJob, config: ExperimentConfig) -> dict:
 
     Dispatch is driven by the registered backend's ``kind`` — plugging a
     new backend into :mod:`repro.api.registry` with an existing kind makes
-    it batchable with no change here.
+    it batchable with no change here.  A job-level ``config`` takes
+    precedence over the batch-level one.
     """
+    if job.config is not None:
+        config = job.config
     try:
         backend = get_backend(job.method)
     except ReproError:
@@ -285,7 +303,16 @@ class ResultCache:
 
     def key(self, job: VerificationJob, config: ExperimentConfig,
             task_timeout_s: float | None = None) -> str | None:
-        """Cache key of a job under the given budgets (``None`` = uncacheable)."""
+        """Cache key of a job under the given budgets (``None`` = uncacheable).
+
+        Job-level overrides (``job.config``, ``job.task_timeout_s``) take
+        precedence over the batch-level arguments, so two jobs of one batch
+        running under different budget groups never share an entry.
+        """
+        if job.config is not None:
+            config = job.config
+        if job.task_timeout_s is not None:
+            task_timeout_s = job.task_timeout_s
         netlist_hash = self._netlist_hash(job.architecture, job.width)
         if netlist_hash is None:
             return None
@@ -301,6 +328,7 @@ class ResultCache:
                 "time_budget_s": config.time_budget_s,
                 "sat_conflict_budget": config.sat_conflict_budget,
                 "bdd_node_budget": config.bdd_node_budget,
+                "vanishing_cache_limit": config.vanishing_cache_limit,
                 "task_timeout_s": task_timeout_s,
             },
         }
@@ -485,6 +513,11 @@ class ParallelRunner:
             return None
         return self.cache.key(job, self.config, self.task_timeout_s)
 
+    def _job_timeout(self, job: VerificationJob) -> float | None:
+        """Effective hard wall-clock limit of one job (job overrides runner)."""
+        return (job.task_timeout_s if job.task_timeout_s is not None
+                else self.task_timeout_s)
+
     def _finish_row(self, job: VerificationJob, row: dict,
                     cache_key: str | None,
                     on_result: Callable[[VerificationJob, dict], None] | None,
@@ -551,8 +584,8 @@ class ParallelRunner:
             return [results[i] for i in range(len(jobs))]
         # The hard wall-clock limit needs a killable worker process, so the
         # in-process shortcut only applies when no such limit was requested.
-        if self.task_timeout_s is None and (self.workers <= 1
-                                            or len(pending) <= 1):
+        if (all(self._job_timeout(jobs[index]) is None for index in pending)
+                and (self.workers <= 1 or len(pending) <= 1)):
             for index in pending:
                 job = jobs[index]
                 row = _guarded_run_job(job, self.config)
@@ -594,7 +627,8 @@ class ParallelRunner:
                                                       result_queue)
                 index = queue_order[next_slot]
                 next_slot += 1
-                worker.assign(index, jobs[index], self.task_timeout_s)
+                worker.assign(index, jobs[index],
+                              self._job_timeout(jobs[index]))
                 busy[index] = worker
 
         def finish(index: int, row: dict) -> None:
@@ -631,7 +665,7 @@ class ParallelRunner:
                                 "architecture": job.architecture,
                                 "width": job.width, "method": job.method,
                                 "status": "TO", "time": "TO",
-                                "time_s": self.task_timeout_s,
+                                "time_s": self._job_timeout(job),
                                 "verified": None,
                                 "reason": "hard task timeout",
                             })

@@ -1,4 +1,18 @@
-"""Algebraic modelling of gate-level circuits (Step 1 of the MT algorithm)."""
+"""Algebraic modelling of gate-level circuits (Step 1 of the MT algorithm).
+
+Translates a :class:`~repro.circuit.netlist.Netlist` into the polynomial
+world of the paper: every gate output ``x`` with tail ``t`` becomes the
+polynomial ``-x + t`` (:func:`~repro.modeling.gate_polys.gate_polynomial`),
+and the resulting :class:`~repro.modeling.model.AlgebraicModel` — gate
+records in topological order over a shared
+:class:`~repro.algebra.ring.PolynomialRing` — is a Gröbner basis by
+construction, because every leading monomial is a distinct single
+variable.  :mod:`~repro.modeling.spec` builds the word-level
+specification polynomials the model is checked against
+(``S = A·B (mod 2^2n)`` for multipliers, the carry-complete sum for
+adders) as :class:`~repro.modeling.spec.Specification` objects that know
+which circuits they apply to.
+"""
 
 from repro.modeling.gate_polys import gate_polynomial, gate_tail
 from repro.modeling.model import AlgebraicModel, GateRecord

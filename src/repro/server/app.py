@@ -1,0 +1,402 @@
+"""The verification server application: routes, wire schemas, metrics.
+
+This module is transport-free — :meth:`VerificationServerApp.handle` maps
+``(HTTP method, path, body bytes)`` to an :class:`HttpResponse`, and the
+asyncio front end (:mod:`repro.server.http`) only moves bytes.  That keeps
+every endpoint unit-testable without sockets.
+
+Endpoints
+---------
+
+* ``POST /v1/verify`` — one wire request document, answered with the
+  canonical :class:`~repro.api.report.VerificationReport` JSON (the exact
+  ``to_json()`` bytes of the in-process :meth:`VerificationService.submit`
+  report).
+* ``POST /v1/batch`` — ``{"requests": [...], "jobs": N?, "async": bool?}``;
+  per-request ``budgets`` form budget groups honoured job-by-job by
+  :meth:`VerificationService.run_batch`.  Synchronous batches answer with
+  a ``{"reports": [...]}`` envelope; ``"async": true`` answers 202 with a
+  job id for ``GET /v1/jobs/{id}`` polling.
+* ``GET /v1/jobs/{id}`` — poll an asynchronous batch (bounded store,
+  evicted ids are 404).
+* ``GET /v1/backends`` — the :mod:`repro.api.registry` specs.
+* ``GET /healthz`` / ``GET /metrics`` — liveness and counters.
+
+Every error is a structured JSON body
+``{"error": {"code": ..., "message": ...}}`` with a 4xx/5xx status;
+verification *outcomes* (refuted, budget trips) are 200 responses whose
+report carries the verdict — the HTTP status describes the transport, the
+verdict describes the circuit (see ``docs/http-api.md``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro import __version__
+from repro.api.registry import backends
+from repro.api.report import VERDICTS
+from repro.api.request import Budgets, VerificationRequest
+from repro.api.service import VerificationService
+from repro.errors import ReproError
+from repro.server.jobs import JobStore, JobStoreFull
+
+#: Wire-document keys accepted by ``POST /v1/verify`` and batch entries.
+#: ``netlist`` and ``verilog_path`` are deliberately absent: in-memory
+#: objects cannot travel over HTTP, and server-local file paths would let
+#: clients read arbitrary files — external circuits come in as
+#: ``verilog_text``.
+REQUEST_KEYS = ("method", "architecture", "width", "circuit_kind",
+                "verilog_text", "specification", "budgets",
+                "find_counterexample", "xor_and_only", "seed")
+
+#: Budget keys accepted in a wire document — the ``Budgets`` field names.
+BUDGET_KEYS = tuple(field.name for field in dataclasses.fields(Budgets))
+
+
+class ApiError(Exception):
+    """A structured HTTP error: status + machine-readable code + message."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+@dataclass
+class HttpResponse:
+    """Transport-free response: status, body bytes, content type."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+
+
+def _json_response(document: dict, status: int = 200) -> HttpResponse:
+    """Canonical envelope serialization: compact separators, UTF-8.
+
+    The separators match :meth:`VerificationReport.to_json`, so a report
+    dict embedded in an envelope re-serializes byte-identically to the
+    standalone report JSON.
+    """
+    body = json.dumps(document, ensure_ascii=False,
+                      separators=(",", ":")).encode("utf-8")
+    return HttpResponse(status=status, body=body)
+
+
+def error_response(status: int, code: str, message: str) -> HttpResponse:
+    return _json_response({"error": {"code": code, "message": message}},
+                          status=status)
+
+
+def _require_types(kwargs: dict, keys: tuple[str, ...], kind: type,
+                   label: str) -> None:
+    """400 unless every present key holds ``kind`` or ``None``.
+
+    ``bool`` is a subclass of ``int``, so integer fields explicitly reject
+    booleans rather than silently coercing ``true`` to 1.
+    """
+    for key in keys:
+        value = kwargs.get(key)
+        if value is None:
+            continue
+        if not isinstance(value, kind) or (kind is not bool
+                                           and isinstance(value, bool)):
+            raise ApiError(400, "bad_request",
+                           f"{key!r} must be {label}, "
+                           f"got {type(value).__name__}")
+
+
+def parse_request_document(document: object) -> VerificationRequest:
+    """Build a :class:`VerificationRequest` from one wire JSON document."""
+    if not isinstance(document, dict):
+        raise ApiError(400, "bad_request",
+                       "request document must be a JSON object")
+    for key in ("netlist", "verilog_path"):
+        if key in document:
+            raise ApiError(400, "unsupported_field",
+                           f"{key!r} is not accepted over HTTP; send the "
+                           "circuit as 'verilog_text' or name a generated "
+                           "'architecture'")
+    unknown = sorted(set(document) - set(REQUEST_KEYS))
+    if unknown:
+        raise ApiError(400, "unknown_field",
+                       f"unknown request field(s) {unknown}; expected a "
+                       f"subset of {list(REQUEST_KEYS)}")
+    kwargs = dict(document)
+    budgets = kwargs.pop("budgets", None)
+    if budgets is not None:
+        if not isinstance(budgets, dict):
+            raise ApiError(400, "bad_request",
+                           "'budgets' must be a JSON object")
+        unknown = sorted(set(budgets) - set(BUDGET_KEYS))
+        if unknown:
+            raise ApiError(400, "unknown_field",
+                           f"unknown budget field(s) {unknown}; expected a "
+                           f"subset of {list(BUDGET_KEYS)}")
+        for key, value in budgets.items():
+            # A malformed budget is the client's fault: reject it here as
+            # a 400 instead of letting a string reach the engine as a 500.
+            if value is not None and (isinstance(value, bool)
+                                      or not isinstance(value, (int, float))):
+                raise ApiError(400, "bad_request",
+                               f"budget {key!r} must be a number or null, "
+                               f"got {type(value).__name__}")
+        kwargs["budgets"] = Budgets(**budgets)
+    specification = kwargs.get("specification")
+    if specification is not None and not isinstance(specification, str):
+        raise ApiError(400, "bad_request",
+                       "'specification' must be a string over HTTP "
+                       "('multiplier' or 'adder')")
+    # Field-type validation: malformed client input is a 400, never a 500
+    # from deep inside the generator or engine.
+    _require_types(kwargs, ("method", "architecture", "circuit_kind",
+                            "verilog_text"), str, "a string")
+    _require_types(kwargs, ("width", "seed"), int, "an integer")
+    _require_types(kwargs, ("find_counterexample", "xor_and_only"), bool,
+                   "a boolean")
+    try:
+        return VerificationRequest(**kwargs)
+    except TypeError as error:
+        raise ApiError(400, "bad_request", str(error)) from None
+
+
+class VerificationServerApp:
+    """The HTTP application over :class:`VerificationService`.
+
+    One app owns the job store, the background batch executor, and the
+    metrics counters; a fresh :class:`VerificationService` is built per
+    request (construction is free) so no mutable service state is shared
+    between the transport's worker threads.
+
+    Parameters mirror :class:`VerificationService`: ``budgets`` are the
+    service-level defaults (per-request budget groups still apply),
+    ``jobs``/``task_timeout_s``/``cache_dir`` configure the batch pool,
+    ``job_store_limit`` bounds the async job store and ``job_workers``
+    the background batch executor.
+    """
+
+    def __init__(self, budgets: Budgets | None = None,
+                 golden_architecture: str = "SP-AR-RC",
+                 jobs: int = 1,
+                 task_timeout_s: float | None = None,
+                 cache_dir=None,
+                 job_store_limit: int = 256,
+                 job_workers: int = 2) -> None:
+        self.budgets = budgets if budgets is not None else Budgets()
+        self.golden_architecture = golden_architecture
+        self.jobs = jobs
+        self.task_timeout_s = task_timeout_s
+        self.cache_dir = cache_dir
+        self.job_store = JobStore(limit=job_store_limit)
+        self._job_executor = ThreadPoolExecutor(
+            max_workers=job_workers, thread_name_prefix="repro-batch")
+        self._metrics_lock = threading.Lock()
+        self._started_monotonic = time.monotonic()
+        self._requests_total = 0
+        self._errors_total = 0
+        self._batches_total = 0
+        self._async_batches_total = 0
+        self._reports_total = 0
+        self._verdicts = dict.fromkeys(VERDICTS, 0)
+        self._cache_hits_total = 0
+        self._executed_total = 0
+
+    # -- plumbing --------------------------------------------------------------
+
+    def service(self) -> VerificationService:
+        """A fresh service with the app-level defaults (thread-safe by construction)."""
+        return VerificationService(
+            budgets=self.budgets,
+            golden_architecture=self.golden_architecture,
+            jobs=self.jobs,
+            task_timeout_s=self.task_timeout_s,
+            cache_dir=self.cache_dir)
+
+    def close(self) -> None:
+        """Stop the background batch executor (pending jobs are abandoned)."""
+        self._job_executor.shutdown(wait=False, cancel_futures=True)
+
+    def _count_reports(self, reports, cache_hits: int = 0,
+                       executed: int = 0) -> None:
+        with self._metrics_lock:
+            self._reports_total += len(reports)
+            for report in reports:
+                self._verdicts[report.verdict] += 1
+            self._cache_hits_total += cache_hits
+            self._executed_total += executed
+
+    @staticmethod
+    def _parse_body(body: bytes) -> object:
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise ApiError(400, "invalid_json",
+                           "request body is not valid JSON") from None
+
+    # -- dispatch --------------------------------------------------------------
+
+    #: Routes with a fixed path (method, path) -> handler attribute name.
+    ROUTES = {
+        ("GET", "/healthz"): "handle_healthz",
+        ("GET", "/metrics"): "handle_metrics",
+        ("GET", "/v1/backends"): "handle_backends",
+        ("POST", "/v1/verify"): "handle_verify",
+        ("POST", "/v1/batch"): "handle_batch",
+    }
+
+    def handle(self, method: str, path: str, body: bytes = b"") -> HttpResponse:
+        """Route one request; every failure becomes a structured error body."""
+        with self._metrics_lock:
+            self._requests_total += 1
+        try:
+            response = self._dispatch(method, path, body)
+        except ApiError as error:
+            response = error_response(error.status, error.code, str(error))
+        except JobStoreFull as error:
+            response = error_response(503, "job_store_full", str(error))
+        except ReproError as error:
+            # Unknown architecture, unparsable Verilog, inapplicable spec,
+            # unknown method, ... — the request itself is at fault.
+            response = error_response(
+                400, "verification_error",
+                f"{type(error).__name__}: {error}")
+        except Exception as error:  # noqa: BLE001 - transport boundary
+            response = error_response(
+                500, "internal_error", f"{type(error).__name__}: {error}")
+        if response.status >= 400:
+            with self._metrics_lock:
+                self._errors_total += 1
+        return response
+
+    def _dispatch(self, method: str, path: str, body: bytes) -> HttpResponse:
+        handler = self.ROUTES.get((method, path))
+        if handler is not None:
+            return getattr(self, handler)(body)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                raise ApiError(405, "method_not_allowed",
+                               f"{method} not allowed on {path}; use GET")
+            return self.handle_job(path[len("/v1/jobs/"):])
+        if any(route_path == path for _, route_path in self.ROUTES):
+            allowed = sorted(m for m, p in self.ROUTES if p == path)
+            raise ApiError(405, "method_not_allowed",
+                           f"{method} not allowed on {path}; "
+                           f"use {' or '.join(allowed)}")
+        raise ApiError(404, "not_found", f"no route for {path}")
+
+    # -- endpoints -------------------------------------------------------------
+
+    def handle_healthz(self, body: bytes = b"") -> HttpResponse:
+        return _json_response({
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "jobs": self.job_store.stats(),
+        })
+
+    def handle_metrics(self, body: bytes = b"") -> HttpResponse:
+        with self._metrics_lock:
+            document = {
+                "uptime_s": round(
+                    time.monotonic() - self._started_monotonic, 3),
+                "http": {"requests_total": self._requests_total,
+                         "errors_total": self._errors_total},
+                "reports": {"total": self._reports_total,
+                            "verdicts": dict(self._verdicts)},
+                "batches": {"total": self._batches_total,
+                            "async_total": self._async_batches_total},
+                "cache": {"hits_total": self._cache_hits_total,
+                          "executed_total": self._executed_total},
+                "pool": {"jobs": self.jobs,
+                         "cache_dir": str(self.cache_dir)
+                         if self.cache_dir is not None else None},
+            }
+        document["jobs"] = self.job_store.stats()
+        return _json_response(document)
+
+    def handle_backends(self, body: bytes = b"") -> HttpResponse:
+        return _json_response({"backends": [
+            {"name": spec.name, "kind": spec.kind,
+             "description": spec.description,
+             "supports_counterexample": spec.supports_counterexample,
+             "supports_stats": spec.supports_stats,
+             "cost_rank": spec.cost_rank,
+             "budget_keys": list(spec.budget_keys)}
+            for spec in backends()]})
+
+    def handle_verify(self, body: bytes) -> HttpResponse:
+        request = parse_request_document(self._parse_body(body))
+        report = self.service().submit(request)
+        self._count_reports([report])
+        # The exact to_json() bytes — byte-identical to the in-process
+        # VerificationService.submit() serialization.
+        return HttpResponse(status=200, body=report.to_json().encode("utf-8"))
+
+    def handle_batch(self, body: bytes) -> HttpResponse:
+        document = self._parse_body(body)
+        if not isinstance(document, dict):
+            raise ApiError(400, "bad_request",
+                           "batch body must be a JSON object")
+        unknown = sorted(set(document) - {"requests", "jobs", "async"})
+        if unknown:
+            raise ApiError(400, "unknown_field",
+                           f"unknown batch field(s) {unknown}; expected "
+                           "'requests', 'jobs', 'async'")
+        entries = document.get("requests")
+        if not isinstance(entries, list) or not entries:
+            raise ApiError(400, "bad_request",
+                           "'requests' must be a non-empty JSON array")
+        jobs = document.get("jobs")
+        if jobs is not None and (not isinstance(jobs, int)
+                                 or isinstance(jobs, bool) or jobs < 1):
+            raise ApiError(400, "bad_request",
+                           "'jobs' must be a positive integer")
+        requests = [parse_request_document(entry) for entry in entries]
+        if document.get("async"):
+            job = self.job_store.create()
+            with self._metrics_lock:
+                self._batches_total += 1
+                self._async_batches_total += 1
+            self._job_executor.submit(self._run_async_batch, job.id,
+                                      requests, jobs)
+            return _json_response({"job": job.id, "state": job.state,
+                                   "poll": f"/v1/jobs/{job.id}"}, status=202)
+        service = self.service()
+        reports = service.run_batch(requests, jobs=jobs)
+        with self._metrics_lock:
+            self._batches_total += 1
+        self._count_reports(reports, service.last_cache_hits,
+                            service.last_executed)
+        return _json_response({
+            "reports": [report.to_dict() for report in reports],
+            "cache_hits": service.last_cache_hits,
+            "executed": service.last_executed,
+        })
+
+    def _run_async_batch(self, job_id: str, requests, jobs) -> None:
+        """Background executor target for ``"async": true`` batches."""
+        self.job_store.start(job_id)
+        try:
+            service = self.service()
+            reports = service.run_batch(requests, jobs=jobs)
+        except Exception as error:  # noqa: BLE001 - job isolation boundary
+            self.job_store.fail(job_id, f"{type(error).__name__}: {error}")
+            return
+        self._count_reports(reports, service.last_cache_hits,
+                            service.last_executed)
+        self.job_store.finish(job_id, reports, service.last_cache_hits,
+                              service.last_executed)
+
+    def handle_job(self, job_id: str) -> HttpResponse:
+        job = self.job_store.get(job_id)
+        if job is None:
+            raise ApiError(404, "job_not_found",
+                           f"unknown job {job_id!r} (never submitted, or "
+                           "evicted from the bounded store)")
+        return _json_response(job.to_document())

@@ -1,0 +1,163 @@
+"""Thin stdlib HTTP client for the verification server.
+
+:class:`VerificationClient` speaks the wire schema of
+:mod:`repro.server.app` over ``http.client`` — one connection per request
+(the server closes connections after every response), JSON in, JSON out,
+reports rebuilt as :class:`~repro.api.report.VerificationReport` objects.
+It is what the server tests, the benchmark harness, and
+``examples/http_client.py`` drive; it is *not* a required dependency of
+the server side.
+
+Request documents are plain dicts mirroring
+:class:`~repro.api.request.VerificationRequest` — e.g.
+``{"architecture": "SP-AR-RC", "width": 4, "method": "mt-lr",
+"budgets": {"monomial_budget": 100000}}`` — see
+:data:`repro.server.app.REQUEST_KEYS`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.api.report import VerificationReport
+from repro.errors import ReproError
+
+
+class ServerError(ReproError):
+    """A structured error answer from the server (4xx/5xx)."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+
+
+class VerificationClient:
+    """Talk to a running ``repro-verify serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8585,
+                 timeout_s: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- transport -------------------------------------------------------------
+
+    def request_raw(self, method: str, path: str,
+                    document: dict | None = None) -> tuple[int, bytes]:
+        """One HTTP exchange; returns ``(status, body bytes)`` verbatim."""
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout_s)
+        try:
+            body = None
+            headers = {}
+            if document is not None:
+                body = json.dumps(document, ensure_ascii=False,
+                                  separators=(",", ":")).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _parse(status: int, body: bytes) -> dict:
+        """Parse a response body; raises :class:`ServerError` on error bodies."""
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise ServerError(status, "invalid_response",
+                              f"non-JSON response body {body[:200]!r}") \
+                from None
+        if status >= 400:
+            error = parsed.get("error", {}) if isinstance(parsed, dict) else {}
+            raise ServerError(status, error.get("code", "unknown"),
+                              error.get("message", body.decode("utf-8",
+                                                               "replace")))
+        return parsed
+
+    def request(self, method: str, path: str,
+                document: dict | None = None) -> dict:
+        """One JSON exchange; raises :class:`ServerError` on error bodies."""
+        return self._parse(*self.request_raw(method, path, document))
+
+    # -- introspection ---------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def backends(self) -> list[dict]:
+        return self.request("GET", "/v1/backends")["backends"]
+
+    # -- verification ----------------------------------------------------------
+
+    def verify_raw(self, document: dict) -> bytes:
+        """``POST /v1/verify`` returning the exact report JSON bytes."""
+        status, body = self.request_raw("POST", "/v1/verify", document)
+        if status != 200:
+            # Raise from the bytes already received — never re-submit the
+            # (possibly expensive) verification just to build the exception.
+            self._parse(status, body)
+            raise ServerError(status, "unknown",
+                              body.decode("utf-8", "replace"))
+        return body
+
+    def verify(self, document: dict) -> VerificationReport:
+        """``POST /v1/verify`` returning the rebuilt report."""
+        return VerificationReport.from_json(
+            self.verify_raw(document).decode("utf-8"))
+
+    def batch_envelope(self, documents: list[dict],
+                       jobs: int | None = None) -> dict:
+        """Synchronous ``POST /v1/batch``; the raw response envelope."""
+        body: dict = {"requests": list(documents)}
+        if jobs is not None:
+            body["jobs"] = jobs
+        return self.request("POST", "/v1/batch", body)
+
+    def batch(self, documents: list[dict],
+              jobs: int | None = None) -> list[VerificationReport]:
+        """Synchronous batch returning reports in request order."""
+        return [VerificationReport.from_dict(entry) for entry in
+                self.batch_envelope(documents, jobs=jobs)["reports"]]
+
+    # -- asynchronous jobs -----------------------------------------------------
+
+    def submit_batch(self, documents: list[dict],
+                     jobs: int | None = None) -> str:
+        """``POST /v1/batch`` with ``"async": true``; returns the job id."""
+        body: dict = {"requests": list(documents), "async": True}
+        if jobs is not None:
+            body["jobs"] = jobs
+        return self.request("POST", "/v1/batch", body)["job"]
+
+    def job(self, job_id: str) -> dict:
+        """``GET /v1/jobs/{id}`` — the raw job document."""
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout_s: float = 300.0,
+             poll_s: float = 0.05) -> list[VerificationReport]:
+        """Poll a job to completion and return its reports.
+
+        Raises :class:`ServerError` if the job failed server-side or did
+        not finish within ``timeout_s``.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            document = self.job(job_id)
+            if document["state"] == "done":
+                return [VerificationReport.from_dict(entry)
+                        for entry in document["reports"]]
+            if document["state"] == "failed":
+                raise ServerError(200, "job_failed", document["error"])
+            if time.monotonic() > deadline:
+                raise ServerError(200, "job_timeout",
+                                  f"job {job_id} still {document['state']} "
+                                  f"after {timeout_s}s")
+            time.sleep(poll_s)

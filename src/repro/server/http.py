@@ -1,0 +1,259 @@
+"""Minimal asyncio HTTP/1.1 front end for the verification server.
+
+Pure standard library: one :func:`asyncio.start_server` acceptor parses
+requests (request line, headers, ``Content-Length`` body), hands each one
+to :meth:`VerificationServerApp.handle` on a thread-pool executor — the
+verification work is blocking CPU-bound Python, so the event loop only
+ever moves bytes — and writes the response back with ``Connection: close``
+semantics.  No routing, TLS, chunked encoding, or keep-alive: the server
+is the network face of the service API, not a general web framework.
+
+Three entry points:
+
+* :class:`VerificationHttpServer` — the asyncio server object
+  (``await start()`` / ``await stop()``), for embedding in a loop you own,
+* :func:`serve` — the blocking CLI entry point
+  (``repro-verify serve``), runs until interrupted,
+* :class:`ServerThread` — a context manager running the server on a
+  background thread, used by the tests, the benchmark harness, and
+  ``examples/http_client.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.server.app import HttpResponse, VerificationServerApp, error_response
+
+#: Hard parsing limits — requests beyond them are answered 431/413.
+MAX_HEADER_LINE = 16_384
+MAX_HEADER_COUNT = 100
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Reason phrases for the statuses the app emits.
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            431: "Request Header Fields Too Large", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+class _BadRequest(Exception):
+    """Connection-level protocol violation (answered without the app)."""
+
+    def __init__(self, response: HttpResponse) -> None:
+        super().__init__(response.status)
+        self.response = response
+
+
+class VerificationHttpServer:
+    """Serve a :class:`VerificationServerApp` over asyncio HTTP/1.1.
+
+    ``port=0`` binds an ephemeral port; the bound port is available as
+    :attr:`port` after :meth:`start`.  ``max_workers`` bounds the thread
+    pool the blocking app calls run on (batches additionally fan out to
+    the service's worker *processes*, so this is request concurrency, not
+    verification parallelism).
+    """
+
+    def __init__(self, app: VerificationServerApp, host: str = "127.0.0.1",
+                 port: int = 8585, max_workers: int = 8) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self.max_workers = max_workers
+        self._server: asyncio.base_events.Server | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-http")
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_HEADER_LINE)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self.app.close()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            method, path, body = await self._read_request(reader)
+        except _BadRequest as bad:
+            response = bad.response
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.LimitOverrunError):
+            writer.close()
+            return
+        else:
+            loop = asyncio.get_running_loop()
+            response = await loop.run_in_executor(
+                self._executor, self.app.handle, method, path, body)
+        try:
+            writer.write(self._render(response))
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    @staticmethod
+    async def _read_line(reader: asyncio.StreamReader) -> bytes:
+        """One header line; over-limit lines answer 431 instead of dying.
+
+        ``StreamReader.readline`` raises ``ValueError`` when a line exceeds
+        the stream limit (``MAX_HEADER_LINE``) — surface that as a response,
+        not an unhandled connection error.
+        """
+        try:
+            return await reader.readline()
+        except ValueError:
+            raise _BadRequest(error_response(
+                431, "header_too_large",
+                "request header line too long")) from None
+
+    async def _read_request(self, reader: asyncio.StreamReader,
+                            ) -> tuple[str, str, bytes]:
+        request_line = (await self._read_line(reader)).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _BadRequest(error_response(
+                400, "bad_request", f"malformed request line {request_line!r}"))
+        method, target = parts[0], parts[1]
+        path = target.split("?", 1)[0]
+        content_length = 0
+        # One extra iteration so exactly MAX_HEADER_COUNT headers followed
+        # by the terminating blank line are accepted, not rejected.
+        for _ in range(MAX_HEADER_COUNT + 1):
+            line = await self._read_line(reader)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _BadRequest(error_response(
+                        400, "bad_request",
+                        "malformed Content-Length header")) from None
+        else:
+            raise _BadRequest(error_response(
+                431, "too_many_headers",
+                f"more than {MAX_HEADER_COUNT} request headers"))
+        if content_length < 0 or content_length > MAX_BODY_BYTES:
+            raise _BadRequest(error_response(
+                413, "body_too_large",
+                f"request body exceeds {MAX_BODY_BYTES} bytes"))
+        body = (await reader.readexactly(content_length)
+                if content_length else b"")
+        return method, path, body
+
+    @staticmethod
+    def _render(response: HttpResponse) -> bytes:
+        reason = _REASONS.get(response.status, "Unknown")
+        head = (f"HTTP/1.1 {response.status} {reason}\r\n"
+                f"Content-Type: {response.content_type}\r\n"
+                f"Content-Length: {len(response.body)}\r\n"
+                f"Connection: close\r\n\r\n")
+        return head.encode("latin-1") + response.body
+
+
+def serve(host: str = "127.0.0.1", port: int = 8585,
+          app: VerificationServerApp | None = None,
+          announce=None, **app_kwargs) -> None:
+    """Blocking entry point: serve until interrupted (the CLI's ``serve``).
+
+    ``app_kwargs`` are forwarded to :class:`VerificationServerApp` when no
+    ready ``app`` is passed; ``announce`` (if given) is called with the
+    started server — the CLI prints the bound address from it.
+    """
+    if app is None:
+        app = VerificationServerApp(**app_kwargs)
+
+    async def _main() -> None:
+        server = VerificationHttpServer(app, host=host, port=port)
+        await server.start()
+        if announce is not None:
+            announce(server)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+class ServerThread:
+    """Context manager: the HTTP server on a daemon thread, port 0 by default.
+
+    >>> with ServerThread(VerificationServerApp()) as server:
+    ...     client = VerificationClient(port=server.port)
+    """
+
+    def __init__(self, app: VerificationServerApp | None = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.app = app if app is not None else VerificationServerApp()
+        self.host = host
+        self.port = port
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._startup_error: BaseException | None = None
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-http-server")
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("HTTP server failed to start within 10s")
+        if self._startup_error is not None:
+            raise RuntimeError("HTTP server failed to start") \
+                from self._startup_error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = VerificationHttpServer(self.app, host=self.host,
+                                        port=self.port)
+        try:
+            await server.start()
+        except BaseException as error:  # noqa: BLE001 - surfaced to __enter__
+            self._startup_error = error
+            self._ready.set()
+            return
+        self.port = server.port
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.stop()

@@ -1,0 +1,144 @@
+"""Bounded in-memory job store for asynchronous batch verification.
+
+``POST /v1/batch`` with ``"async": true`` returns immediately with a job
+id; the batch then runs on the server's background executor and clients
+poll ``GET /v1/jobs/{id}`` until the job reaches a terminal state.  The
+store is deliberately bounded: finished jobs are evicted oldest-first once
+the capacity is reached (a poll for an evicted id is a 404), and when every
+stored job is still pending or running at capacity, new submissions are
+refused (the HTTP layer answers 503) instead of growing without bound.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: Lifecycle of a job: ``pending`` (queued), ``running``, then exactly one
+#: of the terminal states ``done`` (reports available) or ``failed``.
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+class JobStoreFull(ReproError):
+    """Raised when every stored job is unfinished and the store is full."""
+
+
+@dataclass
+class Job:
+    """One asynchronous batch submission and its lifecycle."""
+
+    id: str
+    state: str = "pending"
+    created_s: float = field(default_factory=time.time)
+    finished_s: float | None = None
+    #: Reports of the completed batch, in request order (``done`` only).
+    reports: list | None = None
+    #: Failure reason (``failed`` only).
+    error: str | None = None
+    #: Result-cache counters of the completed batch.
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def to_document(self) -> dict:
+        """The job as a ``GET /v1/jobs/{id}`` JSON document."""
+        document = {
+            "job": self.id,
+            "state": self.state,
+            "created_s": self.created_s,
+            "finished_s": self.finished_s,
+        }
+        if self.state == "done":
+            document["reports"] = [report.to_dict() for report in self.reports]
+            document["cache_hits"] = self.cache_hits
+            document["executed"] = self.executed
+        if self.state == "failed":
+            document["error"] = self.error
+        return document
+
+
+class JobStore:
+    """Thread-safe bounded store of :class:`Job` entries.
+
+    Capacity control happens at :meth:`create`: finished jobs are evicted
+    oldest-first to make room, and :class:`JobStoreFull` is raised when the
+    store holds ``limit`` unfinished jobs.  All transitions go through
+    :meth:`start` / :meth:`finish` / :meth:`fail` under one lock, so the
+    HTTP worker threads and the background batch executor never observe a
+    half-updated job.
+    """
+
+    def __init__(self, limit: int = 256) -> None:
+        if limit < 1:
+            raise ValueError("job store limit must be >= 1")
+        self.limit = limit
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._prefix = secrets.token_hex(4)
+        self._sequence = 0
+        self.evicted = 0
+
+    def create(self) -> Job:
+        """Register a new pending job, evicting finished jobs as needed."""
+        with self._lock:
+            while len(self._jobs) >= self.limit:
+                oldest = next((job_id for job_id, job in self._jobs.items()
+                               if job.finished), None)
+                if oldest is None:
+                    raise JobStoreFull(
+                        f"job store holds {self.limit} unfinished jobs; "
+                        "retry once one completes")
+                del self._jobs[oldest]
+                self.evicted += 1
+            self._sequence += 1
+            job = Job(id=f"{self._prefix}-{self._sequence:06d}")
+            self._jobs[job.id] = job
+            return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def start(self, job_id: str) -> None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                job.state = "running"
+
+    def finish(self, job_id: str, reports: list, cache_hits: int = 0,
+               executed: int = 0) -> None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                # Payload first, state flip last: readers poll state without
+                # the lock, so "done" must never be visible before reports.
+                job.reports = list(reports)
+                job.cache_hits = cache_hits
+                job.executed = executed
+                job.finished_s = time.time()
+                job.state = "done"
+
+    def fail(self, job_id: str, error: str) -> None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                job.error = error
+                job.finished_s = time.time()
+                job.state = "failed"
+
+    def stats(self) -> dict:
+        """Gauges for ``/healthz`` and ``/metrics``."""
+        with self._lock:
+            counts = dict.fromkeys(JOB_STATES, 0)
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return {"stored": len(self._jobs), "limit": self.limit,
+                    "evicted": self.evicted, **counts}

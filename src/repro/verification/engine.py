@@ -107,8 +107,12 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
         caller needed one to derive the specification (variable numbering is
         deterministic, so model and specification always agree).
     """
-    if method not in METHODS:
-        raise VerificationError(f"unknown method {method!r}; expected {METHODS}")
+    # Validate against the live registry, not the import-time METHODS
+    # snapshot, so backends registered later are honoured here too.
+    if method not in algebraic_backend_names():
+        raise VerificationError(
+            f"unknown method {method!r}; "
+            f"expected {algebraic_backend_names()}")
     if budgets is None:
         from repro.api.request import Budgets
         budgets = Budgets(monomial_budget=monomial_budget,
@@ -212,6 +216,13 @@ def _rewrite(model: AlgebraicModel, method: str, xor_and_only: bool,
     if method == "mt-fo":
         return fanout_rewriting(model, monomial_budget=monomial_budget,
                                 deadline=deadline)
+    if method not in ("mt-xor", "mt-lr"):
+        # A plug-in algebraic backend passed registry validation but has no
+        # rewriting scheme wired here — fail loudly instead of silently
+        # running it as mt-xor.
+        raise VerificationError(
+            f"algebraic backend {method!r} has no rewriting scheme in this "
+            "engine; only mt-naive/mt-fo/mt-xor/mt-lr are dispatched")
     if vanishing_cache_limit is not None:
         vanishing = VanishingRules(model, xor_and_only=xor_and_only,
                                    cache_limit=vanishing_cache_limit)

@@ -148,11 +148,50 @@ def test_run_batch_mixes_pooled_and_inprocess_requests(service):
     assert reports[1].circuit == netlist.name
 
 
-def test_run_batch_rejects_mismatched_budgets(service):
-    request = VerificationRequest.from_architecture(
-        "SP-AR-RC", 3, budgets=Budgets(monomial_budget=99))
-    with pytest.raises(VerificationError, match="service-level budgets"):
-        service.run_batch([request])
+def test_run_batch_honours_per_request_budget_groups(service):
+    """Pooled requests carry their own budgets job-by-job (ISSUE 5)."""
+    requests = [
+        VerificationRequest.from_architecture(
+            "SP-AR-RC", 3, "mt-lr", budgets=service.budgets,
+            find_counterexample=False),
+        # A 50-monomial budget that provably trips on the naive GB.
+        VerificationRequest.from_architecture(
+            "SP-WT-CL", 3, "mt-naive", budgets=Budgets(monomial_budget=50),
+            find_counterexample=False),
+        VerificationRequest.from_architecture(
+            "SP-CT-BK", 3, "mt-fo",
+            budgets=Budgets(monomial_budget=100_000, time_budget_s=30.0),
+            find_counterexample=False),
+    ]
+    reports = service.run_batch(requests)
+    assert [report.verdict for report in reports] == \
+        ["verified", "budget", "verified"]
+    # Budget groups survive the worker pool, and each pooled report agrees
+    # with an in-process submit under the same request budgets.
+    parallel = service.run_batch(requests, jobs=2)
+    assert [_stable(r.to_row()) for r in parallel] == \
+        [_stable(r.to_row()) for r in reports]
+    tripped = service.submit(requests[1])
+    assert tripped.verdict == "budget"
+    assert tripped.reason == reports[1].reason
+
+
+def test_run_batch_budget_groups_do_not_share_cache_entries(tmp_path):
+    """Same job under different budgets must key different cache rows."""
+    service = VerificationService(cache_dir=tmp_path)
+    tight = VerificationRequest.from_architecture(
+        "SP-WT-CL", 3, "mt-naive", budgets=Budgets(monomial_budget=50),
+        find_counterexample=False)
+    loose = VerificationRequest.from_architecture(
+        "SP-WT-CL", 3, "mt-naive", find_counterexample=False)
+    [first] = service.run_batch([tight])
+    assert first.verdict == "budget"
+    [second] = service.run_batch([loose])
+    assert service.last_executed == 1          # no stale budget-trip hit
+    assert second.verdict == "verified"
+    [replayed] = service.run_batch([tight])
+    assert service.last_cache_hits == 1
+    assert replayed.to_json() == first.to_json()
 
 
 def test_run_batch_uses_result_cache(tmp_path):
@@ -178,6 +217,9 @@ def test_experiment_config_maps_budgets_verbatim(monkeypatch):
     assert config.monomial_budget == service.budgets.monomial_budget
     assert config.sat_conflict_budget == service.budgets.sat_conflict_budget
     assert config.bdd_node_budget == service.budgets.bdd_node_budget
+    capped = service._experiment_config(Budgets(vanishing_cache_limit=64))
+    assert capped.vanishing_cache_limit == 64
+    assert Budgets.from_config(capped).vanishing_cache_limit == 64
 
 
 def test_run_batch_honours_non_default_request_knobs(service):
@@ -191,6 +233,21 @@ def test_run_batch_honours_non_default_request_knobs(service):
     assert service.last_executed == 0        # routed in-process, not pooled
     assert batched.counters["cancelled_vanishing_monomials"] == \
         direct.counters["cancelled_vanishing_monomials"]
+
+
+def test_unknown_algebraic_plugin_fails_loudly_not_as_mt_xor():
+    """A plug-in algebraic backend without an engine scheme must not be
+    silently dispatched through the XOR-rewriting branch."""
+    from repro.api.registry import BackendSpec, register, unregister
+
+    register(BackendSpec(name="mt-plugin", kind="algebraic",
+                         description="test plug-in", cost_rank=9))
+    try:
+        with pytest.raises(VerificationError, match="rewriting scheme"):
+            VerificationService().submit(VerificationRequest.from_architecture(
+                "SP-AR-RC", 3, method="mt-plugin"))
+    finally:
+        unregister("mt-plugin")
 
 
 def test_custom_backend_method_name_propagates():

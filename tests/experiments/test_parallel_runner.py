@@ -225,3 +225,52 @@ def test_parallel_schedule_matches_serial_rows(config):
     serial = runner.run_serial(jobs)
     parallel = runner.run(jobs)
     assert _deterministic(serial) == _deterministic(parallel)
+
+
+def test_job_level_config_overrides_batch_config(config):
+    """Per-job budget groups (ISSUE 5): the job's config wins everywhere."""
+    tight = ExperimentConfig(widths=(3,), monomial_budget=50,
+                             time_budget_s=60.0)
+    jobs = [VerificationJob("SP-WT-CL", 3, "mt-naive"),
+            VerificationJob("SP-WT-CL", 3, "mt-naive", config=tight)]
+    for workers in (1, 2):
+        rows = ParallelRunner(config, workers=workers).run(jobs)
+        assert [row["status"] for row in rows] == ["ok", "TO"], workers
+        assert "monomial budget" in rows[1]["reason"]
+
+
+def test_job_level_config_keys_the_cache_separately(config, tmp_path):
+    """One job under two budget groups must occupy two cache entries."""
+    tight = ExperimentConfig(widths=(3,), monomial_budget=50,
+                             time_budget_s=60.0)
+    runner = ParallelRunner(config, workers=1, cache_dir=tmp_path)
+    [tripped] = runner.run([VerificationJob("SP-WT-CL", 3, "mt-naive",
+                                            config=tight)])
+    assert tripped["status"] == "TO"
+    [verified] = runner.run([VerificationJob("SP-WT-CL", 3, "mt-naive")])
+    assert runner.last_executed == 1           # distinct key: no stale hit
+    assert verified["status"] == "ok"
+    [replayed] = runner.run([VerificationJob("SP-WT-CL", 3, "mt-naive",
+                                             config=tight)])
+    assert runner.last_cache_hits == 1
+    assert replayed == tripped
+
+
+@needs_fork
+def test_job_level_task_timeout_overrides_runner_default(config, monkeypatch):
+    real_run_job = runner_module.run_job
+
+    def sleeping_run_job(job, cfg):
+        if job.architecture == "SP-WT-CL":
+            time.sleep(60)
+        return real_run_job(job, cfg)
+
+    monkeypatch.setattr(runner_module, "run_job", sleeping_run_job)
+    jobs = [VerificationJob("SP-WT-CL", 3, "mt-lr", task_timeout_s=1.0),
+            VerificationJob("SP-AR-RC", 3, "mt-lr")]
+    start = time.monotonic()
+    rows = ParallelRunner(config, workers=2).run(jobs)   # no runner default
+    assert time.monotonic() - start < 30
+    assert rows[0]["status"] == "TO"
+    assert rows[0]["time_s"] == 1.0
+    assert rows[1]["status"] == "ok"

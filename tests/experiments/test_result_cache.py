@@ -74,7 +74,15 @@ def test_cache_key_depends_on_budgets_and_content(tmp_path, config):
     assert base == cache.key(job, config)
     tighter = ExperimentConfig(widths=(3,), monomial_budget=1_000)
     assert cache.key(job, tighter) != base
+    capped = ExperimentConfig(widths=(3,), vanishing_cache_limit=64)
+    assert cache.key(job, capped) != base
     assert cache.key(job, config, task_timeout_s=5.0) != base
+    # Job-level overrides key the job like the equivalent batch-level args.
+    override = VerificationJob("SP-AR-RC", 3, "mt-lr", config=tighter)
+    assert cache.key(override, config) == cache.key(job, tighter)
+    timed = VerificationJob("SP-AR-RC", 3, "mt-lr", task_timeout_s=5.0)
+    assert cache.key(timed, config) == cache.key(job, config,
+                                                 task_timeout_s=5.0)
     other_method = VerificationJob("SP-AR-RC", 3, "mt-fo")
     assert cache.key(other_method, config) != base
     unknown = VerificationJob("XX-YY-ZZ", 3, "mt-lr")

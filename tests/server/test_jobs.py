@@ -1,0 +1,97 @@
+"""Unit tests of the bounded in-memory job store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.jobs import JobStore, JobStoreFull
+
+
+def test_lifecycle_and_document_shapes():
+    store = JobStore(limit=4)
+    job = store.create()
+    assert job.state == "pending"
+    document = job.to_document()
+    assert document["job"] == job.id
+    assert "reports" not in document
+
+    store.start(job.id)
+    assert store.get(job.id).state == "running"
+
+    class _Report:
+        @staticmethod
+        def to_dict():
+            return {"verdict": "verified"}
+
+    store.finish(job.id, [_Report()], cache_hits=1, executed=2)
+    finished = store.get(job.id)
+    assert finished.state == "done" and finished.finished
+    document = finished.to_document()
+    assert document["reports"] == [{"verdict": "verified"}]
+    assert document["cache_hits"] == 1 and document["executed"] == 2
+    assert document["finished_s"] is not None
+
+
+def test_failed_jobs_carry_the_error():
+    store = JobStore(limit=2)
+    job = store.create()
+    store.fail(job.id, "ValueError: boom")
+    document = store.get(job.id).to_document()
+    assert document["state"] == "failed"
+    assert document["error"] == "ValueError: boom"
+    assert "reports" not in document
+
+
+def test_ids_are_unique_and_sequential_within_a_store():
+    store = JobStore(limit=8)
+    ids = [store.create().id for _ in range(5)]
+    assert len(set(ids)) == 5
+    prefixes = {job_id.rsplit("-", 1)[0] for job_id in ids}
+    assert len(prefixes) == 1
+
+
+def test_finished_jobs_are_evicted_oldest_first():
+    store = JobStore(limit=2)
+    first, second = store.create(), store.create()
+    store.finish(first.id, [])
+    store.finish(second.id, [])
+    third = store.create()                       # evicts `first`
+    assert store.get(first.id) is None
+    assert store.get(second.id) is not None
+    assert store.get(third.id) is not None
+    assert store.evicted == 1
+    assert store.stats()["stored"] == 2
+
+
+def test_full_store_of_unfinished_jobs_refuses_new_submissions():
+    store = JobStore(limit=2)
+    store.create()
+    running = store.create()
+    store.start(running.id)
+    with pytest.raises(JobStoreFull, match="unfinished"):
+        store.create()
+    # Finishing one frees a slot again.
+    store.finish(running.id, [])
+    assert store.create() is not None
+
+
+def test_stats_counts_states():
+    store = JobStore(limit=8)
+    pending = store.create()
+    running = store.create()
+    done = store.create()
+    store.start(running.id)
+    store.finish(done.id, [])
+    stats = store.stats()
+    assert stats["pending"] == 1
+    assert stats["running"] == 1
+    assert stats["done"] == 1
+    assert stats["failed"] == 0
+    assert stats["stored"] == 3
+    assert stats["limit"] == 8
+    assert pending.id != done.id
+
+
+def test_limit_must_be_positive():
+    with pytest.raises(ValueError):
+        JobStore(limit=0)

@@ -40,7 +40,7 @@ def test_workflow_parses_and_triggers(workflow):
 
 def test_workflow_has_expected_jobs(workflow):
     jobs = workflow["jobs"]
-    assert set(jobs) >= {"test", "lint", "bench-smoke"}
+    assert set(jobs) >= {"test", "lint", "docs", "bench-smoke"}
 
 
 def test_test_job_covers_python_matrix(workflow):
@@ -76,6 +76,24 @@ def test_json_report_smoke_step_validates_schema(workflow):
     assert "json.tool" in commands
     assert "verdict" in commands
     assert "counters" in commands
+
+
+def test_docs_job_runs_snippet_check(workflow):
+    """The docs job must run tests/test_docs.py against the tree."""
+    commands = " ".join(step.get("run", "")
+                        for step in workflow["jobs"]["docs"]["steps"])
+    assert "tests/test_docs.py" in commands
+
+
+def test_docs_job_smokes_the_server(workflow):
+    """Boot `serve`, poll /healthz, verify a 2-bit multiplier, check verdict."""
+    commands = " ".join(step.get("run", "")
+                        for step in workflow["jobs"]["docs"]["steps"])
+    assert "repro-verify serve" in commands
+    assert "/healthz" in commands
+    assert "/v1/verify" in commands
+    assert '"width": 2' in commands
+    assert "verified" in commands
 
 
 def test_wide_bench_runs_on_schedule_and_dispatch(wide_workflow):
