@@ -19,6 +19,7 @@ import time
 import pytest
 
 from _harness import bench_config, record_row
+from repro.api.request import Budgets
 from repro.errors import BlowUpError
 from repro.experiments.runner import run_membership_testing
 from repro.generators.multipliers import generate_multiplier
@@ -62,8 +63,7 @@ def _verify_with_rule_mode(architecture: str, xor_and_only: bool) -> dict:
     start = time.perf_counter()
     try:
         result = verify_multiplier(netlist, method="mt-lr",
-                                   monomial_budget=CONFIG.monomial_budget,
-                                   time_budget_s=CONFIG.time_budget_s,
+                                   budgets=Budgets.from_config(CONFIG),
                                    xor_and_only=xor_and_only,
                                    find_counterexample=False)
         return {"status": "ok" if result.verified else "mismatch",

@@ -14,6 +14,7 @@ from __future__ import annotations
 import pytest
 
 from _harness import record_row
+from repro.api.request import Budgets
 from repro.errors import BlowUpError
 from repro.generators.adders import generate_adder
 from repro.verification.engine import verify_adder
@@ -29,8 +30,8 @@ def _run(method: str, width: int) -> dict:
     netlist = generate_adder("KS", width)
     try:
         result = verify_adder(netlist, method=method,
-                              monomial_budget=MONOMIAL_BUDGET,
-                              time_budget_s=TIME_BUDGET_S,
+                              budgets=Budgets(monomial_budget=MONOMIAL_BUDGET,
+                                              time_budget_s=TIME_BUDGET_S),
                               find_counterexample=False)
         return {"status": "ok", "verified": result.verified,
                 "time_s": result.total_time_s,

@@ -12,6 +12,7 @@ Run with::
     python examples/buggy_multiplier.py
 """
 
+from repro.api.request import Budgets
 from repro.circuit.mutate import apply_mutation, list_mutations
 from repro.circuit.simulate import simulate_words
 from repro.errors import BlowUpError
@@ -35,8 +36,8 @@ def main() -> None:
             # the remainder can grow much larger than for a correct design —
             # budgets keep the demonstration snappy.
             result = verify_multiplier(buggy, method="mt-lr",
-                                       monomial_budget=200_000,
-                                       time_budget_s=20.0)
+                                       budgets=Budgets(monomial_budget=200_000,
+                                                       time_budget_s=20.0))
         except BlowUpError:
             print(f"  inconclusive (budget): {mutation.describe()}")
             continue

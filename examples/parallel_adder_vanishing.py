@@ -11,6 +11,7 @@ Run with::
     python examples/parallel_adder_vanishing.py
 """
 
+from repro.api.request import Budgets
 from repro.errors import BlowUpError
 from repro.experiments.tables import format_table
 from repro.generators.adders import generate_adder
@@ -39,7 +40,8 @@ def scaling_table() -> None:
         for method in ("mt-naive", "mt-fo", "mt-lr"):
             try:
                 result = verify_adder(generate_adder("KS", width), method=method,
-                                      monomial_budget=100_000, time_budget_s=15.0,
+                                      budgets=Budgets(monomial_budget=100_000,
+                                                      time_budget_s=15.0),
                                       find_counterexample=False)
                 row[method] = f"{result.total_time_s:.2f}s"
             except BlowUpError:

@@ -15,14 +15,14 @@ Quickstart::
     assert report.verdict == "verified"
     print(report.to_json(indent=2))
 
-Report JSON schema (version 1)
+Report JSON schema (version 3)
 ------------------------------
 
 ``VerificationReport.to_json()`` emits one object with exactly these keys,
 in this order (absent values are ``null``, never omitted)::
 
     {
-      "schema": 1,                  // report schema version
+      "schema": 3,                  // report schema version
       "verdict": "verified",        // "verified" | "refuted" | "budget"
                                     //   | "not_applicable" | "error"
       "status": "ok",               // legacy table-row status: "ok" |
@@ -47,6 +47,13 @@ in this order (absent values are ``null``, never omitted)::
                                     //     peak_remainder
                                     //   sat-cec: conflicts, clauses
                                     //   bdd-cec: bdd_nodes
+      "certificate": null,          // checkable proof certificate
+                                    //   (repro.certify format) when the
+                                    //   request asked for one
+      "cross_check": null           // independent refutation cross-check:
+                                    //   {"backend": "sat-cec", "status",
+                                    //    "agrees",
+                                    //    "counterexample_confirmed", ...}
     }
 
 The serialization is canonical — fixed top-level key order, counters in
@@ -54,6 +61,14 @@ declared order — so ``from_json(to_json(r)).to_json()`` is byte-identical
 to ``to_json(r)`` for every backend.  The CLI exit codes are driven by the
 verdict: 0 = verified (or not applicable), 2 = refuted, 3 = budget trip /
 timeout, 1 = usage or infrastructure error.
+
+Schema history: version 1 is the original wire schema; version 2 was
+reserved to align the report version with the on-disk result-cache
+``SCHEMA`` (which advanced when cached rows became report documents) and
+is wire-identical to 1; version 3 appends ``certificate`` and
+``cross_check``.  ``from_json``/``from_dict`` accept schema 1 and 2
+documents (the new fields read as ``null``) and re-serialize them as
+schema 3 — see the migration table in ``docs/http-api.md``.
 
 The registry (:mod:`repro.api.registry`) is imported eagerly — it is pure
 data and safe everywhere — while the request/report/service modules load

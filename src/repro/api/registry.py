@@ -50,6 +50,9 @@ class BackendSpec:
     supports_counterexample: bool = False
     #: Does the backend report substitution-engine counters (``--stats``)?
     supports_stats: bool = False
+    #: Can the backend emit a checkable proof certificate
+    #: (``repro.certify`` format, requested via ``certificate=true``)?
+    certifiable: bool = False
     #: Relative expected-cost rank for scheduling (higher = start earlier
     #: in a batch); never used for results, only for assignment order.
     cost_rank: int = 0
@@ -147,7 +150,8 @@ register(BackendSpec(
                 "cap), and counterexample_tries; produces "
                 "simulation-validated counterexamples on refutations and "
                 "full substitution-engine counters (--stats).",
-    supports_counterexample=True, supports_stats=True, cost_rank=0,
+    supports_counterexample=True, supports_stats=True, certifiable=True,
+    cost_rank=0,
     budget_keys=_ALGEBRAIC_BUDGETS))
 
 register(BackendSpec(
@@ -163,7 +167,8 @@ register(BackendSpec(
                 "membership-testing backends (monomial_budget, "
                 "time_budget_s, vanishing_cache_limit, "
                 "counterexample_tries).",
-    supports_counterexample=True, supports_stats=True, cost_rank=4,
+    supports_counterexample=True, supports_stats=True, certifiable=True,
+    cost_rank=4,
     budget_keys=_ALGEBRAIC_BUDGETS))
 
 register(BackendSpec(
@@ -177,7 +182,8 @@ register(BackendSpec(
                 "expected to trip monomial_budget/time_budget_s into "
                 "verdict=budget beyond small widths. Counterexamples and "
                 "engine counters work as in the other algebraic backends.",
-    supports_counterexample=True, supports_stats=True, cost_rank=5,
+    supports_counterexample=True, supports_stats=True, certifiable=True,
+    cost_rank=5,
     budget_keys=_ALGEBRAIC_BUDGETS))
 
 register(BackendSpec(
@@ -190,7 +196,8 @@ register(BackendSpec(
                 "time_budget_s, vanishing_cache_limit, "
                 "counterexample_tries) and reports the same "
                 "counterexamples and substitution-engine counters.",
-    supports_counterexample=True, supports_stats=True, cost_rank=1,
+    supports_counterexample=True, supports_stats=True, certifiable=True,
+    cost_rank=1,
     budget_keys=_ALGEBRAIC_BUDGETS))
 
 register(BackendSpec(

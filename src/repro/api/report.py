@@ -24,7 +24,13 @@ from typing import Any, Mapping
 from repro.errors import VerificationError
 
 #: Version of the report JSON schema (see ``repro/api/__init__.py``).
-REPORT_SCHEMA = 1
+#: Version 3 added the ``certificate`` and ``cross_check`` fields.
+REPORT_SCHEMA = 3
+
+#: Older schema versions :meth:`VerificationReport.from_dict` still parses.
+#: Versions 1 and 2 carried the same keys minus ``certificate`` and
+#: ``cross_check``; both parse with those fields as ``None``.
+LEGACY_REPORT_SCHEMAS = (1, 2)
 
 #: Verdicts a report can carry.
 VERDICTS = ("verified", "refuted", "budget", "not_applicable", "error")
@@ -54,7 +60,7 @@ EXIT_CODES = {
 #: Table-row keys that are schema fields rather than backend counters.
 _ROW_BASE_KEYS = frozenset((
     "architecture", "width", "method", "status", "time", "time_s",
-    "verified", "reason",
+    "verified", "reason", "certificate", "cross_check",
 ))
 
 
@@ -97,6 +103,12 @@ class VerificationReport:
     remainder: str | None = None
     #: Backend-specific engine counters, in the backend's declared order.
     counters: dict[str, Any] = field(default_factory=dict)
+    #: Wrapped proof-certificate document (``repro.certify`` format), when
+    #: the run was asked to emit one and the backend is certifiable.
+    certificate: dict | None = None
+    #: Counterexample cross-check record attached to ``refuted`` verdicts
+    #: (SAT-backend agreement + counterexample simulation), when available.
+    cross_check: dict | None = None
     #: The wrapped backend result object (in-process runs only; never
     #: serialized — ``from_json`` reports carry ``None``).
     result: Any = field(default=None, repr=False, compare=False)
@@ -151,6 +163,8 @@ class VerificationReport:
             "counterexample": self.counterexample,
             "remainder": self.remainder,
             "counters": dict(self.counters),
+            "certificate": self.certificate,
+            "cross_check": self.cross_check,
         }
 
     def to_json(self, indent: int | None = None) -> str:
@@ -161,12 +175,17 @@ class VerificationReport:
 
     @classmethod
     def from_dict(cls, document: Mapping[str, Any]) -> "VerificationReport":
-        """Rebuild a report from :meth:`to_dict` output."""
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Accepts the current schema plus every version in
+        :data:`LEGACY_REPORT_SCHEMAS`; legacy documents parse with the
+        fields added since (``certificate``, ``cross_check``) as ``None``.
+        """
         schema = document.get("schema")
-        if schema != REPORT_SCHEMA:
+        if schema != REPORT_SCHEMA and schema not in LEGACY_REPORT_SCHEMAS:
             raise VerificationError(
                 f"unsupported report schema {schema!r}; "
-                f"expected {REPORT_SCHEMA}")
+                f"expected {REPORT_SCHEMA} or one of {LEGACY_REPORT_SCHEMAS}")
         counterexample = document.get("counterexample")
         return cls(
             verdict=document["verdict"],
@@ -181,7 +200,9 @@ class VerificationReport:
             counterexample=dict(counterexample)
             if counterexample is not None else None,
             remainder=document.get("remainder"),
-            counters=dict(document.get("counters") or {}))
+            counters=dict(document.get("counters") or {}),
+            certificate=document.get("certificate"),
+            cross_check=document.get("cross_check"))
 
     @classmethod
     def from_json(cls, text: str) -> "VerificationReport":
@@ -208,6 +229,10 @@ class VerificationReport:
         }
         if self.reason is not None:
             row["reason"] = self.reason
+        if self.certificate is not None:
+            row["certificate"] = self.certificate
+        if self.cross_check is not None:
+            row["cross_check"] = self.cross_check
         row.update(self.counters)
         return row
 
@@ -232,7 +257,9 @@ class VerificationReport:
             time=row["time"],
             time_s=row["time_s"],
             reason=row.get("reason"),
-            counters=counters)
+            counters=counters,
+            certificate=row.get("certificate"),
+            cross_check=row.get("cross_check"))
 
     # -- backend-result constructors -------------------------------------------
 

@@ -92,6 +92,9 @@ class VerificationRequest:
     find_counterexample: bool = True
     #: Restrict the vanishing rule to the paper's literal XOR-AND pattern.
     xor_and_only: bool = False
+    #: Emit a checkable proof certificate (:mod:`repro.certify` format) on
+    #: the report; requires a backend whose spec declares ``certifiable``.
+    certificate: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:

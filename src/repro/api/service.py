@@ -18,10 +18,14 @@ import os
 import time
 from typing import Callable, Sequence
 
-from repro.api.registry import get_backend
+from repro.api.registry import backends, get_backend
 from repro.api.report import VerificationReport
 from repro.api.request import Budgets, VerificationRequest
 from repro.errors import BlowUpError, VerificationError
+
+
+def _certifiable_backends():
+    return tuple(spec for spec in backends() if spec.certifiable)
 
 
 class VerificationService:
@@ -70,6 +74,11 @@ class VerificationService:
         """
         backend = get_backend(request.method)
         budgets = request.budgets
+        if request.certificate and not backend.certifiable:
+            raise VerificationError(
+                f"backend {backend.name!r} cannot emit proof certificates "
+                "(certifiable backends: "
+                f"{tuple(s.name for s in _certifiable_backends())})")
         netlist = request.resolve_netlist()
         circuit = request.display_name(netlist)
         width = request.width or len(netlist.input_word("a")) or None
@@ -98,13 +107,75 @@ class VerificationService:
                             budgets=budgets,
                             xor_and_only=request.xor_and_only,
                             find_counterexample=request.find_counterexample,
+                            certificate=request.certificate,
                             seed=request.seed)
         except BlowUpError as error:
             return VerificationReport.from_blowup(
                 error, method=request.method, circuit=circuit, width=width,
                 elapsed_s=time.perf_counter() - start)
-        return VerificationReport.from_result(result, circuit=circuit,
-                                              width=width)
+        report = VerificationReport.from_result(result, circuit=circuit,
+                                                width=width)
+        if request.certificate and result.certificate_data is not None:
+            from repro.certify import build_certificate
+            report.certificate = build_certificate(result)
+        if report.verdict == "refuted":
+            report.cross_check = self._cross_check_refutation(
+                request, netlist, result, width, budgets)
+        return report
+
+    def _cross_check_refutation(self, request: VerificationRequest, netlist,
+                                result, width: int | None,
+                                budgets: Budgets) -> dict:
+        """Cross-check an algebraic refutation outside the algebra.
+
+        Two independent angles, recorded verbatim on the report: the
+        counterexample (when one was found) is replayed through gate-level
+        simulation against the word-level arithmetic relation, and — for
+        multiplier specifications with a known width — the SAT miter
+        baseline is run against the golden architecture, whose
+        ``different`` answer must agree with the refutation.
+        """
+        record: dict = {"backend": "sat-cec", "status": "not_applicable",
+                        "agrees": None, "counterexample_confirmed": None}
+        confirmed = self._confirm_counterexample(request, netlist,
+                                                 result.counterexample)
+        record["counterexample_confirmed"] = confirmed
+        if request.resolve_specification() == "multiplier" and width:
+            from repro.baselines.sat.miter import sat_equivalence_check
+            from repro.generators.multipliers import generate_multiplier
+            golden = generate_multiplier(self.golden_architecture, width)
+            sat = sat_equivalence_check(
+                netlist, golden, conflict_limit=budgets.sat_conflict_budget,
+                time_budget_s=budgets.time_budget_s)
+            record["status"] = sat.status
+            record["agrees"] = (sat.status == "different"
+                                if sat.status != "unknown" else None)
+            record["conflicts"] = sat.conflicts
+        return record
+
+    def _confirm_counterexample(self, request: VerificationRequest, netlist,
+                                counterexample) -> bool | None:
+        """Gate-level replay of a counterexample against the word relation."""
+        specification = request.resolve_specification()
+        if counterexample is None or specification not in ("multiplier",
+                                                           "adder"):
+            return None
+        from repro.circuit.simulate import simulate
+        from repro.errors import CircuitError
+        try:
+            values = simulate(netlist, counterexample)
+        except CircuitError:
+            return None
+        def word(names):
+            return sum(values[name] << i for i, name in enumerate(names))
+        a_bits = netlist.input_word("a")
+        b_bits = netlist.input_word("b")
+        s_bits = netlist.output_word("s")
+        if not a_bits or not b_bits or not s_bits:
+            return None
+        a, b, s = word(a_bits), word(b_bits), word(s_bits)
+        expected = a * b if specification == "multiplier" else a + b
+        return s != expected % (1 << len(s_bits))
 
     def _submit_sat(self, netlist, circuit: str, width: int | None,
                     budgets: Budgets, method: str = "sat-cec",
@@ -184,7 +255,9 @@ class VerificationService:
                     and request.specification is None
                     and not request.xor_and_only
                     and not request.find_counterexample
-                    and request.seed == 0):
+                    and request.seed == 0
+                    and (not request.certificate
+                         or get_backend(request.method).certifiable)):
                 pooled.append(index)
         runner = ParallelRunner(
             self._experiment_config(self.budgets),
@@ -202,7 +275,8 @@ class VerificationService:
                 task_timeout_s = request.budgets.task_timeout_s
             grid.append(VerificationJob(request.architecture, request.width,
                                         request.method, config=config,
-                                        task_timeout_s=task_timeout_s))
+                                        task_timeout_s=task_timeout_s,
+                                        certificate=request.certificate))
         rows = runner.run(grid)
         self.last_cache_hits = runner.last_cache_hits
         self.last_executed = runner.last_executed

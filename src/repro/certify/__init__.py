@@ -1,0 +1,43 @@
+"""Checkable proof certificates for the algebraic verification pipeline.
+
+A certificate freezes the reduction journal of one ``verify(...)`` run —
+the gate-level Gröbner basis, the rewritten model, the substitution
+schedule, every vanishing-rule application, and the final remainder —
+into a canonical, content-hashed JSON document.
+
+Two halves, deliberately separated:
+
+:mod:`repro.certify.certificate`
+    The emitter.  Runs next to the engine, may import anything, and is
+    responsible for *binding* the certificate to the circuit (netlist
+    hash, canonical serialization, content hash) and for justifying each
+    vanishing-monomial cancellation with a replayable cone proof.
+
+:mod:`repro.certify.checker`
+    The independent checker.  Imports only :mod:`repro.algebra`
+    primitives — no engine, no vanishing tables — and replays the
+    certificate step by step, rejecting any corrupted step with a
+    stage- and step-indexed :class:`~repro.errors.CertificateError`.
+"""
+
+from repro.certify.certificate import (
+    CERTIFICATE_FORMAT,
+    CERTIFICATE_VERSION,
+    build_certificate,
+    canonical_json,
+    certificate_hash,
+    load_certificate,
+    write_certificate,
+)
+from repro.certify.checker import check_certificate
+
+__all__ = [
+    "CERTIFICATE_FORMAT",
+    "CERTIFICATE_VERSION",
+    "build_certificate",
+    "canonical_json",
+    "certificate_hash",
+    "check_certificate",
+    "load_certificate",
+    "write_certificate",
+]

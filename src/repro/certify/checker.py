@@ -1,0 +1,244 @@
+"""Independent certificate checker.
+
+Deliberately minimal trusted base: this module imports only the algebra
+primitive (:class:`~repro.algebra.polynomial.Polynomial`) plus the shared
+error type — no verification engine, no vanishing tables, no netlist or
+model code.  It re-derives every claim in a certificate from scratch:
+
+1. **hash** — the content hash matches the canonical body serialization.
+2. **structure** — required keys, types, and variable-index ranges.
+3. **order** — every tail references only lower-indexed variables and no
+   primary input owns a tail (acyclicity by construction).
+4. **schedule** — the substitution schedule is an exact permutation of
+   the model's lead variables (a dropped or duplicated step is reported
+   with its index).
+5. **vanishing** — each recorded cancellation replays to the exact zero
+   polynomial through its cone of gate tails.
+6. **model** — the rewritten model agrees with the gate-level circuit on
+   every primary-input assignment (exhaustive up to 12 inputs, otherwise
+   64 deterministic samples derived from the netlist hash).
+7. **replay** — substituting the schedule into the specification
+   polynomial reproduces the recorded remainder (coefficients compared
+   modulo the ring modulus, which the engine may apply at different
+   points of the reduction).
+8. **remainder/verdict** — the remainder mentions only primary inputs
+   and is zero exactly when the verdict claims ``verified``.
+
+Any violation raises :class:`~repro.errors.CertificateError` carrying the
+stage name and, where meaningful, the 0-based step index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.algebra.polynomial import Polynomial
+from repro.errors import CertificateError
+
+#: Guard on intermediate replay size (far above any honest certificate).
+REPLAY_TERM_LIMIT = 2_000_000
+
+_REQUIRED = {"method": str, "circuit": str, "specification": str,
+             "verdict": str, "netlist_sha256": str, "variables": list,
+             "inputs": list, "outputs": list, "gates": list, "model": list,
+             "schedule": list, "spec_terms": list, "remainder": list,
+             "vanishing": list}
+
+
+def _fail(message: str, stage: str, step: int | None = None) -> None:
+    raise CertificateError(message, stage=stage, step=step)
+
+
+def _decode_terms(encoded, what: str, num_vars: int) -> dict[int, int]:
+    terms: dict[int, int] = {}
+    for entry in encoded:
+        if (not isinstance(entry, list) or len(entry) != 2
+                or not isinstance(entry[0], int) or isinstance(entry[0], bool)
+                or not isinstance(entry[1], int) or isinstance(entry[1], bool)):
+            _fail(f"{what}: malformed term entry {entry!r}", "structure")
+        mask, coeff = entry
+        if mask < 0 or mask >> num_vars:
+            _fail(f"{what}: mask {mask:#x} outside the variable table",
+                  "structure")
+        if coeff == 0 or mask in terms:
+            _fail(f"{what}: zero coefficient or duplicate mask {mask:#x}",
+                  "structure")
+        terms[mask] = coeff
+    return terms
+
+
+def _decode_tails(encoded, what: str, num_vars: int,
+                  input_mask: int) -> dict[int, Polynomial]:
+    tails: dict[int, Polynomial] = {}
+    for entry in encoded:
+        if not isinstance(entry, list) or len(entry) != 2 \
+                or not isinstance(entry[0], int):
+            _fail(f"{what}: malformed tail entry", "structure")
+        var, terms = entry
+        if var < 0 or var >= num_vars or var in tails:
+            _fail(f"{what}: bad or duplicate lead variable {var}", "structure")
+        if (1 << var) & input_mask:
+            _fail(f"{what}: primary input {var} owns a tail", "order")
+        poly = Polynomial.from_term_masks(_decode_terms(terms, what, num_vars))
+        if poly.support_mask() >> var:
+            _fail(f"{what}: tail of variable {var} references a "
+                  "not-lower-indexed variable", "order")
+        tails[var] = poly
+    return tails
+
+
+def _normalized(poly: Polynomial, modulus: int | None) -> dict[int, int]:
+    if modulus is None:
+        return dict(poly.term_masks())
+    return {mask: coeff % modulus for mask, coeff in poly.term_masks()
+            if coeff % modulus}
+
+
+def _sample_assignments(inputs: list[int], seed: str, count: int):
+    """``count`` deterministic assignments derived from the netlist hash."""
+    for index in range(count):
+        bits = b""
+        block = 0
+        while len(bits) * 8 < len(inputs):
+            bits += hashlib.sha256(
+                f"{seed}:{index}:{block}".encode("utf-8")).digest()
+            block += 1
+        word = int.from_bytes(bits, "big")
+        yield {var: (word >> position) & 1
+               for position, var in enumerate(inputs)}
+
+
+def check_certificate(document: dict) -> dict:
+    """Check one certificate document; raise ``CertificateError`` on failure.
+
+    Returns a small summary dict (verdict, hash, step and rule counts,
+    model-check mode) for reporting; the return value carries no trust —
+    a certificate is valid iff this function does not raise.
+    """
+    if not isinstance(document, dict) or document.get("format") != "repro-certificate":
+        _fail("not a repro-certificate document", "structure")
+    if document.get("version") != 1:
+        _fail(f"unsupported certificate version {document.get('version')!r}",
+              "structure")
+    body = document.get("body")
+    if not isinstance(body, dict):
+        _fail("certificate body must be a JSON object", "structure")
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    if document.get("sha256") != digest:
+        _fail("content hash mismatch: certificate body was altered", "hash")
+
+    for key, kind in _REQUIRED.items():
+        if not isinstance(body.get(key), kind):
+            _fail(f"missing or mistyped body key {key!r}", "structure")
+    modulus = body.get("modulus")
+    if modulus is not None and (not isinstance(modulus, int) or modulus < 2):
+        _fail(f"bad modulus {modulus!r}", "structure")
+    if body["verdict"] not in ("verified", "refuted"):
+        _fail(f"unknown verdict {body['verdict']!r}", "structure")
+    num_vars = len(body["variables"])
+    inputs = body["inputs"]
+    if not all(isinstance(var, int) and 0 <= var < num_vars for var in inputs):
+        _fail("inputs outside the variable table", "structure")
+    input_mask = 0
+    for var in inputs:
+        input_mask |= 1 << var
+
+    gates = _decode_tails(body["gates"], "gates", num_vars, input_mask)
+    model = _decode_tails(body["model"], "model", num_vars, input_mask)
+    spec = Polynomial.from_term_masks(
+        _decode_terms(body["spec_terms"], "spec_terms", num_vars))
+    remainder = Polynomial.from_term_masks(
+        _decode_terms(body["remainder"], "remainder", num_vars))
+    if set(inputs) | set(gates) != set(range(num_vars)):
+        _fail("variables are neither inputs nor gate outputs", "structure")
+    if not set(model) <= set(gates):
+        _fail("model lead variables are not gate outputs", "structure")
+
+    # Stage: schedule — exact permutation of the model leads.
+    schedule = body["schedule"]
+    seen: set[int] = set()
+    for step, var in enumerate(schedule):
+        if not isinstance(var, int) or var not in model:
+            _fail(f"schedule step {step} names {var!r}, which has no model "
+                  "polynomial", "schedule", step)
+        if var in seen:
+            _fail(f"schedule step {step} substitutes variable {var} twice",
+                  "schedule", step)
+        seen.add(var)
+    if seen != set(model):
+        missing = sorted(set(model) - seen)
+        _fail(f"schedule omits model variables {missing} "
+              f"(step {len(schedule)} missing)", "schedule", len(schedule))
+
+    # Stage: vanishing — each cancellation replays to exactly zero.
+    for step, entry in enumerate(body["vanishing"]):
+        if not isinstance(entry, list) or len(entry) != 2:
+            _fail(f"vanishing rule {step} is malformed", "vanishing", step)
+        mask, cone = entry
+        if not isinstance(mask, int) or mask < 0 or mask >> num_vars \
+                or not isinstance(cone, list):
+            _fail(f"vanishing rule {step} is malformed", "vanishing", step)
+        poly = Polynomial.from_term_masks({mask: 1})
+        for var in sorted(set(cone), reverse=True):
+            if var not in gates:
+                _fail(f"vanishing rule {step} cites non-gate variable {var}",
+                      "vanishing", step)
+            poly = poly.substitute(var, gates[var])
+            if poly.num_terms > REPLAY_TERM_LIMIT:
+                _fail(f"vanishing rule {step} blew past the replay guard",
+                      "vanishing", step)
+        if not poly.is_zero:
+            _fail(f"vanishing rule {step} (mask {mask:#x}) does not expand "
+                  "to zero", "vanishing", step)
+
+    # Stage: model — gate circuit and rewritten model agree pointwise.
+    if len(inputs) <= 12:
+        mode = "exhaustive"
+        assignments = ({var: (index >> position) & 1
+                        for position, var in enumerate(inputs)}
+                       for index in range(1 << len(inputs)))
+    else:
+        mode = "sampled"
+        assignments = _sample_assignments(inputs, body["netlist_sha256"], 64)
+    order = sorted(gates)
+    for assignment in assignments:
+        values = dict(assignment)
+        for var in order:
+            value = gates[var].evaluate(values)
+            if value not in (0, 1):
+                _fail(f"gate {var} evaluates outside the Boolean domain",
+                      "model")
+            values[var] = value
+        for step, var in enumerate(schedule):
+            if model[var].evaluate(values) != values[var]:
+                _fail(f"model polynomial of variable {var} disagrees with "
+                      f"the circuit (schedule step {step})", "model", step)
+
+    # Stage: replay — the schedule reproduces the recorded remainder.
+    replayed = spec
+    if modulus is not None:
+        replayed = replayed.drop_coefficient_multiples(modulus)
+    for step, var in enumerate(schedule):
+        replayed = replayed.substitute(var, model[var])
+        if modulus is not None:
+            replayed = replayed.drop_coefficient_multiples(modulus)
+        if replayed.num_terms > REPLAY_TERM_LIMIT:
+            _fail(f"replay blew past {REPLAY_TERM_LIMIT} terms at step {step}",
+                  "replay", step)
+    if _normalized(replayed, modulus) != _normalized(remainder, modulus):
+        _fail("replayed remainder disagrees with the recorded remainder",
+              "replay", len(schedule))
+
+    # Stage: remainder/verdict — the remainder decides the claim.
+    if remainder.support_mask() & ~input_mask:
+        _fail("remainder mentions non-input variables", "remainder")
+    is_zero = not _normalized(remainder, modulus)
+    if is_zero != (body["verdict"] == "verified"):
+        _fail(f"verdict {body['verdict']!r} contradicts the remainder",
+              "verdict")
+    return {"verdict": body["verdict"], "sha256": document["sha256"],
+            "steps": len(schedule), "vanishing_rules": len(body["vanishing"]),
+            "model_check": mode, "circuit": body["circuit"],
+            "method": body["method"]}

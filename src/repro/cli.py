@@ -11,6 +11,11 @@ Verify a gate-level Verilog netlist::
 
     repro-verify verify-verilog mult.v --spec multiplier
 
+Emit a proof certificate and re-check it independently of the engine::
+
+    repro-verify verify -a SP-AR-RC -w 4 --certificate proof.json
+    repro-verify check-certificate proof.json
+
 Export a generated multiplier as Verilog::
 
     repro-verify generate --architecture SP-CT-BK --width 16 --output mult.v
@@ -35,6 +40,11 @@ Exit codes (driven by the report verdict, uniform across ``verify``,
 * ``2`` — refuted (a mismatch was proven),
 * ``3`` — a budget/timeout tripped before a verdict (``batch`` also uses
   3 when any row crashed or errored without a refutation).
+
+``check-certificate`` maps the checker verdict the same way — 0 when the
+certificate proves ``verified``, 2 when it proves ``refuted``, 1 when it
+is malformed or fails to check — without importing the engine, so its
+exit code is independent of the machinery that emitted the proof.
 
 ``--json`` makes ``verify``/``verify-verilog`` emit one
 :class:`~repro.api.report.VerificationReport` JSON object and ``batch``
@@ -86,6 +96,10 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", action="store_true",
                         help="emit the verification report as one JSON "
                              "object (schema in repro/api/__init__.py)")
+    parser.add_argument("--certificate", default=None, metavar="PATH",
+                        help="emit a checkable proof certificate to PATH "
+                             "(algebraic backends only; re-check it with "
+                             "'repro-verify check-certificate PATH')")
 
 
 def _budgets_from_args(args: argparse.Namespace) -> Budgets:
@@ -148,6 +162,11 @@ def _report(result, show_stats: bool = False) -> int:
 def _run_request(request: VerificationRequest, args: argparse.Namespace) -> int:
     """Submit one request to the service and render its report."""
     report = VerificationService().submit(request)
+    if args.certificate and report.certificate is not None:
+        from repro.certify import write_certificate
+        write_certificate(report.certificate, args.certificate)
+        print(f"certificate: wrote {report.certificate['sha256']} "
+              f"to {args.certificate}", file=sys.stderr)
     if args.json:
         print(report.to_json())
         return report.exit_code
@@ -170,15 +189,54 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     request = VerificationRequest.from_architecture(
         args.architecture, args.width, method=args.method,
         circuit_kind="adder" if args.adder else "multiplier",
-        budgets=_budgets_from_args(args))
+        budgets=_budgets_from_args(args),
+        certificate=bool(args.certificate))
     return _run_request(request, args)
 
 
 def _cmd_verify_verilog(args: argparse.Namespace) -> int:
     request = VerificationRequest.from_verilog(
         path=args.netlist, method=args.method, specification=args.spec,
-        budgets=_budgets_from_args(args))
+        budgets=_budgets_from_args(args),
+        certificate=bool(args.certificate))
     return _run_request(request, args)
+
+
+def _cmd_check_certificate(args: argparse.Namespace) -> int:
+    """Re-check a proof certificate without touching the engine.
+
+    Imports only :mod:`repro.certify.checker` (which itself depends only
+    on the algebra primitives), so the exit code is an independent
+    judgement: 0 = the certificate proves ``verified``, 2 = it proves
+    ``refuted``, 1 = it is malformed or fails to check.
+    """
+    from repro.certify import load_certificate
+    from repro.certify.checker import check_certificate
+    from repro.errors import CertificateError
+    failures = 0
+    saw_refuted = False
+    for path in args.certificate:
+        try:
+            summary = check_certificate(load_certificate(path))
+        except CertificateError as error:
+            step = "" if error.step is None else f" step {error.step}"
+            print(f"{path}: INVALID [{error.stage}{step}] {error}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        print(f"{path}: valid {summary['verdict']} "
+              f"({summary['method']}, {summary['circuit']}, "
+              f"steps={summary['steps']}, "
+              f"vanishing={summary['vanishing_rules']}, "
+              f"model-check={summary['model_check']}, "
+              f"sha256={summary['sha256'][:16]}...)")
+        if summary["verdict"] == "refuted":
+            # A checked refutation is a real verdict, not a failure of the
+            # certificate — surface it through the uniform exit codes.
+            saw_refuted = True
+    if failures:
+        return 1
+    return 2 if saw_refuted else 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -317,6 +375,14 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["multiplier", "adder"])
     _add_budget_arguments(p_vv)
     p_vv.set_defaults(func=_cmd_verify_verilog)
+
+    p_check = sub.add_parser(
+        "check-certificate",
+        help="independently re-check proof certificates (engine-free)")
+    p_check.add_argument("certificate", nargs="+", metavar="PATH",
+                         help="certificate JSON file(s) written by "
+                              "'verify --certificate'")
+    p_check.set_defaults(func=_cmd_check_certificate)
 
     p_gen = sub.add_parser("generate", help="generate a circuit and export Verilog")
     p_gen.add_argument("--architecture", "-a", default="SP-AR-RC")

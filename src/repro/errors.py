@@ -37,6 +37,21 @@ class BlowUpError(ReproError):
         self.elapsed_s = elapsed_s
 
 
+class CertificateError(ReproError):
+    """Raised when a proof certificate is malformed or fails to check.
+
+    Carries the check ``stage`` (hash, structure, schedule, vanishing,
+    model, replay, verdict) and, where applicable, the 0-based ``step``
+    index of the offending schedule entry or vanishing rule.
+    """
+
+    def __init__(self, message: str, *, stage: str = "structure",
+                 step: int | None = None) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.step = step
+
+
 class SatError(ReproError):
     """Raised by the SAT baseline for malformed CNF or solver misuse."""
 

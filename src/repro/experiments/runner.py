@@ -92,23 +92,32 @@ _format_seconds = format_seconds
 
 
 def run_membership_testing(architecture: str, width: int, method: str,
-                           config: ExperimentConfig) -> dict:
-    """Run one MT-LR / MT-FO / MT-Naive verification and report a table row."""
+                           config: ExperimentConfig,
+                           certificate: bool = False) -> dict:
+    """Run one MT-LR / MT-FO / MT-Naive verification and report a table row.
+
+    With ``certificate=True`` the emitted proof certificate rides on the
+    row (and therefore through the result cache) under the
+    ``"certificate"`` key.
+    """
+    from repro.api.request import Budgets
     netlist = generate_multiplier(architecture, width)
     start = time.perf_counter()
     try:
         result = verify_multiplier(
-            netlist, method=method, monomial_budget=config.monomial_budget,
-            time_budget_s=config.time_budget_s,
-            vanishing_cache_limit=config.vanishing_cache_limit,
-            find_counterexample=False)
+            netlist, method=method, budgets=Budgets.from_config(config),
+            find_counterexample=False, certificate=certificate)
     except BlowUpError as error:
         report = VerificationReport.from_blowup(
             error, method=method, circuit=architecture, width=width,
             elapsed_s=time.perf_counter() - start)
         return report.to_row()
-    return VerificationReport.from_result(result, circuit=architecture,
-                                          width=width).to_row()
+    report = VerificationReport.from_result(result, circuit=architecture,
+                                            width=width)
+    if certificate and result.certificate_data is not None:
+        from repro.certify import build_certificate
+        report.certificate = build_certificate(result)
+    return report.to_row()
 
 
 def run_sat_cec(architecture: str, width: int, config: ExperimentConfig,
@@ -171,6 +180,10 @@ class VerificationJob:
     method: str
     config: ExperimentConfig | None = field(default=None, compare=False)
     task_timeout_s: float | None = field(default=None, compare=False)
+    #: Ask the algebraic engine for a proof certificate; the certificate
+    #: rides on the row and is part of the cache key (a plain row must
+    #: never satisfy a certificate request).
+    certificate: bool = False
 
     @property
     def key(self) -> tuple[str, int, str]:
@@ -195,7 +208,7 @@ def run_job(job: VerificationJob, config: ExperimentConfig) -> dict:
                          f"expected one of {JOB_METHODS}") from None
     if backend.kind == "algebraic":
         return run_membership_testing(job.architecture, job.width, job.method,
-                                      config)
+                                      config, certificate=job.certificate)
     if backend.kind == "sat":
         return run_sat_cec(job.architecture, job.width, config,
                            method=job.method)
@@ -275,7 +288,11 @@ class ResultCache:
     """
 
     #: Bump when the stored schema or its semantics change within a version.
-    SCHEMA = 2
+    #: 3 = report schema 3 (``certificate``/``cross_check`` fields) and the
+    #: ``certificate`` job flag joining the key.  Schema-2 entries are not
+    #: re-read (their keys differ) but still *parse* via the report layer's
+    #: legacy-schema support, so a directory can hold both generations.
+    SCHEMA = 3
 
     #: Row statuses that are deterministic outcomes of (circuit, budgets).
     CACHEABLE_STATUSES = ("ok", "mismatch", "TO", "n/a")
@@ -323,6 +340,7 @@ class ResultCache:
             "netlist": netlist_hash,
             "method": job.method,
             "width": job.width,
+            "certificate": job.certificate,
             "budgets": {
                 "monomial_budget": config.monomial_budget,
                 "time_budget_s": config.time_budget_s,

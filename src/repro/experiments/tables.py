@@ -29,6 +29,7 @@ from repro.api.registry import (
     TABLE1_BASELINES,
     TABLE2_BASELINES,
 )
+from repro.api.request import Budgets
 from repro.errors import BlowUpError
 from repro.experiments.runner import (
     ExperimentConfig,
@@ -163,8 +164,9 @@ def adder_blowup_rows(widths: Iterable[int] = (4, 8, 12, 16, 24, 32),
             netlist = generate_adder(adder_kind, width)
             try:
                 result = verify_adder(netlist, method=method,
-                                      monomial_budget=monomial_budget,
-                                      time_budget_s=time_budget_s,
+                                      budgets=Budgets(
+                                          monomial_budget=monomial_budget,
+                                          time_budget_s=time_budget_s),
                                       find_counterexample=False)
                 row[method] = f"{result.total_time_s:.2f}s"
                 row[f"{method}-peak"] = result.reduction_trace.peak_monomials

@@ -19,7 +19,12 @@ Endpoints
   job id for ``GET /v1/jobs/{id}`` polling.
 * ``GET /v1/jobs/{id}`` — poll an asynchronous batch (bounded store,
   evicted ids are 404).
-* ``GET /v1/backends`` — the :mod:`repro.api.registry` specs.
+* ``GET /v1/certificates/{hash}`` — fetch a proof certificate emitted by
+  a ``"certificate": true`` verify/batch request, by content hash
+  (bounded store, evicted hashes are 404).
+* ``GET /v1/backends`` — the :mod:`repro.api.registry` specs, including
+  the full capability set (``supports_counterexample``,
+  ``supports_stats``, ``certifiable``).
 * ``GET /healthz`` / ``GET /metrics`` — liveness and counters.
 
 Every error is a structured JSON body
@@ -53,7 +58,7 @@ from repro.server.jobs import JobStore, JobStoreFull
 #: ``verilog_text``.
 REQUEST_KEYS = ("method", "architecture", "width", "circuit_kind",
                 "verilog_text", "specification", "budgets",
-                "find_counterexample", "xor_and_only", "seed")
+                "find_counterexample", "xor_and_only", "certificate", "seed")
 
 #: Budget keys accepted in a wire document — the ``Budgets`` field names.
 BUDGET_KEYS = tuple(field.name for field in dataclasses.fields(Budgets))
@@ -158,8 +163,8 @@ def parse_request_document(document: object) -> VerificationRequest:
     _require_types(kwargs, ("method", "architecture", "circuit_kind",
                             "verilog_text"), str, "a string")
     _require_types(kwargs, ("width", "seed"), int, "an integer")
-    _require_types(kwargs, ("find_counterexample", "xor_and_only"), bool,
-                   "a boolean")
+    _require_types(kwargs, ("find_counterexample", "xor_and_only",
+                            "certificate"), bool, "a boolean")
     try:
         return VerificationRequest(**kwargs)
     except TypeError as error:
@@ -187,7 +192,8 @@ class VerificationServerApp:
                  task_timeout_s: float | None = None,
                  cache_dir=None,
                  job_store_limit: int = 256,
-                 job_workers: int = 2) -> None:
+                 job_workers: int = 2,
+                 certificate_store_limit: int = 256) -> None:
         self.budgets = budgets if budgets is not None else Budgets()
         self.golden_architecture = golden_architecture
         self.jobs = jobs
@@ -206,6 +212,11 @@ class VerificationServerApp:
         self._verdicts = dict.fromkeys(VERDICTS, 0)
         self._cache_hits_total = 0
         self._executed_total = 0
+        #: Bounded content-addressed store behind ``GET /v1/certificates/``;
+        #: insertion order doubles as FIFO eviction order.
+        self.certificate_store_limit = certificate_store_limit
+        self._certificates: dict[str, dict] = {}
+        self._certificates_lock = threading.Lock()
 
     # -- plumbing --------------------------------------------------------------
 
@@ -230,6 +241,19 @@ class VerificationServerApp:
                 self._verdicts[report.verdict] += 1
             self._cache_hits_total += cache_hits
             self._executed_total += executed
+        self._store_certificates(reports)
+
+    def _store_certificates(self, reports) -> None:
+        """Index emitted certificates by content hash (bounded, FIFO)."""
+        with self._certificates_lock:
+            for report in reports:
+                certificate = report.certificate
+                if (isinstance(certificate, dict)
+                        and isinstance(certificate.get("sha256"), str)):
+                    self._certificates.pop(certificate["sha256"], None)
+                    self._certificates[certificate["sha256"]] = certificate
+            while len(self._certificates) > self.certificate_store_limit:
+                self._certificates.pop(next(iter(self._certificates)))
 
     @staticmethod
     def _parse_body(body: bytes) -> object:
@@ -283,6 +307,11 @@ class VerificationServerApp:
                 raise ApiError(405, "method_not_allowed",
                                f"{method} not allowed on {path}; use GET")
             return self.handle_job(path[len("/v1/jobs/"):])
+        if path.startswith("/v1/certificates/"):
+            if method != "GET":
+                raise ApiError(405, "method_not_allowed",
+                               f"{method} not allowed on {path}; use GET")
+            return self.handle_certificate(path[len("/v1/certificates/"):])
         if any(route_path == path for _, route_path in self.ROUTES):
             allowed = sorted(m for m, p in self.ROUTES if p == path)
             raise ApiError(405, "method_not_allowed",
@@ -321,14 +350,26 @@ class VerificationServerApp:
         return _json_response(document)
 
     def handle_backends(self, body: bytes = b"") -> HttpResponse:
+        # The full BackendSpec capability set, field for field — a flag
+        # added to the spec must show up here (pinned by tests/test_docs.py).
         return _json_response({"backends": [
             {"name": spec.name, "kind": spec.kind,
              "description": spec.description,
              "supports_counterexample": spec.supports_counterexample,
              "supports_stats": spec.supports_stats,
+             "certifiable": spec.certifiable,
              "cost_rank": spec.cost_rank,
              "budget_keys": list(spec.budget_keys)}
             for spec in backends()]})
+
+    def handle_certificate(self, digest: str) -> HttpResponse:
+        with self._certificates_lock:
+            certificate = self._certificates.get(digest)
+        if certificate is None:
+            raise ApiError(404, "certificate_not_found",
+                           f"no certificate {digest!r} (never emitted, or "
+                           "evicted from the bounded store)")
+        return _json_response(certificate)
 
     def handle_verify(self, body: bytes) -> HttpResponse:
         request = parse_request_document(self._parse_body(body))

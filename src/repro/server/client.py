@@ -95,6 +95,10 @@ class VerificationClient:
     def backends(self) -> list[dict]:
         return self.request("GET", "/v1/backends")["backends"]
 
+    def certificate(self, digest: str) -> dict:
+        """``GET /v1/certificates/{hash}`` — a stored proof certificate."""
+        return self.request("GET", f"/v1/certificates/{digest}")
+
     # -- verification ----------------------------------------------------------
 
     def verify_raw(self, document: dict) -> bytes:

@@ -25,6 +25,7 @@ from __future__ import annotations
 import itertools
 import random
 import time
+import warnings
 
 from repro.algebra.polynomial import Polynomial
 from repro.api.registry import algebraic_backend_names
@@ -40,6 +41,7 @@ from repro.verification.reduction import (
     ReductionOptions,
     ReductionTrace,
     groebner_basis_reduction,
+    substitution_order,
 )
 from repro.verification.rewriting import (
     RewrittenModel,
@@ -54,16 +56,26 @@ from repro.verification.vanishing import VanishingRules
 #: the single source of truth in :mod:`repro.api.registry`).
 METHODS = algebraic_backend_names()
 
+#: Sentinel distinguishing "kwarg not passed" from any legal value, so the
+#: deprecated budget kwargs can warn only when actually used.
+_UNSET = object()
+
+#: The legacy budget kwargs and their historical defaults (identical to the
+#: corresponding :class:`~repro.api.request.Budgets` field defaults).
+_LEGACY_BUDGET_KWARGS = ("monomial_budget", "time_budget_s",
+                         "vanishing_cache_limit", "counterexample_tries")
+
 
 def verify(netlist: Netlist, specification: Specification | str = "multiplier",
            method: str = "mt-lr", *,
            budgets=None,
-           monomial_budget: int | None = 2_000_000,
-           time_budget_s: float | None = None,
+           monomial_budget=_UNSET,
+           time_budget_s=_UNSET,
            xor_and_only: bool = False,
-           vanishing_cache_limit: int | None = None,
+           vanishing_cache_limit=_UNSET,
            find_counterexample: bool = True,
-           counterexample_tries: int = 4096,
+           counterexample_tries=_UNSET,
+           certificate: bool = False,
            seed: int = 0,
            model: AlgebraicModel | None = None) -> VerificationResult:
     """Verify a gate-level circuit against an arithmetic specification.
@@ -73,10 +85,10 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
     :class:`~repro.api.request.VerificationRequest`); this function is the
     pipeline it drives.  The individual budget keyword arguments
     (``monomial_budget``, ``time_budget_s``, ``vanishing_cache_limit``,
-    ``counterexample_tries``) are the historical pre-``Budgets`` surface,
-    kept as a thin deprecation shim: they are normalized into a
-    :class:`~repro.api.request.Budgets` and ignored whenever ``budgets``
-    is passed explicitly.
+    ``counterexample_tries``) are the historical pre-``Budgets`` surface;
+    passing any of them emits a :class:`DeprecationWarning` — they are
+    normalized into a :class:`~repro.api.request.Budgets` and ignored
+    whenever ``budgets`` is passed explicitly.
 
     Parameters
     ----------
@@ -101,6 +113,12 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
     find_counterexample:
         On a non-zero remainder, search for a primary-input assignment that
         exhibits the mismatch.
+    certificate:
+        Capture the reduction journal (model, substitution schedule,
+        proven vanishing masks, remainder) on
+        :attr:`~repro.verification.result.VerificationResult.certificate_data`
+        so :func:`repro.certify.build_certificate` can emit a checkable
+        proof certificate.  Budget trips capture nothing.
     model:
         An :class:`~repro.modeling.model.AlgebraicModel` already extracted
         from ``netlist``; pass it to avoid rebuilding the model when the
@@ -113,12 +131,22 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
         raise VerificationError(
             f"unknown method {method!r}; "
             f"expected {algebraic_backend_names()}")
+    legacy = {name: value for name, value in
+              zip(_LEGACY_BUDGET_KWARGS,
+                  (monomial_budget, time_budget_s, vanishing_cache_limit,
+                   counterexample_tries))
+              if value is not _UNSET}
+    if legacy:
+        warnings.warn(
+            f"passing budget keyword arguments ({', '.join(sorted(legacy))}) "
+            "to verify() is deprecated; pass budgets=Budgets(...) or drive "
+            "the pipeline through repro.api.VerificationRequest",
+            DeprecationWarning, stacklevel=2)
     if budgets is None:
         from repro.api.request import Budgets
-        budgets = Budgets(monomial_budget=monomial_budget,
-                          time_budget_s=time_budget_s,
-                          vanishing_cache_limit=vanishing_cache_limit,
-                          counterexample_tries=counterexample_tries)
+        # Budgets field defaults equal the historical kwarg defaults, so
+        # unset kwargs fall through to the same values as before.
+        budgets = Budgets(**legacy)
     monomial_budget = budgets.monomial_budget
     time_budget_s = budgets.time_budget_s
     vanishing_cache_limit = budgets.vanishing_cache_limit
@@ -132,8 +160,10 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
 
     # Step 2: rewriting.
     start_rewrite = time.perf_counter()
-    rewritten = _rewrite(model, method, xor_and_only, monomial_budget,
-                         deadline, vanishing_cache_limit)
+    rewritten, vanishing = _rewrite(model, method, xor_and_only,
+                                    monomial_budget, deadline,
+                                    vanishing_cache_limit,
+                                    record_vanishing=certificate)
     rewrite_time = time.perf_counter() - start_rewrite
 
     # Step 3: Gröbner-basis reduction.
@@ -169,6 +199,24 @@ def verify(netlist: Netlist, specification: Specification | str = "multiplier",
         rewrite_time_s=rewrite_time,
         reduction_time_s=reduction_time,
         total_time_s=time.perf_counter() - start_total)
+    if certificate:
+        # Cache resets may re-prove a mask: dedup before recording.  The
+        # schedule is recomputed from the rewritten tails — it is a pure
+        # function of (model, tails, scheme), identical to the one the
+        # reduction consumed.
+        proven = sorted(set(vanishing.proven_masks)) if vanishing else []
+        result.certificate_data = {
+            "netlist": netlist,
+            "model": model,
+            "tails": rewritten.tails,
+            "spec": spec,
+            "schedule": substitution_order(model, rewritten.tails,
+                                           options.order_scheme),
+            "vanishing_masks": proven,
+            "remainder": remainder,
+            "verified": verified,
+            "method": method,
+        }
     return result
 
 
@@ -210,12 +258,14 @@ def _resolve_specification(model: AlgebraicModel,
 
 def _rewrite(model: AlgebraicModel, method: str, xor_and_only: bool,
              monomial_budget: int | None, deadline: float | None,
-             vanishing_cache_limit: int | None = None) -> RewrittenModel:
+             vanishing_cache_limit: int | None = None,
+             record_vanishing: bool = False,
+             ) -> tuple[RewrittenModel, VanishingRules | None]:
     if method == "mt-naive":
-        return no_rewriting(model)
+        return no_rewriting(model), None
     if method == "mt-fo":
         return fanout_rewriting(model, monomial_budget=monomial_budget,
-                                deadline=deadline)
+                                deadline=deadline), None
     if method not in ("mt-xor", "mt-lr"):
         # A plug-in algebraic backend passed registry validation but has no
         # rewriting scheme wired here — fail loudly instead of silently
@@ -225,12 +275,14 @@ def _rewrite(model: AlgebraicModel, method: str, xor_and_only: bool,
             "engine; only mt-naive/mt-fo/mt-xor/mt-lr are dispatched")
     if vanishing_cache_limit is not None:
         vanishing = VanishingRules(model, xor_and_only=xor_and_only,
-                                   cache_limit=vanishing_cache_limit)
+                                   cache_limit=vanishing_cache_limit,
+                                   record_proven=record_vanishing)
     else:
-        vanishing = VanishingRules(model, xor_and_only=xor_and_only)
+        vanishing = VanishingRules(model, xor_and_only=xor_and_only,
+                                   record_proven=record_vanishing)
     return logic_reduction_rewriting(
         model, vanishing, apply_common=(method == "mt-lr"),
-        monomial_budget=monomial_budget, deadline=deadline)
+        monomial_budget=monomial_budget, deadline=deadline), vanishing
 
 
 def _find_counterexample(model: AlgebraicModel, remainder: Polynomial,

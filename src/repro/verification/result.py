@@ -84,6 +84,10 @@ class VerificationResult:
     reduction_time_s: float = 0.0
     #: Total wall-clock seconds including modelling.
     total_time_s: float = 0.0
+    #: Raw reduction journal captured by ``verify(..., certificate=True)``;
+    #: feed it to :func:`repro.certify.build_certificate`.  Excluded from
+    #: equality so certificate runs compare equal to plain runs.
+    certificate_data: dict | None = field(default=None, repr=False, compare=False)
 
     def summary(self) -> str:
         """One-line human-readable summary."""

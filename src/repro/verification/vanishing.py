@@ -118,6 +118,11 @@ class VanishingRules:
     _witness_low: dict[int, list[int]] = field(default_factory=dict, repr=False)
     _witness_low_mask: int = field(default=0, repr=False)
     _witness_count: int = field(default=0, repr=False)
+    #: When set, every mask proven to vanish is appended to
+    #: :attr:`proven_masks` (survives cache resets) so a certificate
+    #: emitter can justify each cancellation independently.
+    record_proven: bool = False
+    proven_masks: list[int] = field(default_factory=list, repr=False)
     #: Public mask→verdict memo; the substitution engine probes it
     #: inline when sweeping freshly loaded term maps.
     cache: dict[int, bool] = field(default_factory=dict, repr=False)
@@ -397,6 +402,8 @@ class VanishingRules:
                       else self._implied_literal_rule(mask))
             if result:
                 self._record_witness(mask)
+        if result and self.record_proven:
+            self.proven_masks.append(mask)
         cache = self.cache
         if self.cache_limit is not None and len(cache) >= self.cache_limit:
             cache.clear()

@@ -81,7 +81,8 @@ def test_json_roundtrip_is_byte_identical():
     assert list(document) == ["schema", "verdict", "status", "method",
                               "circuit", "width", "specification", "time",
                               "time_s", "reason", "counterexample",
-                              "remainder", "counters"]
+                              "remainder", "counters", "certificate",
+                              "cross_check"]
 
 
 def test_verdict_status_and_exit_code_mapping():
@@ -124,6 +125,22 @@ def test_from_json_rejects_other_schema_versions():
     document["schema"] = 99
     with pytest.raises(VerificationError, match="unsupported report schema"):
         VerificationReport.from_dict(document)
+
+
+def test_from_json_accepts_legacy_schemas():
+    """Schema-1/2 documents (pre-certificate) must still parse."""
+    row = run_membership_testing("SP-AR-RC", 3, "mt-lr", CONFIG)
+    document = VerificationReport.from_row(row).to_dict()
+    del document["certificate"]
+    del document["cross_check"]
+    for legacy in (1, 2):
+        document["schema"] = legacy
+        revived = VerificationReport.from_dict(json.loads(json.dumps(document)))
+        assert revived.verdict == "verified"
+        assert revived.certificate is None
+        assert revived.cross_check is None
+        # Re-serialization upgrades to the current schema.
+        assert revived.to_dict()["schema"] == REPORT_SCHEMA
 
 
 def test_refuted_report_carries_remainder_and_counterexample():

@@ -74,9 +74,10 @@ def test_verdict_parity_grid_on_injected_bug(service, architecture):
 def test_deprecation_shim_pins_old_kwargs_to_new_pipeline(service):
     """`verify(**kwargs)` must reproduce the service pipeline's results."""
     netlist = generate_multiplier("SP-CT-BK", 4)
-    old = verify(netlist, method="mt-lr", monomial_budget=100_000,
-                 time_budget_s=60.0, vanishing_cache_limit=4096,
-                 counterexample_tries=16, seed=7)
+    with pytest.warns(DeprecationWarning, match="budget keyword arguments"):
+        old = verify(netlist, method="mt-lr", monomial_budget=100_000,
+                     time_budget_s=60.0, vanishing_cache_limit=4096,
+                     counterexample_tries=16, seed=7)
     new = service.submit(VerificationRequest.from_netlist(
         netlist, method="mt-lr",
         budgets=Budgets(monomial_budget=100_000, time_budget_s=60.0,

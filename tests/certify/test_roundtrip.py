@@ -1,0 +1,92 @@
+"""Emit -> check round trips over the full fingerprint grid.
+
+The grid is the repo's certificate fingerprint surface: all 50 catalog
+multiplier architectures x the 4 membership-testing methods at 4 bit,
+plus the RC/KS/BK adders x the same methods — 212 rows.  Every row must
+emit a certificate the independent checker accepts, and emission must be
+byte-stable: verifying the same circuit twice yields the identical
+canonical body (and therefore the identical content hash).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certify import (
+    build_certificate,
+    canonical_json,
+    certificate_hash,
+    check_certificate,
+)
+from repro.generators.adders import generate_adder
+from repro.generators.catalog import architecture_names
+from repro.generators.multipliers import generate_multiplier
+from repro.verification.engine import verify
+
+MT_METHODS = ("mt-naive", "mt-fo", "mt-xor", "mt-lr")
+ADDER_KINDS = ("RC", "KS", "BK")
+WIDTH = 4
+
+
+def _emit(netlist, method: str, specification: str) -> dict:
+    result = verify(netlist, specification=specification, method=method,
+                    find_counterexample=False, certificate=True)
+    assert result.verified, f"{netlist.name} must verify under {method}"
+    return build_certificate(result)
+
+
+def _check_rows(rows) -> None:
+    """Emit twice per row; require byte-stability and checker acceptance."""
+    for netlist_factory, method, specification in rows:
+        first = _emit(netlist_factory(), method, specification)
+        second = _emit(netlist_factory(), method, specification)
+        assert canonical_json(first["body"]) == canonical_json(second["body"])
+        assert first["sha256"] == second["sha256"]
+        assert first["sha256"] == certificate_hash(first["body"])
+        summary = check_certificate(first)
+        assert summary["verdict"] == "verified"
+        assert summary["sha256"] == first["sha256"]
+        assert summary["method"] == method
+
+
+def test_fingerprint_grid_is_212_rows():
+    multipliers = len(architecture_names()) * len(MT_METHODS)
+    adders = len(ADDER_KINDS) * len(MT_METHODS)
+    assert multipliers + adders == 212
+
+
+@pytest.mark.parametrize("method", MT_METHODS)
+def test_multiplier_catalog_certificates_roundtrip(method):
+    _check_rows(
+        ((lambda arch=arch: generate_multiplier(arch, WIDTH)),
+         method, "multiplier")
+        for arch in architecture_names())
+
+
+def test_adder_certificates_roundtrip():
+    _check_rows(
+        ((lambda kind=kind: generate_adder(kind, WIDTH)), method, "adder")
+        for kind in ADDER_KINDS for method in MT_METHODS)
+
+
+def test_refuted_certificate_roundtrips():
+    """A buggy circuit yields a checkable *refutation* certificate."""
+    from repro.circuit.mutate import apply_mutation, list_mutations
+
+    netlist = generate_multiplier("SP-AR-RC", WIDTH)
+    buggy = apply_mutation(netlist, list_mutations(netlist)[5])
+    result = verify(buggy, method="mt-lr", certificate=True)
+    assert result.verified is False
+    certificate = build_certificate(result)
+    summary = check_certificate(certificate)
+    assert summary["verdict"] == "refuted"
+    assert summary["steps"] > 0
+
+
+def test_build_certificate_requires_the_journal():
+    from repro.errors import CertificateError
+
+    result = verify(generate_multiplier("SP-AR-RC", 3), method="mt-lr")
+    assert result.certificate_data is None
+    with pytest.raises(CertificateError, match="no certificate journal"):
+        build_certificate(result)

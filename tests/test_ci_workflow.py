@@ -2,8 +2,9 @@
 
 The real pipeline only runs on the forge, so this test pins down the
 invariants the repository relies on: the workflow parses as YAML, covers
-the documented Python matrix, and contains the three jobs (test matrix,
-lint, benchmark smoke with artifact upload) with well-formed steps.
+the documented Python matrix, and contains the expected jobs (test matrix,
+lint, docs, certificate gate, benchmark smoke with artifact upload) with
+well-formed steps.
 """
 
 from __future__ import annotations
@@ -40,7 +41,7 @@ def test_workflow_parses_and_triggers(workflow):
 
 def test_workflow_has_expected_jobs(workflow):
     jobs = workflow["jobs"]
-    assert set(jobs) >= {"test", "lint", "docs", "bench-smoke"}
+    assert set(jobs) >= {"test", "lint", "docs", "certify", "bench-smoke"}
 
 
 def test_test_job_covers_python_matrix(workflow):
@@ -76,6 +77,26 @@ def test_json_report_smoke_step_validates_schema(workflow):
     assert "json.tool" in commands
     assert "verdict" in commands
     assert "counters" in commands
+
+
+def test_certify_job_emits_checks_and_cross_checks(workflow):
+    """Emit a catalog slice, re-check it engine-free, and prove a refutation.
+
+    The gate must (a) run `check-certificate` over freshly emitted
+    certificates, (b) drive one injected-bug refutation end to end —
+    verifier exit 2, checker exit 2, SAT cross-check on the report —
+    and (c) reject a tampered document.
+    """
+    commands = " ".join(step.get("run", "")
+                        for step in workflow["jobs"]["certify"]["steps"])
+    assert "--certificate" in commands
+    assert "check-certificate" in commands
+    assert "apply_mutation" in commands
+    assert "verify-verilog" in commands
+    assert commands.count('-eq 2 ') >= 2 or commands.count('-eq 2') >= 2
+    assert "cross_check" in commands
+    assert "counterexample_confirmed" in commands
+    assert "tampered" in commands
 
 
 def test_docs_job_runs_snippet_check(workflow):

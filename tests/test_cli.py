@@ -57,7 +57,8 @@ def test_error_exit_code_for_unknown_architecture(capsys):
 def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("verify", "verify-verilog", "generate", "table", "batch"):
+    for command in ("verify", "verify-verilog", "check-certificate",
+                    "generate", "table", "batch"):
         assert command in text
 
 
@@ -103,8 +104,9 @@ def test_verify_stats_surfaces_engine_and_vanishing_counters(capsys):
 def test_verify_json_emits_one_report_object(capsys):
     import json
     assert main(["verify", "-a", "SP-WT-CL", "-w", "3", "--json"]) == 0
+    from repro.api.report import REPORT_SCHEMA
     report = json.loads(capsys.readouterr().out)
-    assert report["schema"] == 1
+    assert report["schema"] == REPORT_SCHEMA
     assert report["verdict"] == "verified"
     assert report["method"] == "mt-lr"
     assert report["circuit"] == "SP-WT-CL"
@@ -174,3 +176,63 @@ def test_verify_vanishing_cache_limit_flag(capsys):
     assert "VERIFIED" in out
     # A tiny cap forces at least one whole-cache reset, visible in --stats.
     assert "resets=0" not in out.split("vanishing-cache", 1)[1].splitlines()[0]
+
+
+def test_verify_certificate_flag_writes_checkable_proof(tmp_path, capsys):
+    proof = tmp_path / "proof.json"
+    assert main(["verify", "-a", "SP-AR-RC", "-w", "4",
+                 "--certificate", str(proof)]) == 0
+    assert proof.exists()
+    assert main(["check-certificate", str(proof)]) == 0
+    out = capsys.readouterr().out
+    assert "valid verified" in out
+
+
+def test_check_certificate_refutation_exit_2(tmp_path, capsys):
+    netlist = generate_multiplier("SP-AR-RC", 4)
+    buggy = apply_mutation(netlist, list_mutations(netlist)[5])
+    path = tmp_path / "buggy.v"
+    save_verilog(buggy, str(path))
+    proof = tmp_path / "refuted.json"
+    assert main(["verify-verilog", str(path),
+                 "--certificate", str(proof)]) == 2
+    assert main(["check-certificate", str(proof)]) == 2
+    assert "valid refuted" in capsys.readouterr().out
+
+
+def test_check_certificate_rejects_tampering_exit_1(tmp_path, capsys):
+    import json
+    proof = tmp_path / "proof.json"
+    assert main(["verify", "-a", "SP-AR-RC", "-w", "3",
+                 "--certificate", str(proof)]) == 0
+    document = json.loads(proof.read_text())
+    document["body"]["verdict"] = "refuted"
+    proof.write_text(json.dumps(document))
+    assert main(["check-certificate", str(proof)]) == 1
+    assert "INVALID [hash]" in capsys.readouterr().err
+
+
+def test_check_certificate_missing_file_exit_1(tmp_path, capsys):
+    assert main(["check-certificate", str(tmp_path / "nope.json")]) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+
+def test_check_certificate_is_engine_free():
+    """The checker's trusted base is the algebra primitive plus stdlib.
+
+    ``repro/__init__`` eagerly re-exports the engine, so a runtime
+    ``sys.modules`` probe cannot separate the checker from the package
+    init; the enforceable invariant is the checker module's own import
+    statements.
+    """
+    import ast
+    import repro.certify.checker as checker
+    tree = ast.parse(open(checker.__file__, encoding="utf-8").read())
+    imported = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            imported |= {alias.name for alias in node.names}
+        elif isinstance(node, ast.ImportFrom):
+            imported.add(node.module)
+    assert imported == {"__future__", "hashlib", "json",
+                        "repro.algebra.polynomial", "repro.errors"}

@@ -63,7 +63,8 @@ def _resolve(dotted: str) -> bool:
 
 
 def test_docs_tree_exists():
-    for name in ("architecture.md", "paper-mapping.md", "http-api.md"):
+    for name in ("architecture.md", "paper-mapping.md", "http-api.md",
+                 "certificates.md"):
         assert (REPO / "docs" / name).exists(), f"missing docs/{name}"
 
 
@@ -149,6 +150,7 @@ def test_every_app_route_is_documented():
         assert f"{method} {route}" in text or f"`{route}`" in text, (
             f"route {method} {route} is not documented in docs/http-api.md")
     assert "/v1/jobs/" in text
+    assert "/v1/certificates/" in text
 
 
 @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
@@ -176,8 +178,38 @@ def test_named_test_functions_exist():
 def test_readme_links_the_docs_tree():
     readme = (REPO / "README.md").read_text(encoding="utf-8")
     for name in ("docs/architecture.md", "docs/paper-mapping.md",
-                 "docs/http-api.md"):
+                 "docs/http-api.md", "docs/certificates.md"):
         assert name in readme, f"README must link {name}"
+
+
+def test_backends_endpoint_emits_the_full_backend_spec():
+    """`/v1/backends` must mirror every BackendSpec field, name for name.
+
+    A capability flag added to the registry dataclass (like
+    ``certifiable``) that is forgotten on the wire fails here instead of
+    silently hiding the capability from HTTP clients.
+    """
+    import dataclasses
+    import json as json_module
+
+    from repro.api.registry import BackendSpec, get_backend
+    from repro.server.app import VerificationServerApp
+
+    app = VerificationServerApp()
+    try:
+        response = app.handle("GET", "/v1/backends")
+    finally:
+        app.close()
+    entries = json_module.loads(response.body.decode("utf-8"))["backends"]
+    spec_fields = {field.name for field in dataclasses.fields(BackendSpec)}
+    for entry in entries:
+        assert set(entry) == spec_fields, (
+            f"backend {entry.get('name')!r} wire keys {sorted(entry)} != "
+            f"BackendSpec fields {sorted(spec_fields)}")
+        spec = get_backend(entry["name"])
+        for name in spec_fields - {"budget_keys"}:
+            assert entry[name] == getattr(spec, name)
+        assert entry["budget_keys"] == list(spec.budget_keys)
 
 
 def test_docs_are_importable_without_src_on_path():

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api.request import Budgets
 from repro.circuit.mutate import apply_mutation, list_mutations
 from repro.circuit.simulate import exhaustive_check, simulate_words
 from repro.errors import BlowUpError, VerificationError
@@ -82,8 +83,9 @@ def test_buggy_adder_detected():
 def test_blowup_budget_is_reported_for_naive_method_on_parallel_multiplier():
     netlist = generate_multiplier("BP-RT-KS", 6)
     with pytest.raises(BlowUpError):
-        verify_multiplier(netlist, method="mt-fo", monomial_budget=2000,
-                          time_budget_s=5.0)
+        verify_multiplier(netlist, method="mt-fo",
+                          budgets=Budgets(monomial_budget=2000,
+                                          time_budget_s=5.0))
 
 
 def test_result_summary_format():
