@@ -14,6 +14,11 @@ cost (connection setup, JSON round trip, thread-pool hop) is constant per
 request, so it is gated by the absolute ``--http-overhead-budget``
 (default 50 ms) rather than a ratio.
 
+ISSUE 8 extension — a resilience row per architecture: the service with
+retry and fallback policies armed (but no faults firing) vs the plain
+service, gated by the same relative ``--tolerance`` — fault tolerance
+must be free on the happy path.
+
 Run manually (not part of the tier-1 suite — wall-clock assertions are
 machine-dependent)::
 
@@ -65,6 +70,44 @@ def bench_http_dispatch(repeats: int, budget_s: float) -> list[str]:
                   f"dispatch={dispatch * 1000:+7.2f}ms{marker}")
             if dispatch > budget_s:
                 failures.append(architecture)
+    return failures
+
+
+def bench_resilience_overhead(repeats: int, tolerance: float) -> list[str]:
+    """Happy-path cost of the armed resilience wrapper; failing rows.
+
+    ISSUE 8 gate — with a retry policy and registry-derived fallback
+    chains armed but no faults firing, the wrapper (budget-verdict check,
+    policy lookups, attempts bookkeeping) must stay within ``tolerance``
+    of the plain service on every row.
+    """
+    from repro.resilience.policy import FallbackPolicy, RetryPolicy
+    plain = VerificationService()
+    resilient = VerificationService(retry_policy=RetryPolicy(),
+                                    fallback_policy=FallbackPolicy())
+    failures = []
+    for architecture in TABLE1_ARCHITECTURES:
+        request = VerificationRequest.from_architecture(
+            architecture, WIDTH, method=METHOD, find_counterexample=False)
+        best_plain = best_resilient = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            report = plain.submit(request)
+            best_plain = min(best_plain, time.perf_counter() - start)
+            assert report.verdict == "verified"
+
+            start = time.perf_counter()
+            report = resilient.submit(request)
+            best_resilient = min(best_resilient, time.perf_counter() - start)
+            assert report.verdict == "verified"
+            assert report.attempts is None  # no faults -> no history
+        overhead = best_resilient / best_plain - 1.0
+        marker = "" if overhead <= tolerance else "  <-- FAIL"
+        print(f"{architecture:<10} plain={best_plain * 1000:7.2f}ms "
+              f"resilient={best_resilient * 1000:7.2f}ms "
+              f"overhead={overhead * 100:+.2f}%{marker}")
+        if overhead > tolerance:
+            failures.append(architecture)
     return failures
 
 
@@ -122,6 +165,16 @@ def main() -> int:
         return 1
     print(f"ok: HTTP dispatch within {args.http_overhead_budget * 1000:.0f}ms "
           f"on all {len(TABLE1_ARCHITECTURES)} rows")
+
+    print("\nresilience wrapper (retry+fallback armed, no faults) vs plain:")
+    resilience_failures = bench_resilience_overhead(args.repeats,
+                                                    args.tolerance)
+    if resilience_failures:
+        print(f"FAIL: resilience wrapper exceeds {args.tolerance:.0%} "
+              f"overhead on {resilience_failures}")
+        return 1
+    print(f"ok: resilience wrapper within {args.tolerance:.0%} on all "
+          f"{len(TABLE1_ARCHITECTURES)} rows")
     return 0
 
 

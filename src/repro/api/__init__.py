@@ -15,14 +15,14 @@ Quickstart::
     assert report.verdict == "verified"
     print(report.to_json(indent=2))
 
-Report JSON schema (version 3)
+Report JSON schema (version 4)
 ------------------------------
 
 ``VerificationReport.to_json()`` emits one object with exactly these keys,
 in this order (absent values are ``null``, never omitted)::
 
     {
-      "schema": 3,                  // report schema version
+      "schema": 4,                  // report schema version
       "verdict": "verified",        // "verified" | "refuted" | "budget"
                                     //   | "not_applicable" | "error"
       "status": "ok",               // legacy table-row status: "ok" |
@@ -50,10 +50,14 @@ in this order (absent values are ``null``, never omitted)::
       "certificate": null,          // checkable proof certificate
                                     //   (repro.certify format) when the
                                     //   request asked for one
-      "cross_check": null           // independent refutation cross-check:
+      "cross_check": null,          // independent refutation cross-check:
                                     //   {"backend": "sat-cec", "status",
                                     //    "agrees",
                                     //    "counterexample_confirmed", ...}
+      "attempts": null              // retry/fallback history when the
+                                    //   report took more than one attempt
+                                    //   (see docs/robustness.md); null on
+                                    //   the untroubled path
     }
 
 The serialization is canonical — fixed top-level key order, counters in
@@ -66,9 +70,10 @@ Schema history: version 1 is the original wire schema; version 2 was
 reserved to align the report version with the on-disk result-cache
 ``SCHEMA`` (which advanced when cached rows became report documents) and
 is wire-identical to 1; version 3 appends ``certificate`` and
-``cross_check``.  ``from_json``/``from_dict`` accept schema 1 and 2
-documents (the new fields read as ``null``) and re-serialize them as
-schema 3 — see the migration table in ``docs/http-api.md``.
+``cross_check``; version 4 appends ``attempts`` (the resilience layer's
+retry/fallback history).  ``from_json``/``from_dict`` accept schema 1-3
+documents (the newer fields read as ``null``) and re-serialize them as
+schema 4 — see the migration table in ``docs/http-api.md``.
 
 The registry (:mod:`repro.api.registry`) is imported eagerly — it is pure
 data and safe everywhere — while the request/report/service modules load

@@ -58,6 +58,11 @@ class BackendSpec:
     cost_rank: int = 0
     #: Budget names (``repro.api.Budgets`` fields) the backend honours.
     budget_keys: tuple[str, ...] = field(default_factory=tuple)
+    #: Graceful-degradation chain (``repro.resilience.FallbackPolicy``):
+    #: backends to fall back to, in order, after this backend trips a
+    #: budget — e.g. the algebraic methods degrade to the ``sat-cec``
+    #: golden-reference baseline.  Empty = this backend is terminal.
+    degrades_to: tuple[str, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -152,7 +157,8 @@ register(BackendSpec(
                 "full substitution-engine counters (--stats).",
     supports_counterexample=True, supports_stats=True, certifiable=True,
     cost_rank=0,
-    budget_keys=_ALGEBRAIC_BUDGETS))
+    budget_keys=_ALGEBRAIC_BUDGETS,
+    degrades_to=("sat-cec",)))
 
 register(BackendSpec(
     name="mt-fo", kind="algebraic",
@@ -169,7 +175,8 @@ register(BackendSpec(
                 "counterexample_tries).",
     supports_counterexample=True, supports_stats=True, certifiable=True,
     cost_rank=4,
-    budget_keys=_ALGEBRAIC_BUDGETS))
+    budget_keys=_ALGEBRAIC_BUDGETS,
+    degrades_to=("sat-cec",)))
 
 register(BackendSpec(
     name="mt-naive", kind="algebraic",
@@ -184,7 +191,8 @@ register(BackendSpec(
                 "engine counters work as in the other algebraic backends.",
     supports_counterexample=True, supports_stats=True, certifiable=True,
     cost_rank=5,
-    budget_keys=_ALGEBRAIC_BUDGETS))
+    budget_keys=_ALGEBRAIC_BUDGETS,
+    degrades_to=("sat-cec",)))
 
 register(BackendSpec(
     name="mt-xor", kind="algebraic",
@@ -198,7 +206,8 @@ register(BackendSpec(
                 "counterexamples and substitution-engine counters.",
     supports_counterexample=True, supports_stats=True, certifiable=True,
     cost_rank=1,
-    budget_keys=_ALGEBRAIC_BUDGETS))
+    budget_keys=_ALGEBRAIC_BUDGETS,
+    degrades_to=("sat-cec",)))
 
 register(BackendSpec(
     name="sat-cec", kind="sat",
@@ -252,4 +261,7 @@ ADDER_BLOWUP_METHODS: tuple[str, ...] = ("mt-naive", "mt-fo", "mt-lr")
 for _name in (TABLE1_BASELINES + TABLE2_BASELINES + COMPARISON_METHODS
               + ABLATION_METHODS + ADDER_BLOWUP_METHODS):
     get_backend(_name)
-del _name
+for _spec in backends():
+    for _name in _spec.degrades_to:
+        get_backend(_name)
+del _name, _spec

@@ -24,13 +24,15 @@ from typing import Any, Mapping
 from repro.errors import VerificationError
 
 #: Version of the report JSON schema (see ``repro/api/__init__.py``).
-#: Version 3 added the ``certificate`` and ``cross_check`` fields.
-REPORT_SCHEMA = 3
+#: Version 3 added the ``certificate`` and ``cross_check`` fields;
+#: version 4 added the ``attempts`` retry/fallback history.
+REPORT_SCHEMA = 4
 
 #: Older schema versions :meth:`VerificationReport.from_dict` still parses.
 #: Versions 1 and 2 carried the same keys minus ``certificate`` and
-#: ``cross_check``; both parse with those fields as ``None``.
-LEGACY_REPORT_SCHEMAS = (1, 2)
+#: ``cross_check``; version 3 additionally lacked ``attempts``.  All
+#: three parse with the missing fields as ``None``.
+LEGACY_REPORT_SCHEMAS = (1, 2, 3)
 
 #: Verdicts a report can carry.
 VERDICTS = ("verified", "refuted", "budget", "not_applicable", "error")
@@ -60,7 +62,7 @@ EXIT_CODES = {
 #: Table-row keys that are schema fields rather than backend counters.
 _ROW_BASE_KEYS = frozenset((
     "architecture", "width", "method", "status", "time", "time_s",
-    "verified", "reason", "certificate", "cross_check",
+    "verified", "reason", "certificate", "cross_check", "attempts",
 ))
 
 
@@ -109,6 +111,10 @@ class VerificationReport:
     #: Counterexample cross-check record attached to ``refuted`` verdicts
     #: (SAT-backend agreement + counterexample simulation), when available.
     cross_check: dict | None = None
+    #: Retry/fallback history (``repro.resilience``): one record per
+    #: attempt when the run needed more than one, ``None`` on the common
+    #: first-attempt-succeeded path so resilience-off output is unchanged.
+    attempts: list | None = None
     #: The wrapped backend result object (in-process runs only; never
     #: serialized — ``from_json`` reports carry ``None``).
     result: Any = field(default=None, repr=False, compare=False)
@@ -165,6 +171,7 @@ class VerificationReport:
             "counters": dict(self.counters),
             "certificate": self.certificate,
             "cross_check": self.cross_check,
+            "attempts": self.attempts,
         }
 
     def to_json(self, indent: int | None = None) -> str:
@@ -202,7 +209,9 @@ class VerificationReport:
             remainder=document.get("remainder"),
             counters=dict(document.get("counters") or {}),
             certificate=document.get("certificate"),
-            cross_check=document.get("cross_check"))
+            cross_check=document.get("cross_check"),
+            attempts=list(document["attempts"])
+            if document.get("attempts") is not None else None)
 
     @classmethod
     def from_json(cls, text: str) -> "VerificationReport":
@@ -233,6 +242,8 @@ class VerificationReport:
             row["certificate"] = self.certificate
         if self.cross_check is not None:
             row["cross_check"] = self.cross_check
+        if self.attempts is not None:
+            row["attempts"] = self.attempts
         row.update(self.counters)
         return row
 
@@ -259,7 +270,8 @@ class VerificationReport:
             reason=row.get("reason"),
             counters=counters,
             certificate=row.get("certificate"),
-            cross_check=row.get("cross_check"))
+            cross_check=row.get("cross_check"),
+            attempts=row.get("attempts"))
 
     # -- backend-result constructors -------------------------------------------
 

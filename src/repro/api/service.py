@@ -46,21 +46,41 @@ class VerificationService:
     cache_dir:
         On-disk result cache directory for :meth:`run_batch` (also
         honours ``REPRO_BENCH_CACHE`` when left unset, like the runner).
+    retry_policy:
+        A :class:`repro.resilience.RetryPolicy` handed to the worker pool
+        of :meth:`run_batch`: crashed and hard-timed-out jobs get further
+        attempts on a fresh worker, with the history recorded in the
+        report's ``attempts`` field.  ``None`` (the default) keeps the
+        report-first-failure behaviour.
+    fallback_policy:
+        A :class:`repro.resilience.FallbackPolicy` applied to
+        ``verdict="budget"`` reports: the tripped backend's degradation
+        chain (escalated budgets, then the backends in its registry
+        ``degrades_to``) runs in-process until a rung produces a real
+        verdict, every rung recorded in ``attempts``.  ``None`` disables
+        graceful degradation.
     """
 
     def __init__(self, budgets: Budgets | None = None,
                  golden_architecture: str = "SP-AR-RC",
                  jobs: int = 1,
                  task_timeout_s: float | None = None,
-                 cache_dir: str | os.PathLike | None = None) -> None:
+                 cache_dir: str | os.PathLike | None = None,
+                 retry_policy=None,
+                 fallback_policy=None) -> None:
         self.budgets = budgets if budgets is not None else Budgets()
         self.golden_architecture = golden_architecture
         self.jobs = jobs
         self.task_timeout_s = task_timeout_s
         self.cache_dir = cache_dir
+        self.retry_policy = retry_policy
+        self.fallback_policy = fallback_policy
         #: Cache hit / fresh-execution counts of the last :meth:`run_batch`.
         self.last_cache_hits = 0
         self.last_executed = 0
+        #: Retry attempts / fallback rungs spent by the last :meth:`run_batch`.
+        self.last_retries = 0
+        self.last_fallbacks = 0
 
     # -- single requests -------------------------------------------------------
 
@@ -70,8 +90,15 @@ class VerificationService:
         Budget trips (:class:`~repro.errors.BlowUpError`) are reported as
         ``verdict="budget"``; malformed requests (unknown architecture,
         unparsable Verilog, inapplicable specification) still raise
-        :class:`~repro.errors.ReproError` subclasses.
+        :class:`~repro.errors.ReproError` subclasses.  With a
+        :attr:`fallback_policy`, a budget verdict degrades through the
+        backend's chain (see :meth:`apply_fallback`) before it is
+        returned.
         """
+        return self.apply_fallback(request, self._submit_once(request))
+
+    def _submit_once(self, request: VerificationRequest) -> VerificationReport:
+        """One attempt of :meth:`submit`, with no fallback applied."""
         backend = get_backend(request.method)
         budgets = request.budgets
         if request.certificate and not backend.certifiable:
@@ -202,6 +229,72 @@ class VerificationService:
         return VerificationReport.from_bdd_result(result, circuit=circuit,
                                                   width=width, method=method)
 
+    # -- graceful degradation --------------------------------------------------
+
+    def apply_fallback(self, request: VerificationRequest,
+                        report: VerificationReport) -> VerificationReport:
+        """Degrade a ``budget`` report through the backend's fallback chain.
+
+        Each rung (an escalated-budget re-run of the same backend, then
+        the registry-declared fallback backends) runs in-process; the
+        first rung that yields a non-budget verdict wins.  Every rung is
+        appended to the report's ``attempts`` history — continuing a
+        history the worker pool already started when the budget row came
+        out of :meth:`run_batch` with crash retries behind it.  A rung
+        that cannot run at all (the fallback backend rejects the request,
+        e.g. a non-multiplier specification) is recorded as ``error`` and
+        skipped.  If every rung trips its budget too, the last rung's
+        report is returned — with the full history, so the caller can see
+        the degradation was exhausted.
+        """
+        import dataclasses
+
+        from repro.errors import ReproError
+        from repro.resilience.policy import attempt_entry, escalate_budgets
+        if self.fallback_policy is None or report.verdict != "budget":
+            return report
+        chain = self.fallback_policy.chain_for(request.method)
+        if not chain:
+            return report
+        history = list(report.attempts or ())
+        if not history:
+            history.append(attempt_entry(1, request.method, "initial",
+                                         "budget", reason=report.reason))
+        attempt = history[-1]["attempt"]
+        for step in chain:
+            attempt += 1
+            self.last_fallbacks += 1
+            if step.kind == "escalate":
+                derived = dataclasses.replace(
+                    request,
+                    budgets=escalate_budgets(request.budgets,
+                                             step.budget_scale))
+                kind = "escalate"
+                extra = {"budget_scale": step.budget_scale}
+            else:
+                target = get_backend(step.method)
+                derived = dataclasses.replace(
+                    request, method=step.method,
+                    certificate=request.certificate and target.certifiable)
+                kind = "fallback"
+                extra = {}
+            try:
+                report = self._submit_once(derived)
+            except ReproError as error:
+                history.append(attempt_entry(
+                    attempt, derived.method, kind, "error",
+                    reason=f"{type(error).__name__}: {error}", **extra))
+                continue
+            outcome = ("budget" if report.verdict == "budget"
+                       else report.verdict)
+            history.append(attempt_entry(attempt, derived.method, kind,
+                                         outcome, reason=report.reason,
+                                         **extra))
+            if report.verdict != "budget":
+                break
+        report.attempts = history
+        return report
+
     # -- batches ---------------------------------------------------------------
 
     def _experiment_config(self, budgets: Budgets):
@@ -264,7 +357,8 @@ class VerificationService:
             workers=jobs if jobs is not None else self.jobs,
             task_timeout_s=self.budgets.task_timeout_s
             if self.budgets.task_timeout_s is not None else self.task_timeout_s,
-            cache_dir=self.cache_dir)
+            cache_dir=self.cache_dir,
+            retry_policy=self.retry_policy)
         grid = []
         for index in pooled:
             request = requests[index]
@@ -280,8 +374,11 @@ class VerificationService:
         rows = runner.run(grid)
         self.last_cache_hits = runner.last_cache_hits
         self.last_executed = runner.last_executed
+        self.last_retries = runner.last_retries
+        self.last_fallbacks = 0
         for index, row in zip(pooled, rows):
-            reports[index] = VerificationReport.from_row(row)
+            reports[index] = self.apply_fallback(
+                requests[index], VerificationReport.from_row(row))
         for index, request in enumerate(requests):
             if index not in reports:
                 reports[index] = self.submit(request)

@@ -77,6 +77,16 @@ from repro.generators.catalog import (
     architecture_names,
 )
 from repro.generators.multipliers import generate_multiplier
+from repro.resilience.policy import FallbackPolicy, RetryPolicy
+
+
+def _add_fallback_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fallback", default="none", metavar="SPEC",
+                        help="graceful degradation when a budget trips: "
+                             "'none' (default), 'default' (registry chains: "
+                             "escalate budgets x4, then the backend's "
+                             "degrades-to baseline, e.g. sat-cec), or an "
+                             "explicit chain like 'escalate:8,sat-cec'")
 
 
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
@@ -161,7 +171,13 @@ def _report(result, show_stats: bool = False) -> int:
 
 def _run_request(request: VerificationRequest, args: argparse.Namespace) -> int:
     """Submit one request to the service and render its report."""
-    report = VerificationService().submit(request)
+    fallback = FallbackPolicy.parse(getattr(args, "fallback", "none"))
+    report = VerificationService(fallback_policy=fallback).submit(request)
+    if report.attempts and len(report.attempts) > 1:
+        trail = " -> ".join(f"{entry['method']}[{entry['kind']}]="
+                            f"{entry['outcome']}"
+                            for entry in report.attempts)
+        print(f"fallback: {trail}", file=sys.stderr)
     if args.certificate and report.certificate is not None:
         from repro.certify import write_certificate
         write_certificate(report.certificate, args.certificate)
@@ -285,7 +301,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                           time_budget_s=args.time_budget,
                           task_timeout_s=args.task_timeout),
           jobs=args.jobs, cache_dir=args.cache,
-          job_store_limit=args.job_store_limit)
+          job_store_limit=args.job_store_limit,
+          max_inflight=args.max_inflight,
+          request_deadline_s=args.request_deadline,
+          retry_policy=(RetryPolicy(max_attempts=args.retries + 1)
+                        if args.retries else None),
+          fallback_policy=FallbackPolicy.parse(args.fallback))
     return 0
 
 
@@ -309,12 +330,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         config.monomial_budget = args.monomial_budget
     if args.time_budget is not None:
         config.time_budget_s = args.time_budget
+    retry_policy = (RetryPolicy(max_attempts=args.retries + 1)
+                    if args.retries else None)
     runner = ParallelRunner(config, workers=args.jobs,
                             task_timeout_s=args.task_timeout,
-                            cache_dir=args.cache)
+                            cache_dir=args.cache,
+                            retry_policy=retry_policy)
     grid = ParallelRunner.catalog(architectures, config.widths, methods)
     rows = runner.run(grid)
     reports = [VerificationReport.from_row(row) for row in rows]
+
+    fallback = FallbackPolicy.parse(args.fallback)
+    fallbacks = 0
+    if fallback is not None:
+        # Degrade budget rows in-process through the backend chains; the
+        # cache keeps the original backend's own row, the batch output
+        # carries the degraded verdict (and its attempts history).
+        service = VerificationService(budgets=Budgets.from_config(config),
+                                      fallback_policy=fallback)
+        for index, report in enumerate(reports):
+            if report.verdict != "budget":
+                continue
+            row = rows[index]
+            request = VerificationRequest.from_architecture(
+                row["architecture"], row["width"], method=row["method"],
+                budgets=Budgets.from_config(config),
+                find_counterexample=False)
+            reports[index] = service.apply_fallback(request, report)
+            rows[index] = reports[index].to_row()
+        fallbacks = service.last_fallbacks
 
     if args.json:
         # One report JSON line per row — the same schema as the Python API
@@ -337,6 +381,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             # so the output stays byte-identical across --jobs values.
             print(f"cache: hits={runner.last_cache_hits} "
                   f"executed={runner.last_executed}")
+        if retry_policy is not None or fallback is not None:
+            # Only printed when resilience flags are on, so default batch
+            # output stays byte-identical to earlier releases.
+            print(f"resilience: retries={runner.last_retries} "
+                  f"fallbacks={fallbacks}")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(rows, handle, indent=2, default=str)
@@ -366,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--adder", action="store_true",
                           help="verify a standalone adder instead of a multiplier")
     _add_budget_arguments(p_verify)
+    _add_fallback_argument(p_verify)
     p_verify.set_defaults(func=_cmd_verify)
 
     p_vv = sub.add_parser("verify-verilog",
@@ -374,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_vv.add_argument("--spec", default="multiplier",
                       choices=["multiplier", "adder"])
     _add_budget_arguments(p_vv)
+    _add_fallback_argument(p_vv)
     p_vv.set_defaults(func=_cmd_verify_verilog)
 
     p_check = sub.add_parser(
@@ -427,6 +478,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--json", action="store_true",
                          help="emit one verification-report JSON line per "
                               "row instead of the verdict table")
+    p_batch.add_argument("--retries", type=int, default=0, metavar="N",
+                         help="retry crashed / hard-timed-out jobs up to N "
+                              "times on fresh workers with exponential "
+                              "backoff (default: 0 = no retries)")
+    _add_fallback_argument(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
 
     p_serve = sub.add_parser(
@@ -451,6 +507,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--task-timeout", type=float, default=None,
                          help="default hard per-job wall-clock limit of "
                               "served batches")
+    p_serve.add_argument("--max-inflight", type=int, default=None,
+                         help="bound on concurrently executing verification "
+                              "requests; excess POSTs are answered 429 with "
+                              "a Retry-After header (default: unbounded)")
+    p_serve.add_argument("--request-deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-request wall-clock deadline; requests "
+                              "asking for more get their time budgets "
+                              "clamped and answer verdict 'budget' "
+                              "(default: none)")
+    p_serve.add_argument("--retries", type=int, default=0, metavar="N",
+                         help="retry crashed / hard-timed-out batch jobs up "
+                              "to N times (default: 0)")
+    _add_fallback_argument(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
     return parser
 

@@ -26,6 +26,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,6 +38,12 @@ from repro.baselines.bdd.equivalence import bdd_equivalence_check
 from repro.baselines.sat.miter import sat_equivalence_check
 from repro.errors import BlowUpError, ReproError
 from repro.generators.multipliers import generate_multiplier
+from repro.resilience.faults import (
+    maybe_corrupt_published_entry,
+    maybe_crash,
+    maybe_delay,
+)
+from repro.resilience.policy import attempt_entry, classify_row
 from repro.verification.engine import verify_multiplier
 
 
@@ -288,11 +295,12 @@ class ResultCache:
     """
 
     #: Bump when the stored schema or its semantics change within a version.
-    #: 3 = report schema 3 (``certificate``/``cross_check`` fields) and the
-    #: ``certificate`` job flag joining the key.  Schema-2 entries are not
-    #: re-read (their keys differ) but still *parse* via the report layer's
-    #: legacy-schema support, so a directory can hold both generations.
-    SCHEMA = 3
+    #: 4 = report schema 4 (``attempts`` retry/fallback history) plus an
+    #: entry-level ``sha256`` integrity checksum.  Entries of earlier
+    #: generations are not re-read (their keys differ) but still *parse*
+    #: via the report layer's legacy-schema support, so a directory can
+    #: hold several generations.
+    SCHEMA = 4
 
     #: Row statuses that are deterministic outcomes of (circuit, budgets).
     CACHEABLE_STATUSES = ("ok", "mismatch", "TO", "n/a")
@@ -364,32 +372,68 @@ class ResultCache:
         return report.to_row() if report is not None else None
 
     def get_report(self, key: str | None) -> "VerificationReport | None":
-        """Return the cached report for ``key``, or ``None`` on a miss."""
+        """Return the cached report for ``key``, or ``None`` on a miss.
+
+        A corrupt entry — unparseable JSON, a malformed report document, or
+        an integrity-checksum mismatch — is *quarantined* (renamed to
+        ``<key>.json.quarantined``) and reported as a miss, so one torn or
+        bit-rotted file costs a re-execution instead of poisoning every
+        re-run.  A file that vanishes or is unreadable is simply a miss.
+        """
         if key is None:
             return None
         path = self.directory / f"{key}.json"
         try:
-            document = json.loads(path.read_text(encoding="utf-8"))
-            return VerificationReport.from_dict(document["report"])
-        except (OSError, ValueError, KeyError, ReproError):
+            raw = path.read_bytes()
+        except OSError:
             return None
+        try:
+            document = json.loads(raw.decode("utf-8"))
+            report = VerificationReport.from_dict(document["report"])
+            stored = document.get("sha256")
+            if stored is not None and stored != self._checksum(report):
+                raise ValueError("cache entry checksum mismatch")
+            return report
+        except (ValueError, KeyError, TypeError, ReproError):
+            self._quarantine(path)
+            return None
+
+    @staticmethod
+    def _checksum(report: "VerificationReport") -> str:
+        """Integrity checksum over the canonical report serialization."""
+        return hashlib.sha256(report.to_json().encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        target = path.with_name(path.name + ".quarantined")
+        try:
+            path.replace(target)
+        except OSError:
+            pass  # a concurrent reader already moved (or removed) it
 
     def put(self, key: str | None, job: VerificationJob, row: dict) -> None:
         """Store a completed row unless it reports an infrastructure failure."""
         if key is None or row.get("status") not in self.CACHEABLE_STATUSES:
             return
+        report = VerificationReport.from_row(row)
         document = {"job": {"architecture": job.architecture,
                             "width": job.width, "method": job.method},
-                    "report": VerificationReport.from_row(row).to_dict()}
+                    "report": report.to_dict(),
+                    "sha256": self._checksum(report)}
         path = self.directory / f"{key}.json"
         # Atomic publish so concurrent table runs never read half a row.
-        temporary = path.with_suffix(f".tmp.{os.getpid()}")
+        # The temporary is per-writer (pid AND thread), not just per
+        # process — service batches publish from pool threads.
+        temporary = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}")
         try:
             temporary.write_text(json.dumps(document, indent=2) + "\n",
                                  encoding="utf-8")
             temporary.replace(path)
         except OSError:
             temporary.unlink(missing_ok=True)
+            return
+        maybe_corrupt_published_entry(path)
 
 
 # ---------------------------------------------------------------------------
@@ -403,15 +447,27 @@ def _pool_worker_main(task_queue, result_queue, config: ExperimentConfig) -> Non
     dominates small (4-bit) verification jobs; crash isolation is preserved
     because a dying worker only takes its current job down and the parent
     respawns a replacement.
+
+    The chaos hooks (``repro.resilience.faults``) live here and only here:
+    an injected ``worker-crash`` (``os._exit``) or ``worker-latency`` fires
+    inside a disposable worker process, never in the importing parent, and
+    both are inert without a ``REPRO_FAULT_PLAN`` in the environment.
     """
-    for index, job in iter(task_queue.get, None):
-        result_queue.put((index, _guarded_run_job(job, config)))
+    # ``token`` is opaque to the worker (the parent uses ``(index, epoch)``
+    # so a result from a superseded dispatch of a retried job is
+    # distinguishable from the live attempt's result).
+    for token, job in iter(task_queue.get, None):
+        fault_key = f"{job.architecture}/{job.width}/{job.method}"
+        maybe_delay(fault_key)
+        maybe_crash(fault_key)
+        result_queue.put((token, _guarded_run_job(job, config)))
 
 
 class _PoolWorker:
     """Parent-side handle of one persistent worker process."""
 
-    __slots__ = ("task_queue", "process", "index", "job", "deadline")
+    __slots__ = ("task_queue", "process", "index", "job", "deadline",
+                 "started")
 
     def __init__(self, context, config: ExperimentConfig,
                  result_queue) -> None:
@@ -423,23 +479,28 @@ class _PoolWorker:
         self.index: int | None = None
         self.job: VerificationJob | None = None
         self.deadline: float | None = None
+        self.started: float | None = None
 
     @property
     def busy(self) -> bool:
         return self.index is not None
 
-    def assign(self, index: int, job: VerificationJob,
+    def assign(self, token, job: VerificationJob,
                task_timeout_s: float | None) -> None:
-        self.index = index
+        # ``token`` is the parent's dispatch identity (``(index, epoch)``
+        # in the pool runner); the worker echoes it with the result.
+        self.index = token
         self.job = job
-        self.deadline = (time.monotonic() + task_timeout_s
+        self.started = time.monotonic()
+        self.deadline = (self.started + task_timeout_s
                          if task_timeout_s is not None else None)
-        self.task_queue.put((index, job))
+        self.task_queue.put((token, job))
 
     def release(self) -> None:
         self.index = None
         self.job = None
         self.deadline = None
+        self.started = None
 
     def stop(self) -> None:
         """Ask the worker to exit; escalate to terminate if it lingers."""
@@ -496,12 +557,26 @@ class ParallelRunner:
         Directory of the on-disk result cache; overrides
         ``config.cache_dir``.  ``None`` with no configured directory
         disables caching.
+    retry_policy:
+        A :class:`repro.resilience.RetryPolicy` giving crashed and
+        hard-timed-out jobs further attempts on a fresh worker (with
+        deterministic backoff); ``None`` (the default) reports the first
+        failure exactly as before.  Jobs that needed more than one attempt
+        carry the history in their row's ``attempts`` key.
+    straggler_grace_s:
+        With a retry policy, a busy worker whose job has run longer than
+        this grace is killed and the job re-dispatched (counted as a
+        retry attempt, classified ``hard_timeout``); ``None`` disables
+        straggler re-dispatch.  Only jobs with retry budget left are ever
+        killed, so a genuinely long job still finishes on its last attempt.
     """
 
     def __init__(self, config: ExperimentConfig | None = None,
                  workers: int | None = None,
                  task_timeout_s: float | None = None,
-                 cache_dir: str | os.PathLike | None = None) -> None:
+                 cache_dir: str | os.PathLike | None = None,
+                 retry_policy=None,
+                 straggler_grace_s: float | None = None) -> None:
         self.config = config or ExperimentConfig.from_environment()
         if workers is None:
             workers = self.config.jobs if self.config.jobs > 1 else (
@@ -510,9 +585,13 @@ class ParallelRunner:
         self.task_timeout_s = task_timeout_s
         directory = cache_dir if cache_dir is not None else self.config.cache_dir
         self.cache = ResultCache(directory) if directory else None
+        self.retry_policy = retry_policy
+        self.straggler_grace_s = straggler_grace_s
         #: Rows served from the cache / executed fresh by the last run.
         self.last_cache_hits = 0
         self.last_executed = 0
+        #: Extra attempts (beyond each job's first) spent by the last run.
+        self.last_retries = 0
 
     # -- job catalog helpers ---------------------------------------------------
 
@@ -555,6 +634,7 @@ class ParallelRunner:
         rows = []
         self.last_cache_hits = 0
         self.last_executed = 0
+        self.last_retries = 0
         for job in jobs:
             key = self._cache_key(job)
             row = self.cache.get(key) if self.cache is not None else None
@@ -574,6 +654,7 @@ class ParallelRunner:
             ) -> list[dict]:
         """Run all jobs and return their rows in job order."""
         jobs = list(jobs)
+        self.last_retries = 0
         if not jobs:
             self.last_cache_hits = 0
             self.last_executed = 0
@@ -628,14 +709,38 @@ class ParallelRunner:
             _PoolWorker(context, self.config, result_queue)
             for _ in range(min(self.workers, len(pending)))]
         busy: dict[int, _PoolWorker] = {}
+        policy = self.retry_policy
+        # Per-job retry state: 1-based attempt counts, accumulated attempt
+        # histories, re-dispatches waiting out their backoff delay, and a
+        # per-index dispatch epoch.  The epoch rides through the worker as
+        # an opaque token so a late result from a killed earlier attempt
+        # (the worker enqueued it just before the kill landed) can never
+        # be confused with the live attempt's result.
+        attempt_counts: dict[int, int] = {}
+        histories: dict[int, list[dict]] = {}
+        retry_queue: list[tuple[float, int]] = []
+        epochs: dict[int, int] = {}
+
+        def pop_ready_index() -> int | None:
+            nonlocal next_slot
+            now = time.monotonic()
+            for position, (ready_at, index) in enumerate(retry_queue):
+                if ready_at <= now:
+                    retry_queue.pop(position)
+                    return index
+            if next_slot < len(queue_order):
+                index = queue_order[next_slot]
+                next_slot += 1
+                return index
+            return None
 
         def assign_idle() -> None:
-            nonlocal next_slot
             for slot, worker in enumerate(pool):
-                if next_slot >= len(queue_order):
-                    break
                 if worker.busy:
                     continue
+                index = pop_ready_index()
+                if index is None:
+                    break
                 if not worker.process.is_alive():
                     # An idle worker that died between jobs (e.g. an OOM
                     # kill after delivering its result) must not receive
@@ -643,21 +748,58 @@ class ParallelRunner:
                     worker.kill()
                     pool[slot] = worker = _PoolWorker(context, self.config,
                                                       result_queue)
-                index = queue_order[next_slot]
-                next_slot += 1
-                worker.assign(index, jobs[index],
+                epochs[index] = epochs.get(index, 0) + 1
+                worker.assign((index, epochs[index]), jobs[index],
                               self._job_timeout(jobs[index]))
                 busy[index] = worker
 
-        def finish(index: int, row: dict) -> None:
+        def finish(token: tuple[int, int], row: dict) -> None:
             nonlocal outstanding
+            index, epoch = token
+            if epochs.get(index) != epoch:
+                # Result of a superseded dispatch (a retried attempt was
+                # already killed and re-dispatched) — drop it.
+                return
             worker = busy.pop(index, None)
             if worker is None:
                 # Already reported (e.g. terminated as a hard timeout just as
                 # its late result arrived) — drop the stale row.
                 return
             worker.release()
-            results[index] = self._finish_row(jobs[index], row, keys[index],
+            job = jobs[index]
+            attempt = attempt_counts.get(index, 1)
+            if policy is not None:
+                failure = classify_row(row)
+                if (policy.is_retryable(failure)
+                        and attempt < policy.max_attempts):
+                    # Retryable environment failure with budget left: log
+                    # the attempt, wait out the (deterministic) backoff,
+                    # and re-dispatch on whichever worker frees up — the
+                    # crashed worker is already being replaced.
+                    delay = policy.delay_s(attempt, key=job.key)
+                    histories.setdefault(index, []).append(attempt_entry(
+                        attempt, job.method,
+                        "initial" if attempt == 1 else "retry",
+                        failure, reason=row.get("reason"),
+                        next_delay_s=round(delay, 6)))
+                    attempt_counts[index] = attempt + 1
+                    self.last_retries += 1
+                    retry_queue.append((time.monotonic() + delay, index))
+                    return
+                if index in histories:
+                    # The job needed more than one attempt: close the
+                    # history with the final outcome and let it ride on
+                    # the row (and therefore through cache and report).
+                    history = histories.pop(index)
+                    report = VerificationReport.from_row(row)
+                    history.append(attempt_entry(
+                        attempt, job.method,
+                        "initial" if attempt == 1 else "retry",
+                        failure if failure != "none" else report.verdict,
+                        reason=row.get("reason")))
+                    report.attempts = history
+                    row = report.to_row()
+            results[index] = self._finish_row(job, row, keys[index],
                                               on_result)
             outstanding -= 1
 
@@ -665,13 +807,13 @@ class ParallelRunner:
             assign_idle()
             while outstanding:
                 try:
-                    index, row = result_queue.get(timeout=0.05)
+                    token, row = result_queue.get(timeout=0.05)
                 except Exception:  # queue.Empty - poll worker health instead
                     now = time.monotonic()
                     for slot, worker in enumerate(pool):
                         if not worker.busy:
                             continue
-                        index, job = worker.index, worker.job
+                        token, job = worker.index, worker.job
                         if (worker.deadline is not None
                                 and now > worker.deadline):
                             # Hard timeout: the worker is wedged inside the
@@ -679,7 +821,7 @@ class ParallelRunner:
                             worker.kill()
                             pool[slot] = _PoolWorker(context, self.config,
                                                      result_queue)
-                            finish(index, {
+                            finish(token, {
                                 "architecture": job.architecture,
                                 "width": job.width, "method": job.method,
                                 "status": "TO", "time": "TO",
@@ -687,21 +829,44 @@ class ParallelRunner:
                                 "verified": None,
                                 "reason": "hard task timeout",
                             })
+                        elif (self.straggler_grace_s is not None
+                              and policy is not None
+                              and worker.started is not None
+                              and now - worker.started > self.straggler_grace_s
+                              and attempt_counts.get(token[0], 1)
+                              < policy.max_attempts):
+                            # Straggler re-dispatch: the job has retry
+                            # budget, so killing the slow worker and
+                            # re-running beats waiting for the hard
+                            # deadline.  Guarded on remaining attempts —
+                            # the last attempt always runs to completion.
+                            worker.kill()
+                            pool[slot] = _PoolWorker(context, self.config,
+                                                     result_queue)
+                            finish(token, {
+                                "architecture": job.architecture,
+                                "width": job.width, "method": job.method,
+                                "status": "TO", "time": "TO",
+                                "time_s": self.straggler_grace_s,
+                                "verified": None,
+                                "reason": "straggler re-dispatch after "
+                                          f"{self.straggler_grace_s}s grace",
+                            })
                         elif not worker.process.is_alive():
                             # Dead without a result: give the queue one last
                             # drain chance, then report the crash.  The
                             # drained row may belong to another worker, in
                             # which case this worker's job still crashed.
                             try:
-                                late_index, late_row = result_queue.get(
+                                late_token, late_row = result_queue.get(
                                     timeout=0.2)
                             except Exception:
-                                late_index, late_row = None, None
-                            if late_index is not None:
-                                finish(late_index, late_row)
-                            if late_index != index:
+                                late_token, late_row = None, None
+                            if late_token is not None:
+                                finish(late_token, late_row)
+                            if late_token != token:
                                 exitcode = worker.process.exitcode
-                                finish(index, {
+                                finish(token, {
                                     "architecture": job.architecture,
                                     "width": job.width, "method": job.method,
                                     "status": "crash", "time": "-",
@@ -714,7 +879,7 @@ class ParallelRunner:
                                                      result_queue)
                     assign_idle()
                     continue
-                finish(index, row)
+                finish(token, row)
                 assign_idle()
         finally:
             for worker in pool:

@@ -1,0 +1,55 @@
+"""repro.resilience — fault tolerance for the verification fleet.
+
+The tier above a single verification run: what happens when the run — or
+the infrastructure carrying it — fails.  Three pieces, consumed by the
+parallel runner, the service façade, the HTTP server, and the client:
+
+* :mod:`repro.resilience.policy` — typed :class:`RetryPolicy`
+  (bounded attempts, exponential backoff with deterministic seeded
+  jitter, retryable-failure classification: a worker crash, OOM kill, or
+  hard wall-clock kill is worth a fresh worker; a Python exception or a
+  genuine refutation is not) and the registry-driven
+  :class:`FallbackPolicy` (per-backend degradation chains: an algebraic
+  budget trip escalates its :class:`~repro.api.request.Budgets` once,
+  then falls back to the ``sat-cec`` golden-reference baseline declared
+  in :attr:`repro.api.registry.BackendSpec.degrades_to`).  Every extra
+  attempt is recorded in the report's ``attempts`` history (report
+  schema 4), so cached and certified results stay auditable.
+
+* :mod:`repro.resilience.faults` — a deterministic, seeded
+  :class:`FaultPlan` for chaos testing: kill a chosen worker mid-job,
+  inject latency, corrupt a result-cache entry at publish time, or drop
+  an HTTP connection mid-response.  Plans serialize to JSON and activate
+  through the ``REPRO_FAULT_PLAN`` environment variable, so forked
+  worker processes and subprocess servers honour them with no API
+  changes; cross-process hit accounting lives in a shared state
+  directory so "crash the first attempt" means the first attempt
+  fleet-wide, not per process.
+
+Nothing in this package retries refutations: a proven mismatch is a
+verdict, not a failure, and replaying it could only mask a bug.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import Fault, FaultPlan, corrupt_cache_entry
+from repro.resilience.policy import (
+    FallbackPolicy,
+    FallbackStep,
+    RetryPolicy,
+    attempt_entry,
+    classify_row,
+    escalate_budgets,
+)
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "FallbackPolicy",
+    "FallbackStep",
+    "RetryPolicy",
+    "attempt_entry",
+    "classify_row",
+    "corrupt_cache_entry",
+    "escalate_budgets",
+]

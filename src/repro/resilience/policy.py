@@ -1,0 +1,241 @@
+"""Retry and fallback policies: who gets a second chance, and on what.
+
+Failure taxonomy (see ``docs/robustness.md``)
+---------------------------------------------
+
+Every failed verification attempt falls into one of four classes, and the
+class — not the caller — decides what recovery is sound:
+
+``crash``
+    The worker process died without delivering a result (segfault, OOM
+    kill, an operator ``kill -9``).  The *environment* failed, not the
+    problem: retryable on a fresh worker.
+``hard_timeout``
+    The parent killed a wedged worker at the hard per-job wall-clock
+    limit (or the straggler grace).  Often load-induced, so retryable —
+    bounded by the attempt cap so a genuinely hard job still terminates.
+``budget``
+    An in-process budget (monomials, seconds, conflicts, nodes) tripped
+    deterministically.  Retrying the same attempt reproduces the same
+    trip, so this class is *not* retryable — it degrades through the
+    :class:`FallbackPolicy` chain instead (escalated budgets, then a
+    cheaper-to-trust backend).
+``error``
+    A Python exception inside the job (generator bug, malformed input).
+    Deterministic, never retried, never degraded: surfacing it is the fix.
+
+Verdicts (``verified``/``refuted``/``not_applicable``) are outcomes, not
+failures; in particular a refutation is never "retried away".
+
+Both policies are pure data + pure functions: backoff jitter is seeded and
+keyed (same policy, same job, same attempt → same delay, byte-for-byte
+reproducible chaos tests), and the fallback chain is derived from the
+backend registry (:attr:`repro.api.registry.BackendSpec.degrades_to`), so
+a plugged-in backend declares its own degradation path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import VerificationError
+
+#: Failure classes a failed attempt can be assigned to (``none`` = the
+#: attempt produced a verdict, not a failure).
+FAILURE_CLASSES = ("crash", "hard_timeout", "budget", "error", "none")
+
+#: Markers in a ``TO`` row's reason that identify a *hard* (parent-kill)
+#: timeout as opposed to a deterministic in-process budget trip.
+_HARD_TIMEOUT_MARKERS = ("hard task timeout", "straggler")
+
+
+def classify_row(row) -> str:
+    """Failure class of an experiment-runner table row (see module doc)."""
+    status = row.get("status")
+    if status == "crash":
+        return "crash"
+    if status == "error":
+        return "error"
+    if status == "TO":
+        reason = row.get("reason") or ""
+        if any(marker in reason for marker in _HARD_TIMEOUT_MARKERS):
+            return "hard_timeout"
+        return "budget"
+    return "none"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` counts the initial attempt, so ``max_attempts=3``
+    means at most two retries.  ``delay_s(attempt, key)`` is the pause
+    before attempt ``attempt + 1``: ``base_delay_s * multiplier**(attempt
+    - 1)``, capped at ``max_delay_s``, stretched by up to ``jitter``
+    (fractional) derived from ``sha256(seed, key, attempt)`` — the same
+    policy applied to the same job always waits the same time, so chaos
+    runs are reproducible while distinct jobs still decorrelate.
+
+    Only :data:`FAILURE_CLASSES` entries in ``retryable`` are retried;
+    the default is exactly the environment failures (``crash``,
+    ``hard_timeout``) — deterministic failures re-fail identically and
+    belong to the :class:`FallbackPolicy` instead.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    #: Maximal fractional jitter stretch (0.1 = up to +10%).
+    jitter: float = 0.1
+    seed: int = 0
+    retryable: tuple[str, ...] = ("crash", "hard_timeout")
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise VerificationError("RetryPolicy needs max_attempts >= 1")
+        unknown = set(self.retryable) - set(FAILURE_CLASSES)
+        if unknown:
+            raise VerificationError(
+                f"unknown retryable failure classes {sorted(unknown)}; "
+                f"expected a subset of {FAILURE_CLASSES}")
+
+    def is_retryable(self, failure: str) -> bool:
+        """True iff ``failure`` warrants another attempt under this policy."""
+        return failure in self.retryable
+
+    def delay_s(self, attempt: int, key: object = None) -> float:
+        """Backoff before the attempt after ``attempt`` (1-based) failed."""
+        base = min(self.base_delay_s * self.multiplier ** max(attempt - 1, 0),
+                   self.max_delay_s)
+        digest = hashlib.sha256(
+            repr((self.seed, key, attempt)).encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2 ** 64
+        return base * (1.0 + self.jitter * fraction)
+
+
+#: Budgets fields an ``escalate`` fallback step multiplies (``None``
+#: values — disabled guards — stay disabled).
+_ESCALATED_BUDGET_FIELDS = ("monomial_budget", "time_budget_s",
+                            "sat_conflict_budget", "bdd_node_budget")
+
+
+def escalate_budgets(budgets, scale: float):
+    """A :class:`~repro.api.request.Budgets` copy with the guards scaled up."""
+    changes = {}
+    for name in _ESCALATED_BUDGET_FIELDS:
+        value = getattr(budgets, name)
+        if value is not None:
+            scaled = value * scale
+            changes[name] = type(value)(scaled)
+    return budgets.replace(**changes)
+
+
+@dataclass(frozen=True)
+class FallbackStep:
+    """One rung of a degradation chain.
+
+    ``kind="escalate"`` re-runs the same backend with every budget
+    multiplied by ``budget_scale``; ``kind="backend"`` hands the problem
+    to ``method`` (e.g. the ``sat-cec`` golden-reference baseline) under
+    the original budgets.
+    """
+
+    kind: str
+    method: str | None = None
+    budget_scale: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("escalate", "backend"):
+            raise VerificationError(
+                f"unknown fallback step kind {self.kind!r}; "
+                "expected 'escalate' or 'backend'")
+        if self.kind == "backend" and not self.method:
+            raise VerificationError("backend fallback steps need a method")
+        if self.kind == "escalate" and self.budget_scale <= 1.0:
+            raise VerificationError("escalation needs budget_scale > 1")
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """Registry-driven graceful degradation on deterministic budget trips.
+
+    The default chain of a backend is derived from its
+    :class:`~repro.api.registry.BackendSpec`: algebraic backends first
+    retry once with every budget multiplied by ``escalation``, then walk
+    the backends named in ``spec.degrades_to`` (``sat-cec`` for the
+    built-in membership tests — Beame & Liew's direction: when algebraic
+    reasoning trips its budget, SAT reasoning takes over).  ``chains``
+    overrides the derivation per method; the ``"*"`` key overrides it for
+    every method (what the CLI ``--fallback`` spec builds).
+    """
+
+    escalation: float = 4.0
+    chains: dict[str, tuple[FallbackStep, ...]] | None = field(default=None)
+
+    def chain_for(self, method: str) -> tuple[FallbackStep, ...]:
+        """The degradation chain applied after ``method`` trips a budget."""
+        if self.chains is not None:
+            if method in self.chains:
+                return tuple(self.chains[method])
+            if "*" in self.chains:
+                return tuple(self.chains["*"])
+        from repro.api.registry import get_backend
+        spec = get_backend(method)
+        steps: list[FallbackStep] = []
+        if spec.kind == "algebraic":
+            steps.append(FallbackStep("escalate", budget_scale=self.escalation))
+        steps.extend(FallbackStep("backend", method=name)
+                     for name in spec.degrades_to if name != method)
+        return tuple(steps)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FallbackPolicy | None":
+        """Build a policy from a CLI ``--fallback`` spec.
+
+        ``"none"`` disables fallback (returns ``None``), ``"default"``
+        derives chains from the registry, and a comma-separated list like
+        ``"escalate:8,sat-cec"`` applies one explicit chain to every
+        method — ``escalate[:SCALE]`` rungs re-run with scaled budgets,
+        any other token must be a registered backend name.
+        """
+        text = spec.strip().lower()
+        if text == "none":
+            return None
+        if text == "default":
+            return cls()
+        from repro.api.registry import get_backend
+        steps = []
+        for token in (part.strip() for part in text.split(",")):
+            if not token:
+                continue
+            if token.startswith("escalate"):
+                _, _, scale = token.partition(":")
+                steps.append(FallbackStep(
+                    "escalate", budget_scale=float(scale) if scale else 4.0))
+            else:
+                get_backend(token)      # unknown backends fail fast
+                steps.append(FallbackStep("backend", method=token))
+        if not steps:
+            raise VerificationError(
+                f"empty fallback spec {spec!r}; expected 'none', 'default', "
+                "or a comma-separated chain like 'escalate:8,sat-cec'")
+        return cls(chains={"*": tuple(steps)})
+
+
+def attempt_entry(attempt: int, method: str, kind: str, outcome: str,
+                  reason: str | None = None, **extra) -> dict:
+    """One ``attempts``-history record (report schema 4, fixed key order).
+
+    ``kind`` says why this attempt ran (``initial``, ``retry``,
+    ``escalate``, ``fallback``); ``outcome`` is either the final report
+    verdict or, for failed attempts, the :data:`FAILURE_CLASSES` entry
+    that triggered the next rung.  ``extra`` carries rung parameters
+    (``next_delay_s``, ``budget_scale``) — keep them deterministic, the
+    history rides through the result cache byte-for-byte.
+    """
+    entry = {"attempt": attempt, "method": method, "kind": kind,
+             "outcome": outcome, "reason": reason}
+    entry.update(extra)
+    return entry

@@ -41,7 +41,7 @@ import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro import __version__
 from repro.api.registry import backends
@@ -75,11 +75,16 @@ class ApiError(Exception):
 
 @dataclass
 class HttpResponse:
-    """Transport-free response: status, body bytes, content type."""
+    """Transport-free response: status, body bytes, content type.
+
+    ``headers`` carries extra response headers (e.g. ``Retry-After`` on a
+    429) rendered verbatim by the transport after the standard set.
+    """
 
     status: int
     body: bytes
     content_type: str = "application/json"
+    headers: dict = field(default_factory=dict)
 
 
 def _json_response(document: dict, status: int = 200) -> HttpResponse:
@@ -184,6 +189,16 @@ class VerificationServerApp:
     ``jobs``/``task_timeout_s``/``cache_dir`` configure the batch pool,
     ``job_store_limit`` bounds the async job store and ``job_workers``
     the background batch executor.
+
+    Resilience (``docs/robustness.md``): ``max_inflight`` bounds the
+    verification POSTs executing at once — the excess is answered ``429``
+    with a ``Retry-After: retry_after_s`` header instead of queueing
+    without bound.  ``request_deadline_s`` clamps every request's
+    ``time_budget_s`` (and pooled hard task timeout), so an oversized
+    request answers ``verdict="budget"`` within the deadline instead of
+    holding a socket open indefinitely.  ``retry_policy`` and
+    ``fallback_policy`` are handed to each per-request
+    :class:`VerificationService`.
     """
 
     def __init__(self, budgets: Budgets | None = None,
@@ -193,12 +208,22 @@ class VerificationServerApp:
                  cache_dir=None,
                  job_store_limit: int = 256,
                  job_workers: int = 2,
-                 certificate_store_limit: int = 256) -> None:
+                 certificate_store_limit: int = 256,
+                 max_inflight: int | None = None,
+                 retry_after_s: int = 1,
+                 request_deadline_s: float | None = None,
+                 retry_policy=None,
+                 fallback_policy=None) -> None:
         self.budgets = budgets if budgets is not None else Budgets()
         self.golden_architecture = golden_architecture
         self.jobs = jobs
         self.task_timeout_s = task_timeout_s
         self.cache_dir = cache_dir
+        self.max_inflight = max_inflight
+        self.retry_after_s = retry_after_s
+        self.request_deadline_s = request_deadline_s
+        self.retry_policy = retry_policy
+        self.fallback_policy = fallback_policy
         self.job_store = JobStore(limit=job_store_limit)
         self._job_executor = ThreadPoolExecutor(
             max_workers=job_workers, thread_name_prefix="repro-batch")
@@ -212,6 +237,10 @@ class VerificationServerApp:
         self._verdicts = dict.fromkeys(VERDICTS, 0)
         self._cache_hits_total = 0
         self._executed_total = 0
+        self._inflight = 0
+        self._rejected_total = 0
+        self._retries_total = 0
+        self._fallbacks_total = 0
         #: Bounded content-addressed store behind ``GET /v1/certificates/``;
         #: insertion order doubles as FIFO eviction order.
         self.certificate_store_limit = certificate_store_limit
@@ -227,20 +256,25 @@ class VerificationServerApp:
             golden_architecture=self.golden_architecture,
             jobs=self.jobs,
             task_timeout_s=self.task_timeout_s,
-            cache_dir=self.cache_dir)
+            cache_dir=self.cache_dir,
+            retry_policy=self.retry_policy,
+            fallback_policy=self.fallback_policy)
 
     def close(self) -> None:
         """Stop the background batch executor (pending jobs are abandoned)."""
         self._job_executor.shutdown(wait=False, cancel_futures=True)
 
     def _count_reports(self, reports, cache_hits: int = 0,
-                       executed: int = 0) -> None:
+                       executed: int = 0, retries: int = 0,
+                       fallbacks: int = 0) -> None:
         with self._metrics_lock:
             self._reports_total += len(reports)
             for report in reports:
                 self._verdicts[report.verdict] += 1
             self._cache_hits_total += cache_hits
             self._executed_total += executed
+            self._retries_total += retries
+            self._fallbacks_total += fallbacks
         self._store_certificates(reports)
 
     def _store_certificates(self, reports) -> None:
@@ -274,10 +308,32 @@ class VerificationServerApp:
         ("POST", "/v1/batch"): "handle_batch",
     }
 
+    #: Verification POSTs counted against the in-flight gauge; everything
+    #: else (health, metrics, polls) stays cheap and never sheds load.
+    _INFLIGHT_ROUTES = frozenset((("POST", "/v1/verify"),
+                                  ("POST", "/v1/batch")))
+
     def handle(self, method: str, path: str, body: bytes = b"") -> HttpResponse:
         """Route one request; every failure becomes a structured error body."""
         with self._metrics_lock:
             self._requests_total += 1
+        gated = (self.max_inflight is not None
+                 and (method, path) in self._INFLIGHT_ROUTES)
+        if gated:
+            with self._metrics_lock:
+                if self._inflight >= self.max_inflight:
+                    # Backpressure: answering 429 + Retry-After now beats
+                    # queueing without bound and timing the client out later.
+                    self._rejected_total += 1
+                    self._errors_total += 1
+                    response = error_response(
+                        429, "too_many_requests",
+                        f"server is at its in-flight verification limit "
+                        f"({self.max_inflight}); retry after "
+                        f"{self.retry_after_s}s")
+                    response.headers["Retry-After"] = str(self.retry_after_s)
+                    return response
+                self._inflight += 1
         try:
             response = self._dispatch(method, path, body)
         except ApiError as error:
@@ -293,10 +349,39 @@ class VerificationServerApp:
         except Exception as error:  # noqa: BLE001 - transport boundary
             response = error_response(
                 500, "internal_error", f"{type(error).__name__}: {error}")
+        finally:
+            if gated:
+                with self._metrics_lock:
+                    self._inflight -= 1
         if response.status >= 400:
             with self._metrics_lock:
                 self._errors_total += 1
         return response
+
+    def _clamp_deadline(self, request: VerificationRequest,
+                        ) -> VerificationRequest:
+        """Clamp a request's budgets to the server's per-request deadline.
+
+        The in-process engines trip their wall-clock budget into a
+        ``verdict="budget"`` report, and pooled jobs are hard-killed at the
+        same bound — so the client gets a well-formed answer within the
+        deadline rather than a connection that hangs until it gives up.
+        """
+        limit = self.request_deadline_s
+        if limit is None:
+            return request
+        budgets = request.budgets
+        changes = {}
+        if budgets.time_budget_s is None or budgets.time_budget_s > limit:
+            changes["time_budget_s"] = limit
+        if (budgets.task_timeout_s is None
+                or budgets.task_timeout_s > 2 * limit):
+            # The hard kill is the backstop behind the soft budget: leave
+            # slack so the engine's own budget trip reports first.
+            changes["task_timeout_s"] = 2 * limit
+        if not changes:
+            return request
+        return dataclasses.replace(request, budgets=budgets.replace(**changes))
 
     def _dispatch(self, method: str, path: str, body: bytes) -> HttpResponse:
         handler = self.ROUTES.get((method, path))
@@ -345,6 +430,12 @@ class VerificationServerApp:
                 "pool": {"jobs": self.jobs,
                          "cache_dir": str(self.cache_dir)
                          if self.cache_dir is not None else None},
+                "resilience": {"inflight": self._inflight,
+                               "max_inflight": self.max_inflight,
+                               "rejected_total": self._rejected_total,
+                               "request_deadline_s": self.request_deadline_s,
+                               "retries_total": self._retries_total,
+                               "fallbacks_total": self._fallbacks_total},
             }
         document["jobs"] = self.job_store.stats()
         return _json_response(document)
@@ -359,7 +450,8 @@ class VerificationServerApp:
              "supports_stats": spec.supports_stats,
              "certifiable": spec.certifiable,
              "cost_rank": spec.cost_rank,
-             "budget_keys": list(spec.budget_keys)}
+             "budget_keys": list(spec.budget_keys),
+             "degrades_to": list(spec.degrades_to)}
             for spec in backends()]})
 
     def handle_certificate(self, digest: str) -> HttpResponse:
@@ -372,9 +464,11 @@ class VerificationServerApp:
         return _json_response(certificate)
 
     def handle_verify(self, body: bytes) -> HttpResponse:
-        request = parse_request_document(self._parse_body(body))
-        report = self.service().submit(request)
-        self._count_reports([report])
+        request = self._clamp_deadline(
+            parse_request_document(self._parse_body(body)))
+        service = self.service()
+        report = service.submit(request)
+        self._count_reports([report], fallbacks=service.last_fallbacks)
         # The exact to_json() bytes — byte-identical to the in-process
         # VerificationService.submit() serialization.
         return HttpResponse(status=200, body=report.to_json().encode("utf-8"))
@@ -398,7 +492,8 @@ class VerificationServerApp:
                                  or isinstance(jobs, bool) or jobs < 1):
             raise ApiError(400, "bad_request",
                            "'jobs' must be a positive integer")
-        requests = [parse_request_document(entry) for entry in entries]
+        requests = [self._clamp_deadline(parse_request_document(entry))
+                    for entry in entries]
         if document.get("async"):
             job = self.job_store.create()
             with self._metrics_lock:
@@ -413,7 +508,8 @@ class VerificationServerApp:
         with self._metrics_lock:
             self._batches_total += 1
         self._count_reports(reports, service.last_cache_hits,
-                            service.last_executed)
+                            service.last_executed, service.last_retries,
+                            service.last_fallbacks)
         return _json_response({
             "reports": [report.to_dict() for report in reports],
             "cache_hits": service.last_cache_hits,
@@ -430,7 +526,8 @@ class VerificationServerApp:
             self.job_store.fail(job_id, f"{type(error).__name__}: {error}")
             return
         self._count_reports(reports, service.last_cache_hits,
-                            service.last_executed)
+                            service.last_executed, service.last_retries,
+                            service.last_fallbacks)
         self.job_store.finish(job_id, reports, service.last_cache_hits,
                               service.last_executed)
 

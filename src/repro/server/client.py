@@ -23,10 +23,17 @@ import time
 
 from repro.api.report import VerificationReport
 from repro.errors import ReproError
+from repro.resilience.policy import RetryPolicy
 
 
 class ServerError(ReproError):
-    """A structured error answer from the server (4xx/5xx)."""
+    """A structured error answer from the server (4xx/5xx).
+
+    ``status=0`` marks transport-level failures the client gave up on
+    after exhausting its retries: code ``"connection_error"`` (could not
+    connect / connection reset) or ``"truncated_response"`` (the server
+    closed the connection mid-body).
+    """
 
     def __init__(self, status: int, code: str, message: str) -> None:
         super().__init__(f"[{status} {code}] {message}")
@@ -34,20 +41,36 @@ class ServerError(ReproError):
         self.code = code
 
 
+#: Responses worth retrying: backpressure rejection and transient 5xx.
+_RETRYABLE_STATUSES = frozenset((429, 500, 502, 503, 504))
+
+
 class VerificationClient:
-    """Talk to a running ``repro-verify serve`` instance."""
+    """Talk to a running ``repro-verify serve`` instance.
+
+    Every verification endpoint is idempotent (reports are deterministic
+    and cache-backed server-side), so the client transparently retries
+    transport failures — connect errors, resets, truncated bodies — and
+    retryable statuses (429 backpressure honouring ``Retry-After``,
+    transient 5xx) under ``retry_policy``.  Pass
+    ``RetryPolicy(max_attempts=1)`` to disable retries (one attempt,
+    failures surface immediately as :class:`ServerError`).
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8585,
-                 timeout_s: float = 300.0) -> None:
+                 timeout_s: float = 300.0,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.retry_policy = (RetryPolicy(max_attempts=3, base_delay_s=0.1)
+                             if retry_policy is None else retry_policy)
 
     # -- transport -------------------------------------------------------------
 
-    def request_raw(self, method: str, path: str,
-                    document: dict | None = None) -> tuple[int, bytes]:
-        """One HTTP exchange; returns ``(status, body bytes)`` verbatim."""
+    def _exchange(self, method: str, path: str, document: dict | None,
+                  ) -> tuple[int, bytes, float | None]:
+        """One wire exchange: ``(status, body, Retry-After seconds)``."""
         connection = http.client.HTTPConnection(self.host, self.port,
                                                 timeout=self.timeout_s)
         try:
@@ -59,9 +82,58 @@ class VerificationClient:
                 headers["Content-Type"] = "application/json"
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
-            return response.status, response.read()
+            payload = response.read()
+            retry_after = None
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            return response.status, payload, retry_after
         finally:
             connection.close()
+
+    def request_raw(self, method: str, path: str,
+                    document: dict | None = None) -> tuple[int, bytes]:
+        """An HTTP exchange with retries; returns ``(status, body)`` verbatim.
+
+        Retries (bounded by ``retry_policy``) on connect errors, dropped
+        or truncated responses, and :data:`_RETRYABLE_STATUSES`; a 429's
+        ``Retry-After`` stretches the backoff when it is longer.  The
+        final failure is raised as :class:`ServerError`; the final
+        retryable *status* is returned as-is so callers see the server's
+        structured error body.
+        """
+        policy = self.retry_policy
+        key = f"{method} {path}"
+        attempt = 0
+        while True:
+            attempt += 1
+            retry_after = None
+            try:
+                status, body, retry_after = self._exchange(
+                    method, path, document)
+            except http.client.IncompleteRead as short:
+                if attempt >= policy.max_attempts:
+                    raise ServerError(
+                        0, "truncated_response",
+                        f"{key}: server closed the connection mid-body "
+                        f"({len(short.partial)} bytes received)") from None
+            except (http.client.HTTPException, ConnectionError,
+                    TimeoutError, OSError) as error:
+                if attempt >= policy.max_attempts:
+                    raise ServerError(
+                        0, "connection_error",
+                        f"{key}: {type(error).__name__}: {error}") from error
+            else:
+                if (status not in _RETRYABLE_STATUSES
+                        or attempt >= policy.max_attempts):
+                    return status, body
+            delay = policy.delay_s(attempt, key)
+            if retry_after is not None:
+                delay = max(delay, retry_after)
+            time.sleep(delay)
 
     @staticmethod
     def _parse(status: int, body: bytes) -> dict:

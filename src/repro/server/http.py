@@ -22,9 +22,12 @@ Three entry points:
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.resilience.faults import active_plan
 from repro.server.app import HttpResponse, VerificationServerApp, error_response
 
 #: Hard parsing limits — requests beyond them are answered 431/413.
@@ -35,6 +38,7 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 #: Reason phrases for the statuses the app emits.
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests",
             431: "Request Header Fields Too Large", 500: "Internal Server Error",
             503: "Service Unavailable"}
 
@@ -54,16 +58,23 @@ class VerificationHttpServer:
     :attr:`port` after :meth:`start`.  ``max_workers`` bounds the thread
     pool the blocking app calls run on (batches additionally fan out to
     the service's worker *processes*, so this is request concurrency, not
-    verification parallelism).
+    verification parallelism).  ``drain_s`` is the graceful-shutdown
+    budget: :meth:`stop` first stops accepting, then waits up to this
+    long for in-flight requests to finish answering before tearing the
+    executor down — a SIGTERM mid-batch means the batch's response still
+    goes out.
     """
 
     def __init__(self, app: VerificationServerApp, host: str = "127.0.0.1",
-                 port: int = 8585, max_workers: int = 8) -> None:
+                 port: int = 8585, max_workers: int = 8,
+                 drain_s: float = 30.0) -> None:
         self.app = app
         self.host = host
         self.port = port
         self.max_workers = max_workers
+        self.drain_s = drain_s
         self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-http")
 
@@ -79,11 +90,24 @@ class VerificationHttpServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
+    async def stop(self, drain_s: float | None = None) -> None:
+        """Stop accepting, drain in-flight requests, then tear down.
+
+        ``drain_s`` overrides the server-level drain budget for this stop
+        (``0`` = no drain).  Draining waits on the open connection tasks —
+        each one is answering exactly one request — so a response being
+        computed when shutdown starts is still written back.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        budget = self.drain_s if drain_s is None else drain_s
+        current = asyncio.current_task()
+        pending = {task for task in self._connections
+                   if task is not current and not task.done()}
+        if pending and budget:
+            await asyncio.wait(pending, timeout=budget)
         self._executor.shutdown(wait=False, cancel_futures=True)
         self.app.close()
 
@@ -91,8 +115,21 @@ class VerificationHttpServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._serve_one(reader, writer)
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _serve_one(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        fault_key = None
         try:
             method, path, body = await self._read_request(reader)
+            fault_key = f"{method} {path}"
         except _BadRequest as bad:
             response = bad.response
         except (asyncio.IncompleteReadError, ConnectionError,
@@ -103,8 +140,21 @@ class VerificationHttpServer:
             loop = asyncio.get_running_loop()
             response = await loop.run_in_executor(
                 self._executor, self.app.handle, method, path, body)
+        payload = self._render(response)
+        plan = active_plan()
+        if plan is not None and fault_key is not None:
+            fault = plan.should("disconnect", fault_key)
+            if fault is not None:
+                # Chaos: drop the connection after roughly half the
+                # response — the client must see a short read, not a
+                # parseable body.
+                with contextlib.suppress(ConnectionError):
+                    writer.write(payload[:max(1, len(payload) // 2)])
+                    await writer.drain()
+                writer.close()
+                return
         try:
-            writer.write(self._render(response))
+            writer.write(payload)
             await writer.drain()
         except ConnectionError:
             pass
@@ -165,9 +215,12 @@ class VerificationHttpServer:
     @staticmethod
     def _render(response: HttpResponse) -> bytes:
         reason = _REASONS.get(response.status, "Unknown")
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in response.headers.items())
         head = (f"HTTP/1.1 {response.status} {reason}\r\n"
                 f"Content-Type: {response.content_type}\r\n"
                 f"Content-Length: {len(response.body)}\r\n"
+                f"{extra}"
                 f"Connection: close\r\n\r\n")
         return head.encode("latin-1") + response.body
 
@@ -189,11 +242,25 @@ def serve(host: str = "127.0.0.1", port: int = 8585,
         await server.start()
         if announce is not None:
             announce(server)
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        # SIGTERM/SIGINT start a graceful drain: stop accepting, let
+        # in-flight requests answer (up to drain_s), then exit 0 — a
+        # supervisor restart mid-batch doesn't eat the batch's response.
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError,
+                                     ValueError):
+                loop.add_signal_handler(signum, stop_event.set)
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stop_event.wait())
         try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
+            await asyncio.wait({serve_task, stop_task},
+                               return_when=asyncio.FIRST_COMPLETED)
         finally:
+            serve_task.cancel()
+            stop_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await serve_task
             await server.stop()
 
     try:

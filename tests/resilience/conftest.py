@@ -1,0 +1,61 @@
+"""Chaos-suite fixtures: seeded fault plans activated via the environment.
+
+The whole suite is parameterized by one integer, ``REPRO_CHAOS_SEED``
+(default 7) — CI runs it twice with distinct seeds.  The seed feeds the
+:class:`~repro.resilience.faults.FaultPlan` (corruption payloads) and the
+retry policies (backoff jitter); every assertion must hold for any seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.resilience.faults as faults_module
+from repro.resilience.faults import ENV_VAR, FaultPlan
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "7"))
+
+#: Keys masked when comparing chaos output against a fault-free baseline:
+#: wall-clock readings, solver search counters that legitimately move
+#: between runs, and the ``attempts`` history itself (present on retried
+#: rows only, by design).
+VOLATILE_KEYS = frozenset((
+    "time", "time_s", "reduction_time_s", "rewrite_time_s",
+    "conflicts", "decisions", "attempts",
+))
+
+
+def stable(value):
+    """A copy of a row/report document with every volatile key dropped."""
+    if isinstance(value, dict):
+        return {key: stable(item) for key, item in value.items()
+                if key not in VOLATILE_KEYS}
+    if isinstance(value, (list, tuple)):
+        return [stable(item) for item in value]
+    return value
+
+
+@pytest.fixture
+def chaos(tmp_path, monkeypatch):
+    """Activate a seeded fault plan for this test (and its subprocesses).
+
+    Returns a ``activate(*faults)`` callable; hit accounting goes through
+    a marker directory under ``tmp_path`` so "once" means once fleet-wide
+    even across respawned pool workers.  The plan cache is reset on both
+    activation and teardown so plans never leak between tests.
+    """
+    def activate(*faults) -> FaultPlan:
+        state = tmp_path / "fault-state"
+        state.mkdir(exist_ok=True)
+        plan = FaultPlan(seed=CHAOS_SEED, faults=tuple(faults),
+                         state_dir=str(state))
+        monkeypatch.setenv(ENV_VAR, plan.to_json())
+        faults_module._CACHED = (None, None)
+        return plan
+
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults_module._CACHED = (None, None)
+    yield activate
+    faults_module._CACHED = (None, None)

@@ -1,0 +1,153 @@
+"""Unit tests for the retry/fallback policies and the failure taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.registry import get_backend
+from repro.api.request import Budgets
+from repro.errors import VerificationError
+from repro.resilience.policy import (
+    FAILURE_CLASSES,
+    FallbackPolicy,
+    FallbackStep,
+    RetryPolicy,
+    attempt_entry,
+    classify_row,
+    escalate_budgets,
+)
+
+from .conftest import CHAOS_SEED
+
+
+# -- failure classification ----------------------------------------------------
+
+@pytest.mark.parametrize("row, expected", [
+    ({"status": "crash", "reason": "worker exited with code 137"}, "crash"),
+    ({"status": "error", "reason": "ValueError: boom"}, "error"),
+    ({"status": "TO", "reason": "hard task timeout after 1.0s"},
+     "hard_timeout"),
+    ({"status": "TO", "reason": "straggler re-dispatch after 0.5s grace"},
+     "hard_timeout"),
+    ({"status": "TO", "reason": "monomial budget exceeded (24 > 5)"},
+     "budget"),
+    ({"status": "TO", "reason": None}, "budget"),
+    ({"status": "ok", "verified": True}, "none"),
+    ({"status": "FAIL", "verified": False}, "none"),
+])
+def test_classify_row(row, expected):
+    assert classify_row(row) == expected
+    assert expected in FAILURE_CLASSES
+
+
+# -- retry policy --------------------------------------------------------------
+
+def test_retry_policy_defaults_retry_environment_failures_only():
+    policy = RetryPolicy()
+    assert policy.is_retryable("crash")
+    assert policy.is_retryable("hard_timeout")
+    assert not policy.is_retryable("budget")
+    assert not policy.is_retryable("error")
+    assert not policy.is_retryable("none")
+
+
+def test_retry_policy_validates():
+    with pytest.raises(VerificationError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(VerificationError):
+        RetryPolicy(retryable=("crash", "verdict"))
+
+
+def test_backoff_is_deterministic_and_bounded():
+    policy = RetryPolicy(seed=CHAOS_SEED)
+    for attempt in (1, 2, 3, 5):
+        base = min(policy.base_delay_s * policy.multiplier ** (attempt - 1),
+                   policy.max_delay_s)
+        delay = policy.delay_s(attempt, key="SP-AR-RC/4/mt-lr")
+        assert delay == policy.delay_s(attempt, key="SP-AR-RC/4/mt-lr")
+        assert base <= delay <= base * (1.0 + policy.jitter)
+    # The cap holds even for absurd attempt counts.
+    assert policy.delay_s(40, key="x") <= policy.max_delay_s * 1.1
+
+
+def test_backoff_decorrelates_distinct_jobs():
+    policy = RetryPolicy(seed=CHAOS_SEED)
+    delays = {policy.delay_s(1, key=f"arch-{i}/4/mt-lr") for i in range(16)}
+    assert len(delays) > 1, "jitter must separate distinct jobs"
+
+
+def test_backoff_differs_across_seeds():
+    a = RetryPolicy(seed=CHAOS_SEED).delay_s(1, key="k")
+    b = RetryPolicy(seed=CHAOS_SEED + 1).delay_s(1, key="k")
+    assert a != b
+
+
+# -- budget escalation ---------------------------------------------------------
+
+def test_escalate_budgets_scales_set_guards_and_keeps_types():
+    budgets = Budgets(monomial_budget=1000, time_budget_s=2.0,
+                      sat_conflict_budget=None)
+    scaled = escalate_budgets(budgets, 4.0)
+    assert scaled.monomial_budget == 4000
+    assert isinstance(scaled.monomial_budget, int)
+    assert scaled.time_budget_s == 8.0
+    assert scaled.sat_conflict_budget is None
+    # The original is untouched (frozen-style replace semantics).
+    assert budgets.monomial_budget == 1000
+
+
+# -- fallback policy -----------------------------------------------------------
+
+def test_fallback_step_validates():
+    with pytest.raises(VerificationError):
+        FallbackStep("retry")
+    with pytest.raises(VerificationError):
+        FallbackStep("backend")
+    with pytest.raises(VerificationError):
+        FallbackStep("escalate", budget_scale=1.0)
+
+
+def test_registry_derived_chain_for_algebraic_backend():
+    chain = FallbackPolicy().chain_for("mt-lr")
+    assert chain[0].kind == "escalate"
+    assert [step.method for step in chain[1:]] == \
+        list(get_backend("mt-lr").degrades_to)
+    assert "sat-cec" in {step.method for step in chain[1:]}
+
+
+def test_chain_for_baseline_backend_is_empty():
+    # sat-cec is the end of the line: nothing cheaper to trust.
+    assert FallbackPolicy().chain_for("sat-cec") == ()
+
+
+def test_explicit_chains_override_registry():
+    steps = (FallbackStep("backend", method="bdd-cec"),)
+    policy = FallbackPolicy(chains={"mt-lr": steps})
+    assert policy.chain_for("mt-lr") == steps
+    # Other methods fall back to the registry derivation.
+    assert policy.chain_for("mt-fo")[0].kind == "escalate"
+    wildcard = FallbackPolicy(chains={"*": steps})
+    assert wildcard.chain_for("mt-naive") == steps
+
+
+def test_parse_specs():
+    assert FallbackPolicy.parse("none") is None
+    assert FallbackPolicy.parse("default") == FallbackPolicy()
+    policy = FallbackPolicy.parse("escalate:8,sat-cec")
+    chain = policy.chain_for("mt-lr")
+    assert chain[0] == FallbackStep("escalate", budget_scale=8.0)
+    assert chain[1] == FallbackStep("backend", method="sat-cec")
+    with pytest.raises(VerificationError):
+        FallbackPolicy.parse("no-such-backend")
+    with pytest.raises(VerificationError):
+        FallbackPolicy.parse(",")
+
+
+# -- attempts history ----------------------------------------------------------
+
+def test_attempt_entry_shape():
+    entry = attempt_entry(2, "mt-lr", "retry", "verified",
+                          next_delay_s=0.05)
+    assert list(entry) == ["attempt", "method", "kind", "outcome",
+                           "reason", "next_delay_s"]
+    assert entry["reason"] is None

@@ -41,7 +41,8 @@ def test_workflow_parses_and_triggers(workflow):
 
 def test_workflow_has_expected_jobs(workflow):
     jobs = workflow["jobs"]
-    assert set(jobs) >= {"test", "lint", "docs", "certify", "bench-smoke"}
+    assert set(jobs) >= {"test", "lint", "docs", "certify", "bench-smoke",
+                         "chaos"}
 
 
 def test_test_job_covers_python_matrix(workflow):
@@ -97,6 +98,27 @@ def test_certify_job_emits_checks_and_cross_checks(workflow):
     assert "cross_check" in commands
     assert "counterexample_confirmed" in commands
     assert "tampered" in commands
+
+
+def test_chaos_job_runs_two_seeds_and_drain_smoke(workflow):
+    """Seeded fault-injection suite (two seeds) + SIGTERM drain smoke.
+
+    The chaos gate must (a) run ``tests/resilience`` under two distinct
+    ``REPRO_CHAOS_SEED`` values, and (b) SIGTERM the server while a batch
+    is in flight, asserting the response still arrives and the process
+    exits 0 (graceful drain, not a dropped connection).
+    """
+    commands = " ".join(step.get("run", "")
+                        for step in workflow["jobs"]["chaos"]["steps"])
+    assert "tests/resilience" in commands
+    assert commands.count("REPRO_CHAOS_SEED=") >= 2
+    seeds = {part.split()[0] for part in
+             commands.split("REPRO_CHAOS_SEED=")[1:]}
+    assert len(seeds) >= 2, f"chaos job must use two distinct seeds: {seeds}"
+    assert "repro-verify serve" in commands
+    assert "kill -TERM" in commands
+    assert "/v1/batch" in commands
+    assert "verified" in commands
 
 
 def test_docs_job_runs_snippet_check(workflow):
