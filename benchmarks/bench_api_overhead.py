@@ -73,6 +73,36 @@ def bench_http_dispatch(repeats: int, budget_s: float) -> list[str]:
     return failures
 
 
+def bench_keepalive(repeats: int) -> None:
+    """Keep-alive vs one-connection-per-request, same loopback server.
+
+    ISSUE 9 before/after number for the pooled-connection client: the
+    per-request saving is the TCP setup (connect + first-byte latency)
+    that ``keep_alive=False`` pays on every exchange.  Measured on the
+    cheapest route (``GET /healthz``) so the transport cost is not
+    hidden behind verification work.  Reported, not gated — loopback
+    connect cost is too machine-dependent to assert on.
+    """
+    with ServerThread(VerificationServerApp()) as server:
+        pooled = VerificationClient(port=server.port)
+        fresh = VerificationClient(port=server.port, keep_alive=False)
+        for client in (pooled, fresh):     # warm caches and the pool
+            assert client.healthz()["status"] == "ok"
+        best_pooled = best_fresh = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fresh.healthz()
+            best_fresh = min(best_fresh, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            pooled.healthz()
+            best_pooled = min(best_pooled, time.perf_counter() - start)
+        saving = best_fresh - best_pooled
+        print(f"per-healthz  fresh-connection={best_fresh * 1000:7.2f}ms "
+              f"keep-alive={best_pooled * 1000:7.2f}ms "
+              f"saving={saving * 1000:+7.2f}ms")
+
+
 def bench_resilience_overhead(repeats: int, tolerance: float) -> list[str]:
     """Happy-path cost of the armed resilience wrapper; failing rows.
 
@@ -165,6 +195,9 @@ def main() -> int:
         return 1
     print(f"ok: HTTP dispatch within {args.http_overhead_budget * 1000:.0f}ms "
           f"on all {len(TABLE1_ARCHITECTURES)} rows")
+
+    print("\nHTTP keep-alive (pooled connection vs connection-per-request):")
+    bench_keepalive(args.http_repeats)
 
     print("\nresilience wrapper (retry+fallback armed, no faults) vs plain:")
     resilience_failures = bench_resilience_overhead(args.repeats,

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Fleet scaling benchmark: 1-worker vs 2-worker loopback dispatch.
+
+ISSUE 9 gate — boots real ``repro-verify serve`` worker *processes*
+(separate interpreters, so loopback workers genuinely run on separate
+cores) and scatters an 8-bit Table I slice through
+:class:`repro.fleet.FleetDispatcher`, once over one worker and once over
+two.  Emits ``BENCH_fleet.json`` with both wall-clocks and the speedup.
+
+Loopback workers still share one machine, so the interesting numbers are
+the dispatch overhead (fleet wall-clock vs the in-process service on the
+same rows) and the 1→2 scaling trend, not the absolute factor — real
+fleets put workers on separate hosts.  Reported, not hard-gated: CI
+runner core counts vary.
+
+Run manually (not part of the tier-1 suite)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.api.request import VerificationRequest
+from repro.api.service import VerificationService
+from repro.fleet import FleetDispatcher, FleetTopology
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+WIDTH = 8
+#: mt-fo (no logic reduction) is the slow-but-bounded backend at 8 bits —
+#: 0.2–5 s per row on these architectures, so a 2-worker split is visible
+#: over the dispatch overhead (mt-lr rows finish in ~20 ms and would not
+#: be).
+METHOD = "mt-fo"
+ARCHITECTURES = ("SP-AR-RC", "SP-AR-CL", "SP-AR-BK", "SP-AR-KS",
+                 "BP-AR-RC", "BP-AR-CL", "BP-AR-BK", "BP-WT-CL")
+
+
+def spawn_worker() -> tuple[subprocess.Popen, int]:
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+        cwd=REPO_ROOT, env=environment, text=True)
+    announce = process.stderr.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", announce)
+    if match is None:
+        process.kill()
+        raise RuntimeError(f"worker did not announce a port: {announce!r}")
+    return process, int(match.group(1))
+
+
+def grid_requests() -> list[VerificationRequest]:
+    return [VerificationRequest.from_architecture(
+        architecture, WIDTH, METHOD, find_counterexample=False)
+        for architecture in ARCHITECTURES]
+
+
+def run_fleet(worker_count: int) -> float:
+    """Wall-clock of the grid over ``worker_count`` fresh worker processes."""
+    workers = [spawn_worker() for _ in range(worker_count)]
+    try:
+        topology = FleetTopology.from_document({"workers": [
+            {"name": f"w{index}", "port": port}
+            for index, (_, port) in enumerate(workers)]})
+        dispatcher = FleetDispatcher(topology)
+        start = time.perf_counter()
+        reports = dispatcher.run_batch(grid_requests())
+        elapsed = time.perf_counter() - start
+        assert all(report.verdict == "verified" for report in reports)
+        assert dispatcher.last_executed == len(ARCHITECTURES)
+        return elapsed
+    finally:
+        for process, _ in workers:
+            process.terminate()
+        for process, _ in workers:
+            process.wait(timeout=30)
+
+
+def run_local() -> float:
+    """In-process baseline on the same rows (no HTTP, no fleet)."""
+    service = VerificationService()
+    start = time.perf_counter()
+    reports = service.run_batch(grid_requests())
+    elapsed = time.perf_counter() - start
+    assert all(report.verdict == "verified" for report in reports)
+    return elapsed
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", "-o", default="BENCH_fleet.json")
+    args = parser.parse_args(argv)
+
+    local_s = run_local()
+    print(f"local in-process      {len(ARCHITECTURES)} rows  "
+          f"{local_s:6.2f}s")
+    one_s = run_fleet(1)
+    print(f"fleet, 1 worker       {len(ARCHITECTURES)} rows  {one_s:6.2f}s  "
+          f"(dispatch overhead {one_s - local_s:+.2f}s)")
+    two_s = run_fleet(2)
+    speedup = one_s / two_s
+    cores = (len(os.sched_getaffinity(0))
+             if hasattr(os, "sched_getaffinity") else os.cpu_count())
+    print(f"fleet, 2 workers      {len(ARCHITECTURES)} rows  {two_s:6.2f}s  "
+          f"(speedup x{speedup:.2f} over 1 worker, {cores} core(s) "
+          f"available)")
+
+    result = {
+        "benchmark": "fleet",
+        "width": WIDTH,
+        "method": METHOD,
+        "architectures": list(ARCHITECTURES),
+        "local_s": round(local_s, 4),
+        "fleet_1_worker_s": round(one_s, 4),
+        "fleet_2_workers_s": round(two_s, 4),
+        "speedup_2_over_1": round(speedup, 4),
+        # Loopback workers share this machine: speedup is bounded by the
+        # cores actually available, so record them alongside the factor.
+        "cpu_count": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    Path(args.output).write_text(json.dumps(result, indent=2) + "\n",
+                                 encoding="utf-8")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,8 +15,9 @@ runner internals.
 from __future__ import annotations
 
 import os
+import threading
 import time
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.api.registry import backends, get_backend
 from repro.api.report import VerificationReport
@@ -26,6 +27,68 @@ from repro.errors import BlowUpError, VerificationError
 
 def _certifiable_backends():
     return tuple(spec for spec in backends() if spec.certifiable)
+
+
+def pool_eligible(request: VerificationRequest) -> bool:
+    """True when a request can run through the worker pool / fleet.
+
+    The pool (and the shared result cache keyed by netlist content) only
+    handles architecture-sourced multiplier requests with the
+    runner-default knobs: no custom specification, no ``xor_and_only``,
+    no counterexample search, default seed, and certificates only from
+    certifiable backends.  Everything else runs through in-process
+    :meth:`VerificationService.submit` with identical semantics.
+    """
+    return (request.architecture is not None
+            and request.circuit_kind == "multiplier"
+            and request.specification is None
+            and not request.xor_and_only
+            and not request.find_counterexample
+            and request.seed == 0
+            and (not request.certificate
+                 or get_backend(request.method).certifiable))
+
+
+def experiment_config_for(budgets: Budgets,
+                          golden_architecture: str = "SP-AR-RC"):
+    """Map a budget bundle onto a runner :class:`ExperimentConfig`, verbatim.
+
+    The budgets are authoritative — ``None`` means "guard disabled"
+    exactly as in :meth:`VerificationService.submit`, and
+    ``REPRO_BENCH_*`` environment overrides do not apply.
+    """
+    from repro.experiments.runner import ExperimentConfig
+    config = ExperimentConfig()
+    config.monomial_budget = budgets.monomial_budget
+    config.time_budget_s = budgets.time_budget_s
+    config.sat_conflict_budget = budgets.sat_conflict_budget
+    config.bdd_node_budget = budgets.bdd_node_budget
+    config.vanishing_cache_limit = budgets.vanishing_cache_limit
+    config.golden_architecture = golden_architecture
+    return config
+
+
+def request_cache_key(request: VerificationRequest,
+                      golden_architecture: str = "SP-AR-RC",
+                      hasher=None) -> str | None:
+    """Content-addressed result-cache key of a request (``None`` = uncacheable).
+
+    The request-level view of
+    :func:`repro.experiments.runner.result_cache_key`: only
+    :func:`pool_eligible` requests are keyable, and the key is exactly
+    the one a pooled :meth:`VerificationService.run_batch` job would use
+    under the request's own budgets — so the fleet's shared cache and a
+    local batch run address the same entries.
+    """
+    if not pool_eligible(request):
+        return None
+    from repro.experiments.runner import VerificationJob, result_cache_key
+    job = VerificationJob(request.architecture, request.width, request.method,
+                          certificate=request.certificate)
+    config = experiment_config_for(request.budgets, golden_architecture)
+    return result_cache_key(job, config,
+                            task_timeout_s=request.budgets.task_timeout_s,
+                            hasher=hasher)
 
 
 class VerificationService:
@@ -306,15 +369,7 @@ class VerificationService:
         budgets with ``Budgets.from_config(ExperimentConfig
         .from_environment())``).
         """
-        from repro.experiments.runner import ExperimentConfig
-        config = ExperimentConfig()
-        config.monomial_budget = budgets.monomial_budget
-        config.time_budget_s = budgets.time_budget_s
-        config.sat_conflict_budget = budgets.sat_conflict_budget
-        config.bdd_node_budget = budgets.bdd_node_budget
-        config.vanishing_cache_limit = budgets.vanishing_cache_limit
-        config.golden_architecture = self.golden_architecture
-        return config
+        return experiment_config_for(budgets, self.golden_architecture)
 
     def run_batch(self, requests: Sequence[VerificationRequest],
                   jobs: int | None = None,
@@ -343,14 +398,7 @@ class VerificationService:
         pooled: list[int] = []
         reports: dict[int, VerificationReport] = {}
         for index, request in enumerate(requests):
-            if (request.architecture is not None
-                    and request.circuit_kind == "multiplier"
-                    and request.specification is None
-                    and not request.xor_and_only
-                    and not request.find_counterexample
-                    and request.seed == 0
-                    and (not request.certificate
-                         or get_backend(request.method).certifiable)):
+            if pool_eligible(request):
                 pooled.append(index)
         runner = ParallelRunner(
             self._experiment_config(self.budgets),
@@ -387,6 +435,97 @@ class VerificationService:
             for report in ordered:
                 on_report(report)
         return ordered
+
+    def iter_batch(self, requests: Sequence[VerificationRequest],
+                   jobs: int | None = None,
+                   ) -> Iterator[VerificationReport]:
+        """Yield reports in request order, each as soon as it is available.
+
+        The streaming sibling of :meth:`run_batch` (same pooling rules,
+        same budget-group handling, same cache): pooled jobs fan across
+        the worker pool on a background thread and their rows are handed
+        over index-by-index, so a huge grid's first report is yielded
+        while later jobs are still executing instead of after the whole
+        batch.  Non-pooled requests run inline at their position.  The
+        ``last_*`` counters are final once the generator is exhausted.
+        """
+        from repro.experiments.runner import ParallelRunner, VerificationJob
+        requests = list(requests)
+        self.last_fallbacks = 0
+        runner = ParallelRunner(
+            self._experiment_config(self.budgets),
+            workers=jobs if jobs is not None else self.jobs,
+            task_timeout_s=self.budgets.task_timeout_s
+            if self.budgets.task_timeout_s is not None else self.task_timeout_s,
+            cache_dir=self.cache_dir,
+            retry_policy=self.retry_policy)
+        grid: list[VerificationJob] = []
+        positions: dict[int, int] = {}      # id(job) -> request index
+        pooled: set[int] = set()
+        for index, request in enumerate(requests):
+            if not pool_eligible(request):
+                continue
+            if request.budgets == self.budgets:
+                config = task_timeout_s = None
+            else:
+                config = self._experiment_config(request.budgets)
+                task_timeout_s = request.budgets.task_timeout_s
+            job = VerificationJob(request.architecture, request.width,
+                                  request.method, config=config,
+                                  task_timeout_s=task_timeout_s,
+                                  certificate=request.certificate)
+            # Distinct grid entries are distinct objects even for equal
+            # jobs, so object identity maps each row to its request index.
+            positions[id(job)] = index
+            grid.append(job)
+            pooled.add(index)
+
+        condition = threading.Condition()
+        rows: dict[int, dict] = {}
+        failure: list[BaseException] = []
+
+        def on_row(job, row) -> None:
+            with condition:
+                rows[positions[id(job)]] = row
+                condition.notify_all()
+
+        def run_pool() -> None:
+            try:
+                runner.run(grid, on_result=on_row)
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                failure.append(error)
+            with condition:
+                condition.notify_all()
+
+        worker = None
+        if grid:
+            worker = threading.Thread(target=run_pool, daemon=True,
+                                      name="repro-iter-batch")
+            worker.start()
+        finished = False
+        try:
+            for index, request in enumerate(requests):
+                if index in pooled:
+                    with condition:
+                        while index not in rows and not failure:
+                            condition.wait()
+                    if failure:
+                        raise failure[0]
+                    report = self.apply_fallback(
+                        request, VerificationReport.from_row(rows[index]))
+                else:
+                    report = self.submit(request)
+                yield report
+            finished = True
+        finally:
+            # An abandoned generator (the consumer went away mid-stream)
+            # must not block on the pool — the daemon thread drains alone.
+            if finished or failure:
+                if worker is not None:
+                    worker.join()
+                self.last_cache_hits = runner.last_cache_hits
+                self.last_executed = runner.last_executed
+                self.last_retries = runner.last_retries
 
     def run_grid(self, architectures: Sequence[str], widths: Sequence[int],
                  methods: Sequence[str], jobs: int | None = None,

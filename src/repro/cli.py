@@ -290,6 +290,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the HTTP verification server until interrupted."""
     from repro.server import serve
 
+    fleet_topology = None
+    if args.fleet:
+        from repro.fleet import FleetTopology
+
+        fleet_topology = FleetTopology.from_file(args.fleet)
+
     def announce(server) -> None:
         print(f"repro-verify serve: listening on "
               f"http://{server.host}:{server.port} "
@@ -306,7 +312,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           request_deadline_s=args.request_deadline,
           retry_policy=(RetryPolicy(max_attempts=args.retries + 1)
                         if args.retries else None),
-          fallback_policy=FallbackPolicy.parse(args.fallback))
+          fallback_policy=FallbackPolicy.parse(args.fallback),
+          shared_cache_url=args.shared_cache,
+          fleet_topology=fleet_topology)
+    return 0
+
+
+def _run_fleet_batch(args: argparse.Namespace, architectures, methods,
+                     config) -> int:
+    """``batch --fleet``: scatter the grid over remote serve workers.
+
+    The stdout verdict lines and summary are byte-identical to the
+    serial (fleet-less) run — fleet counters go to stderr — so a grid
+    can be moved onto a fleet without touching anything that parses the
+    output.  Reports stream in as workers answer; rows print in grid
+    order as soon as each resolves.
+    """
+    import dataclasses as _dataclasses
+
+    from repro.fleet import FleetDispatcher, FleetTopology
+
+    topology = FleetTopology.from_file(args.fleet)
+    if args.cache:
+        topology = _dataclasses.replace(topology, cache_dir=args.cache)
+    budgets = Budgets.from_config(config, task_timeout_s=args.task_timeout)
+    grid = ParallelRunner.catalog(architectures, config.widths, methods)
+    requests = [VerificationRequest.from_architecture(
+        job.architecture, job.width, job.method, budgets=budgets,
+        find_counterexample=False) for job in grid]
+    dispatcher = FleetDispatcher(
+        topology, golden_architecture=config.golden_architecture)
+    reports: list[VerificationReport] = []
+    rows = []
+    counts: dict[str, int] = {}
+    for report in dispatcher.iter_batch(requests):
+        reports.append(report)
+        row = report.to_row()
+        rows.append(row)
+        if args.json:
+            print(report.to_json(), flush=True)
+        else:
+            verdict = ("pass" if row["verified"] else
+                       "FAIL" if row["verified"] is False else
+                       row["status"])
+            counts[verdict] = counts.get(verdict, 0) + 1
+            print(f"{row['architecture']:<12} {row['width']:>3} "
+                  f"{row['method']:<8} {verdict}", flush=True)
+    if not args.json:
+        print("summary: " + " ".join(f"{verdict}={count}" for verdict, count
+                                     in sorted(counts.items())))
+    print(f"fleet: workers={len(topology.workers)} "
+          f"cache-hits={dispatcher.last_cache_hits} "
+          f"executed={dispatcher.last_executed} "
+          f"retries={dispatcher.last_retries} "
+          f"steals={dispatcher.last_steals}", file=sys.stderr, flush=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2, default=str)
+        print(f"wrote {len(rows)} rows to {args.output}", file=sys.stderr)
+    if any(report.verdict == "refuted" for report in reports):
+        return 2
+    if any(report.verdict in ("budget", "error") for report in reports):
+        return 3
     return 0
 
 
@@ -330,6 +397,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         config.monomial_budget = args.monomial_budget
     if args.time_budget is not None:
         config.time_budget_s = args.time_budget
+    if args.fleet:
+        return _run_fleet_batch(args, architectures, methods, config)
     retry_policy = (RetryPolicy(max_attempts=args.retries + 1)
                     if args.retries else None)
     runner = ParallelRunner(config, workers=args.jobs,
@@ -482,6 +551,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="retry crashed / hard-timed-out jobs up to N "
                               "times on fresh workers with exponential "
                               "backoff (default: 0 = no retries)")
+    p_batch.add_argument("--fleet", default=None, metavar="CONFIG",
+                         help="fleet topology JSON file: scatter the grid "
+                              "over remote repro-verify serve workers "
+                              "instead of local processes (docs/fleet.md); "
+                              "--cache becomes the coordinator-side shared "
+                              "result cache")
     _add_fallback_argument(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
 
@@ -520,6 +595,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--retries", type=int, default=0, metavar="N",
                          help="retry crashed / hard-timed-out batch jobs up "
                               "to N times (default: 0)")
+    p_serve.add_argument("--fleet", default=None, metavar="CONFIG",
+                         help="fleet topology JSON file: this server "
+                              "becomes a coordinator scattering /v1/batch "
+                              "over the named workers (docs/fleet.md)")
+    p_serve.add_argument("--shared-cache", dest="shared_cache", default=None,
+                         metavar="URL",
+                         help="coordinator URL whose /v1/cache/{key} this "
+                              "worker checks before executing and populates "
+                              "after (docs/fleet.md)")
     _add_fallback_argument(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
     return parser

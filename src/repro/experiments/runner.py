@@ -267,6 +267,81 @@ def _guarded_run_job(job: VerificationJob, config: ExperimentConfig) -> dict:
 # On-disk result cache
 # ---------------------------------------------------------------------------
 
+class NetlistHasher:
+    """Memoized content hashes of generated multiplier netlists.
+
+    The hash is over the emitted gate-level Verilog, so two architecture
+    names generating the same gates share a hash (and therefore a cache
+    entry), while any generator change invalidates it.  Extracted from
+    :class:`ResultCache` so cache keys can be computed without a cache
+    directory — the fleet dispatcher and the HTTP cache routes key
+    content the same way the runner does.
+    """
+
+    def __init__(self) -> None:
+        self._hashes: dict[tuple[str, int], str | None] = {}
+
+    def hash(self, architecture: str, width: int) -> str | None:
+        """Content hash of a generated netlist (``None`` = not hashable)."""
+        key = (architecture, width)
+        if key not in self._hashes:
+            try:
+                from repro.circuit.verilog import write_verilog
+                netlist = generate_multiplier(architecture, width)
+                digest = hashlib.sha256(
+                    write_verilog(netlist).encode("utf-8")).hexdigest()
+            except Exception:  # noqa: BLE001 - unknown arch etc: uncacheable
+                digest = None
+            self._hashes[key] = digest
+        return self._hashes[key]
+
+
+def result_cache_key(job: VerificationJob, config: ExperimentConfig,
+                     task_timeout_s: float | None = None,
+                     hasher: NetlistHasher | None = None) -> str | None:
+    """Content-addressed cache key of a job (``None`` = uncacheable).
+
+    The single source of truth for result-cache keying, shared by
+    :class:`ResultCache`, the verification service, and the fleet layer:
+    netlist content hash + method + width + every outcome-relevant budget
+    + the package version.  Job-level overrides (``job.config``,
+    ``job.task_timeout_s``) take precedence over the batch-level
+    arguments, so two jobs of one batch running under different budget
+    groups never share an entry.
+    """
+    if job.config is not None:
+        config = job.config
+    if job.task_timeout_s is not None:
+        task_timeout_s = job.task_timeout_s
+    if hasher is None:
+        hasher = NetlistHasher()
+    netlist_hash = hasher.hash(job.architecture, job.width)
+    if netlist_hash is None:
+        return None
+    from repro import __version__
+    document = {
+        "schema": ResultCache.SCHEMA,
+        "version": __version__,
+        "netlist": netlist_hash,
+        "method": job.method,
+        "width": job.width,
+        "certificate": job.certificate,
+        "budgets": {
+            "monomial_budget": config.monomial_budget,
+            "time_budget_s": config.time_budget_s,
+            "sat_conflict_budget": config.sat_conflict_budget,
+            "bdd_node_budget": config.bdd_node_budget,
+            "vanishing_cache_limit": config.vanishing_cache_limit,
+            "task_timeout_s": task_timeout_s,
+        },
+    }
+    if job.method == "sat-cec":
+        document["golden"] = hasher.hash(config.golden_architecture,
+                                         job.width)
+    serial = json.dumps(document, sort_keys=True)
+    return hashlib.sha256(serial.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """On-disk JSON cache of completed verification rows.
 
@@ -308,61 +383,26 @@ class ResultCache:
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self._netlist_hashes: dict[tuple[str, int], str | None] = {}
+        self._hasher = NetlistHasher()
 
     # -- keying ----------------------------------------------------------------
 
     def _netlist_hash(self, architecture: str, width: int) -> str | None:
         """Content hash of a generated netlist (``None`` = not hashable)."""
-        key = (architecture, width)
-        if key not in self._netlist_hashes:
-            try:
-                from repro.circuit.verilog import write_verilog
-                netlist = generate_multiplier(architecture, width)
-                digest = hashlib.sha256(
-                    write_verilog(netlist).encode("utf-8")).hexdigest()
-            except Exception:  # noqa: BLE001 - unknown arch etc: uncacheable
-                digest = None
-            self._netlist_hashes[key] = digest
-        return self._netlist_hashes[key]
+        return self._hasher.hash(architecture, width)
 
     def key(self, job: VerificationJob, config: ExperimentConfig,
             task_timeout_s: float | None = None) -> str | None:
         """Cache key of a job under the given budgets (``None`` = uncacheable).
 
-        Job-level overrides (``job.config``, ``job.task_timeout_s``) take
-        precedence over the batch-level arguments, so two jobs of one batch
-        running under different budget groups never share an entry.
+        Delegates to :func:`result_cache_key` with this cache's memoized
+        netlist hasher — job-level overrides (``job.config``,
+        ``job.task_timeout_s``) take precedence over the batch-level
+        arguments, so two jobs of one batch running under different budget
+        groups never share an entry.
         """
-        if job.config is not None:
-            config = job.config
-        if job.task_timeout_s is not None:
-            task_timeout_s = job.task_timeout_s
-        netlist_hash = self._netlist_hash(job.architecture, job.width)
-        if netlist_hash is None:
-            return None
-        from repro import __version__
-        document = {
-            "schema": self.SCHEMA,
-            "version": __version__,
-            "netlist": netlist_hash,
-            "method": job.method,
-            "width": job.width,
-            "certificate": job.certificate,
-            "budgets": {
-                "monomial_budget": config.monomial_budget,
-                "time_budget_s": config.time_budget_s,
-                "sat_conflict_budget": config.sat_conflict_budget,
-                "bdd_node_budget": config.bdd_node_budget,
-                "vanishing_cache_limit": config.vanishing_cache_limit,
-                "task_timeout_s": task_timeout_s,
-            },
-        }
-        if job.method == "sat-cec":
-            document["golden"] = self._netlist_hash(
-                config.golden_architecture, job.width)
-        serial = json.dumps(document, sort_keys=True)
-        return hashlib.sha256(serial.encode("utf-8")).hexdigest()
+        return result_cache_key(job, config, task_timeout_s=task_timeout_s,
+                                hasher=self._hasher)
 
     # -- storage ---------------------------------------------------------------
 
@@ -415,11 +455,27 @@ class ResultCache:
         """Store a completed row unless it reports an infrastructure failure."""
         if key is None or row.get("status") not in self.CACHEABLE_STATUSES:
             return
-        report = VerificationReport.from_row(row)
-        document = {"job": {"architecture": job.architecture,
-                            "width": job.width, "method": job.method},
-                    "report": report.to_dict(),
-                    "sha256": self._checksum(report)}
+        self.put_report(key, VerificationReport.from_row(row), job=job)
+
+    def put_report(self, key: str | None, report: "VerificationReport",
+                   job: VerificationJob | None = None) -> bool:
+        """Store a canonical report under an explicit key.
+
+        The entry point of the shared-cache protocol (``PUT
+        /v1/cache/{key}`` and the fleet dispatcher): the caller computed
+        the key (:func:`result_cache_key`), the cache only enforces the
+        cacheability contract.  Returns ``True`` iff the entry was
+        published — infrastructure-failure reports and unwritable
+        directories are a quiet ``False``, never an exception.
+        """
+        if key is None or report.status not in self.CACHEABLE_STATUSES:
+            return False
+        document: dict = {}
+        if job is not None:
+            document["job"] = {"architecture": job.architecture,
+                               "width": job.width, "method": job.method}
+        document["report"] = report.to_dict()
+        document["sha256"] = self._checksum(report)
         path = self.directory / f"{key}.json"
         # Atomic publish so concurrent table runs never read half a row.
         # The temporary is per-writer (pid AND thread), not just per
@@ -432,8 +488,9 @@ class ResultCache:
             temporary.replace(path)
         except OSError:
             temporary.unlink(missing_ok=True)
-            return
+            return False
         maybe_corrupt_published_entry(path)
+        return True
 
 
 # ---------------------------------------------------------------------------

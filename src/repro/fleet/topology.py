@@ -1,0 +1,195 @@
+"""Declarative fleet topology: workers, capacities, backend allowlists.
+
+A :class:`FleetTopology` names the remote workers a
+:class:`~repro.fleet.dispatcher.FleetDispatcher` scatters over — each
+worker is simply a running ``repro-verify serve`` on some host/port —
+plus the dispatch knobs: per-worker in-flight capacity, optional
+per-worker backend allowlists (validated against the registry), the
+work-stealing straggler grace, the retry budget, and the coordinator's
+shared result cache.  Topologies load from a JSON document, a file, or
+the ``REPRO_FLEET`` environment variable; the wire format is documented
+in ``docs/fleet.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.api.registry import backend_names
+from repro.errors import VerificationError
+
+#: Document keys accepted by :meth:`FleetTopology.from_document`.
+TOPOLOGY_KEYS = ("workers", "straggler_grace_s", "max_attempts",
+                 "cache_dir", "shared_cache")
+
+#: Worker-entry keys accepted inside ``"workers"``.
+WORKER_KEYS = ("name", "host", "port", "capacity", "backends")
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """One remote worker: address, in-flight capacity, backend allowlist.
+
+    ``capacity`` bounds the requests the dispatcher keeps in flight on
+    this worker at once (a worker serving with ``--jobs 4`` can take
+    ``capacity: 4``).  An empty ``backends`` tuple means the worker runs
+    every registered backend; a non-empty one restricts dispatch to the
+    named methods.
+    """
+
+    name: str
+    host: str = "127.0.0.1"
+    port: int = 8585
+    capacity: int = 1
+    backends: tuple[str, ...] = ()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def supports(self, method: str) -> bool:
+        """True iff this worker may run ``method`` (empty allowlist = all)."""
+        return not self.backends or method in self.backends
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """The full fleet configuration a dispatcher runs under."""
+
+    workers: tuple[WorkerSpec, ...]
+    #: A job in flight longer than this is re-dispatched to an idle
+    #: worker (first finisher wins); ``None`` disables work-stealing.
+    straggler_grace_s: float | None = None
+    #: Total dispatch attempts per job (initial + re-dispatches).
+    max_attempts: int = 3
+    #: Coordinator-side on-disk result cache directory (``None`` = none).
+    cache_dir: str | None = None
+    #: URL of a coordinator exposing ``/v1/cache/{key}`` that workers
+    #: check/populate (handed to ``repro-verify serve --shared-cache``).
+    shared_cache: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            raise VerificationError("fleet topology needs at least one worker")
+        names = [worker.name for worker in self.workers]
+        if len(set(names)) != len(names):
+            raise VerificationError(
+                f"fleet worker names must be unique, got {names}")
+        if self.max_attempts < 1:
+            raise VerificationError("fleet max_attempts must be >= 1")
+        if (self.straggler_grace_s is not None
+                and self.straggler_grace_s <= 0):
+            raise VerificationError("fleet straggler_grace_s must be > 0")
+
+    def workers_for(self, method: str) -> tuple[WorkerSpec, ...]:
+        """The workers whose allowlist admits ``method``."""
+        return tuple(worker for worker in self.workers
+                     if worker.supports(method))
+
+    # -- loading ---------------------------------------------------------------
+
+    @classmethod
+    def from_document(cls, document: object) -> "FleetTopology":
+        """Build and validate a topology from a parsed JSON document."""
+        if not isinstance(document, dict):
+            raise VerificationError(
+                "fleet topology must be a JSON object")
+        unknown = sorted(set(document) - set(TOPOLOGY_KEYS))
+        if unknown:
+            raise VerificationError(
+                f"unknown fleet topology field(s) {unknown}; expected a "
+                f"subset of {list(TOPOLOGY_KEYS)}")
+        entries = document.get("workers")
+        if not isinstance(entries, list) or not entries:
+            raise VerificationError(
+                "fleet topology needs a non-empty 'workers' array")
+        workers = tuple(cls._parse_worker(entry, position)
+                        for position, entry in enumerate(entries))
+        grace = document.get("straggler_grace_s")
+        if grace is not None and (isinstance(grace, bool)
+                                  or not isinstance(grace, (int, float))):
+            raise VerificationError(
+                "fleet 'straggler_grace_s' must be a number or null")
+        attempts = document.get("max_attempts", 3)
+        if isinstance(attempts, bool) or not isinstance(attempts, int):
+            raise VerificationError("fleet 'max_attempts' must be an integer")
+        cache_dir = document.get("cache_dir")
+        if cache_dir is not None and not isinstance(cache_dir, str):
+            raise VerificationError("fleet 'cache_dir' must be a string")
+        shared = document.get("shared_cache")
+        if shared is not None and not isinstance(shared, str):
+            raise VerificationError("fleet 'shared_cache' must be a URL string")
+        return cls(workers=workers, straggler_grace_s=grace,
+                   max_attempts=attempts, cache_dir=cache_dir,
+                   shared_cache=shared)
+
+    @staticmethod
+    def _parse_worker(entry: object, position: int) -> WorkerSpec:
+        if not isinstance(entry, dict):
+            raise VerificationError(
+                f"fleet worker #{position} must be a JSON object")
+        unknown = sorted(set(entry) - set(WORKER_KEYS))
+        if unknown:
+            raise VerificationError(
+                f"unknown fleet worker field(s) {unknown}; expected a "
+                f"subset of {list(WORKER_KEYS)}")
+        name = entry.get("name", f"worker-{position}")
+        host = entry.get("host", "127.0.0.1")
+        if not isinstance(name, str) or not isinstance(host, str):
+            raise VerificationError(
+                f"fleet worker #{position}: 'name' and 'host' must be strings")
+        port = entry.get("port", 8585)
+        if isinstance(port, bool) or not isinstance(port, int) \
+                or not 0 < port < 65536:
+            raise VerificationError(
+                f"fleet worker {name!r}: 'port' must be a TCP port number")
+        capacity = entry.get("capacity", 1)
+        if isinstance(capacity, bool) or not isinstance(capacity, int) \
+                or capacity < 1:
+            raise VerificationError(
+                f"fleet worker {name!r}: 'capacity' must be a positive "
+                "integer")
+        backends = entry.get("backends", [])
+        if not isinstance(backends, list) \
+                or not all(isinstance(b, str) for b in backends):
+            raise VerificationError(
+                f"fleet worker {name!r}: 'backends' must be an array of "
+                "backend names")
+        unknown_backends = sorted(set(backends) - set(backend_names()))
+        if unknown_backends:
+            raise VerificationError(
+                f"fleet worker {name!r} allowlists unknown backend(s) "
+                f"{unknown_backends}; registered: {list(backend_names())}")
+        return WorkerSpec(name=name, host=host, port=port, capacity=capacity,
+                          backends=tuple(backends))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetTopology":
+        try:
+            document = json.loads(text)
+        except ValueError as error:
+            raise VerificationError(
+                f"fleet topology is not valid JSON: {error}") from None
+        return cls.from_document(document)
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike) -> "FleetTopology":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            raise VerificationError(
+                f"cannot read fleet topology {path!r}: {error}") from None
+        return cls.from_json(text)
+
+    @classmethod
+    def from_environment(cls) -> "FleetTopology | None":
+        """Topology named by ``REPRO_FLEET``: inline JSON or a file path."""
+        value = os.environ.get("REPRO_FLEET")
+        if not value:
+            return None
+        if value.lstrip().startswith("{"):
+            return cls.from_json(value)
+        return cls.from_file(value)

@@ -7,15 +7,25 @@ longest-expected-first scheduling of
 :class:`~repro.experiments.runner.ParallelRunner`.  Worker processes are
 pooled per batch (the fork cost is amortised across that batch's jobs,
 as everywhere else in the repo); what persists *across* requests is the
-result cache, so repeated traffic executes only uncached work.  Six
+result cache, so repeated traffic executes only uncached work.  The
 endpoints:
 ``POST /v1/verify`` (one request, the canonical
 :class:`~repro.api.report.VerificationReport` JSON), ``POST /v1/batch``
-(grids with per-request budget groups, synchronous or ``"async": true``
-job submission), ``GET /v1/jobs/{id}`` (bounded in-memory job store),
-``GET /v1/backends`` (registry introspection), and
-``GET /healthz`` / ``GET /metrics``.  The wire protocol is documented in
-``docs/http-api.md``; the CLI spelling is ``repro-verify serve``.
+(grids with per-request budget groups — synchronous, ``"async": true``
+job submission, or ``"stream": true`` chunked NDJSON), ``GET
+/v1/jobs/{id}`` (bounded in-memory job store), ``GET /v1/backends``
+(registry introspection), ``GET /v1/version`` (package/schema versions,
+checked by the fleet dispatcher before mixing workers),
+``GET``/``PUT /v1/cache/{key}`` (the shared content-addressed result
+cache that fleet workers read through and publish back to), and
+``GET /healthz`` / ``GET /metrics``.  Connections are HTTP/1.1
+keep-alive by default; :class:`~repro.server.client.VerificationClient`
+pools one connection per thread.  The wire protocol is documented in
+``docs/http-api.md``; the CLI spelling is ``repro-verify serve`` (add
+``--fleet CONFIG`` to make the server a coordinator that scatters
+batches across a :class:`~repro.fleet.FleetTopology`, and
+``--shared-cache URL`` to make a worker check/populate a coordinator's
+cache).
 
 Layering: :mod:`~repro.server.app` is the transport-free application
 (routes, wire schemas, metrics), :mod:`~repro.server.http` the asyncio

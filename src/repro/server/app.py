@@ -12,11 +12,15 @@ Endpoints
   canonical :class:`~repro.api.report.VerificationReport` JSON (the exact
   ``to_json()`` bytes of the in-process :meth:`VerificationService.submit`
   report).
-* ``POST /v1/batch`` — ``{"requests": [...], "jobs": N?, "async": bool?}``;
-  per-request ``budgets`` form budget groups honoured job-by-job by
-  :meth:`VerificationService.run_batch`.  Synchronous batches answer with
-  a ``{"reports": [...]}`` envelope; ``"async": true`` answers 202 with a
-  job id for ``GET /v1/jobs/{id}`` polling.
+* ``POST /v1/batch`` — ``{"requests": [...], "jobs": N?, "async": bool?,
+  "stream": bool?}``; per-request ``budgets`` form budget groups honoured
+  job-by-job by :meth:`VerificationService.run_batch`.  Synchronous
+  batches answer with a ``{"reports": [...]}`` envelope; ``"async": true``
+  answers 202 with a job id for ``GET /v1/jobs/{id}`` polling;
+  ``"stream": true`` answers chunked NDJSON — one canonical report per
+  line as it resolves, then a counter trailer.  A server started with a
+  fleet topology scatters batches over its workers instead of the local
+  pool.
 * ``GET /v1/jobs/{id}`` — poll an asynchronous batch (bounded store,
   evicted ids are 404).
 * ``GET /v1/certificates/{hash}`` — fetch a proof certificate emitted by
@@ -25,6 +29,13 @@ Endpoints
 * ``GET /v1/backends`` — the :mod:`repro.api.registry` specs, including
   the full capability set (``supports_counterexample``,
   ``supports_stats``, ``certifiable``).
+* ``GET /v1/version`` — package version plus wire-schema numbers (report
+  schema, certificate version, cache schema); the fleet coordinator's
+  mixed-schema handshake.
+* ``GET/PUT /v1/cache/{key}`` — the shared content-addressed result
+  cache (``repro-verify serve --cache``): fleet workers check before
+  executing and publish after, so a row verified anywhere is verified
+  everywhere.
 * ``GET /healthz`` / ``GET /metrics`` — liveness and counters.
 
 Every error is a structured JSON body
@@ -38,6 +49,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import re
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -45,7 +57,7 @@ from dataclasses import dataclass, field
 
 from repro import __version__
 from repro.api.registry import backends
-from repro.api.report import VERDICTS
+from repro.api.report import VERDICTS, VerificationReport
 from repro.api.request import Budgets, VerificationRequest
 from repro.api.service import VerificationService
 from repro.errors import ReproError
@@ -63,6 +75,9 @@ REQUEST_KEYS = ("method", "architecture", "width", "circuit_kind",
 #: Budget keys accepted in a wire document — the ``Budgets`` field names.
 BUDGET_KEYS = tuple(field.name for field in dataclasses.fields(Budgets))
 
+#: Shared-cache keys are sha256 hex digests, nothing else.
+_CACHE_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
 
 class ApiError(Exception):
     """A structured HTTP error: status + machine-readable code + message."""
@@ -79,12 +94,17 @@ class HttpResponse:
 
     ``headers`` carries extra response headers (e.g. ``Retry-After`` on a
     429) rendered verbatim by the transport after the standard set.
+    ``stream``, when set, is a byte-chunk iterator the transport writes
+    incrementally after the head (``body`` is ignored, the connection
+    closes when the iterator ends) — the streaming ``/v1/batch`` NDJSON
+    path.
     """
 
     status: int
     body: bytes
     content_type: str = "application/json"
     headers: dict = field(default_factory=dict)
+    stream: object | None = None
 
 
 def _json_response(document: dict, status: int = 200) -> HttpResponse:
@@ -213,7 +233,9 @@ class VerificationServerApp:
                  retry_after_s: int = 1,
                  request_deadline_s: float | None = None,
                  retry_policy=None,
-                 fallback_policy=None) -> None:
+                 fallback_policy=None,
+                 shared_cache_url: str | None = None,
+                 fleet_topology=None) -> None:
         self.budgets = budgets if budgets is not None else Budgets()
         self.golden_architecture = golden_architecture
         self.jobs = jobs
@@ -224,6 +246,15 @@ class VerificationServerApp:
         self.request_deadline_s = request_deadline_s
         self.retry_policy = retry_policy
         self.fallback_policy = fallback_policy
+        #: Coordinator URL whose ``/v1/cache/{key}`` this worker checks
+        #: before executing and populates after (``None`` = standalone).
+        self.shared_cache_url = shared_cache_url
+        #: When set, ``/v1/batch`` scatters over this
+        #: :class:`~repro.fleet.FleetTopology` instead of the local pool.
+        self.fleet_topology = fleet_topology
+        self._shared_cache_client_instance = None
+        self._result_cache = None
+        self._request_hasher = None
         self.job_store = JobStore(limit=job_store_limit)
         self._job_executor = ThreadPoolExecutor(
             max_workers=job_workers, thread_name_prefix="repro-batch")
@@ -241,6 +272,11 @@ class VerificationServerApp:
         self._rejected_total = 0
         self._retries_total = 0
         self._fallbacks_total = 0
+        self._steals_total = 0
+        self._shared_cache_hits_total = 0
+        self._shared_cache_puts_total = 0
+        self._cache_gets_served_total = 0
+        self._cache_puts_served_total = 0
         #: Bounded content-addressed store behind ``GET /v1/certificates/``;
         #: insertion order doubles as FIFO eviction order.
         self.certificate_store_limit = certificate_store_limit
@@ -260,13 +296,38 @@ class VerificationServerApp:
             retry_policy=self.retry_policy,
             fallback_policy=self.fallback_policy)
 
+    def _batch_runner(self):
+        """The batch execution engine: fleet dispatcher or local service.
+
+        Both expose the same surface (``run_batch``/``iter_batch`` plus
+        the ``last_*`` counters), so every batch path — synchronous,
+        asynchronous, streaming — is fleet-transparent.
+        """
+        if self.fleet_topology is not None:
+            from repro.fleet import FleetDispatcher
+
+            return FleetDispatcher(
+                self.fleet_topology,
+                golden_architecture=self.golden_architecture,
+                local_service=self.service())
+        return self.service()
+
+    @property
+    def result_cache(self):
+        """The on-disk result cache behind ``/v1/cache/`` (lazy; may be None)."""
+        if self._result_cache is None and self.cache_dir is not None:
+            from repro.experiments.runner import ResultCache
+
+            self._result_cache = ResultCache(self.cache_dir)
+        return self._result_cache
+
     def close(self) -> None:
         """Stop the background batch executor (pending jobs are abandoned)."""
         self._job_executor.shutdown(wait=False, cancel_futures=True)
 
     def _count_reports(self, reports, cache_hits: int = 0,
                        executed: int = 0, retries: int = 0,
-                       fallbacks: int = 0) -> None:
+                       fallbacks: int = 0, steals: int = 0) -> None:
         with self._metrics_lock:
             self._reports_total += len(reports)
             for report in reports:
@@ -275,7 +336,88 @@ class VerificationServerApp:
             self._executed_total += executed
             self._retries_total += retries
             self._fallbacks_total += fallbacks
+            self._steals_total += steals
         self._store_certificates(reports)
+
+    # -- shared cache (worker side) --------------------------------------------
+
+    def _shared_cache_client(self):
+        if self._shared_cache_client_instance is None:
+            from urllib.parse import urlparse
+
+            from repro.resilience.policy import RetryPolicy
+            from repro.server.client import VerificationClient
+
+            parsed = urlparse(self.shared_cache_url)
+            self._shared_cache_client_instance = VerificationClient(
+                host=parsed.hostname or "127.0.0.1",
+                port=parsed.port or 80,
+                timeout_s=10.0,
+                retry_policy=RetryPolicy(max_attempts=1))
+        return self._shared_cache_client_instance
+
+    def _shared_cache_key(self, request: VerificationRequest) -> str | None:
+        """This request's shared-cache key, or ``None`` (not participating)."""
+        if self.shared_cache_url is None:
+            return None
+        from repro.api.service import request_cache_key
+
+        if self._request_hasher is None:
+            from repro.experiments.runner import NetlistHasher
+
+            self._request_hasher = NetlistHasher()
+        return request_cache_key(request, self.golden_architecture,
+                                 hasher=self._request_hasher)
+
+    def _shared_cache_get(self, key: str):
+        """Best-effort coordinator lookup; any failure is just a miss."""
+        try:
+            report = self._shared_cache_client().cache_get(key)
+        except Exception:  # noqa: BLE001 - degrade to local execution
+            return None
+        if report is not None:
+            with self._metrics_lock:
+                self._shared_cache_hits_total += 1
+        return report
+
+    def _shared_cache_put(self, key: str, report) -> None:
+        """Best-effort coordinator publish; failures are silent."""
+        try:
+            if self._shared_cache_client().cache_put(key, report):
+                with self._metrics_lock:
+                    self._shared_cache_puts_total += 1
+        except Exception:  # noqa: BLE001 - cache is an optimization
+            pass
+
+    def _run_batch(self, runner, requests, jobs):
+        """``run_batch`` plus the worker-side shared-cache protocol.
+
+        With ``--shared-cache`` set, each request is first looked up in
+        the coordinator's cache (``GET /v1/cache/{key}``); only the
+        misses execute, and their reports are published back (``PUT``).
+        Cached reports are canonical, so the reassembled list is
+        byte-identical to a full local run.  Without a shared cache this
+        is exactly ``runner.run_batch``.
+        """
+        if self.shared_cache_url is None:
+            return runner.run_batch(requests, jobs=jobs)
+        keys = [self._shared_cache_key(request) for request in requests]
+        reports: dict[int, object] = {}
+        for index, key in enumerate(keys):
+            if key is not None:
+                hit = self._shared_cache_get(key)
+                if hit is not None:
+                    reports[index] = hit
+        misses = [index for index in range(len(requests))
+                  if index not in reports]
+        if misses:
+            executed = runner.run_batch([requests[index] for index in misses],
+                                        jobs=jobs)
+            for index, report in zip(misses, executed):
+                reports[index] = report
+                if keys[index] is not None:
+                    self._shared_cache_put(keys[index], report)
+        return [reports[index] for index in range(len(requests))]
 
     def _store_certificates(self, reports) -> None:
         """Index emitted certificates by content hash (bounded, FIFO)."""
@@ -303,6 +445,7 @@ class VerificationServerApp:
     ROUTES = {
         ("GET", "/healthz"): "handle_healthz",
         ("GET", "/metrics"): "handle_metrics",
+        ("GET", "/v1/version"): "handle_version",
         ("GET", "/v1/backends"): "handle_backends",
         ("POST", "/v1/verify"): "handle_verify",
         ("POST", "/v1/batch"): "handle_batch",
@@ -397,6 +540,8 @@ class VerificationServerApp:
                 raise ApiError(405, "method_not_allowed",
                                f"{method} not allowed on {path}; use GET")
             return self.handle_certificate(path[len("/v1/certificates/"):])
+        if path.startswith("/v1/cache/"):
+            return self.handle_cache(method, path[len("/v1/cache/"):], body)
         if any(route_path == path for _, route_path in self.ROUTES):
             allowed = sorted(m for m, p in self.ROUTES if p == path)
             raise ApiError(405, "method_not_allowed",
@@ -436,9 +581,82 @@ class VerificationServerApp:
                                "request_deadline_s": self.request_deadline_s,
                                "retries_total": self._retries_total,
                                "fallbacks_total": self._fallbacks_total},
+                "fleet": {"workers": (len(self.fleet_topology.workers)
+                                      if self.fleet_topology is not None
+                                      else 0),
+                          "steals_total": self._steals_total},
+                "shared_cache": {
+                    "url": self.shared_cache_url,
+                    "remote_hits_total": self._shared_cache_hits_total,
+                    "remote_puts_total": self._shared_cache_puts_total,
+                    "gets_served_total": self._cache_gets_served_total,
+                    "puts_served_total": self._cache_puts_served_total},
             }
         document["jobs"] = self.job_store.stats()
         return _json_response(document)
+
+    def handle_version(self, body: bytes = b"") -> HttpResponse:
+        """Package version + wire-schema numbers (the fleet handshake).
+
+        A fleet coordinator calls this on every worker and refuses to
+        dispatch to one whose ``report_schema`` or
+        ``certificate_version`` differs from its own — mixed-schema
+        fleets would silently break byte-parity.
+        """
+        from repro.api.report import LEGACY_REPORT_SCHEMAS, REPORT_SCHEMA
+        from repro.certify.certificate import CERTIFICATE_VERSION
+        from repro.experiments.runner import ResultCache
+
+        return _json_response({
+            "version": __version__,
+            "report_schema": REPORT_SCHEMA,
+            "legacy_report_schemas": list(LEGACY_REPORT_SCHEMAS),
+            "certificate_version": CERTIFICATE_VERSION,
+            "cache_schema": ResultCache.SCHEMA,
+        })
+
+    def handle_cache(self, method: str, key: str, body: bytes) -> HttpResponse:
+        """``GET/PUT /v1/cache/{key}`` — the shared result-cache protocol.
+
+        Keys are the content-addressed sha256 hex digests of
+        :func:`repro.experiments.runner.result_cache_key`; the caller
+        computes them, this endpoint only serves/stores entries.  PUT
+        enforces the cacheability contract (infrastructure failures are
+        refused with ``"stored": false``, never an error) so a confused
+        worker cannot poison the fleet.
+        """
+        if method not in ("GET", "PUT"):
+            raise ApiError(405, "method_not_allowed",
+                           f"{method} not allowed on /v1/cache/; "
+                           "use GET or PUT")
+        if not _CACHE_KEY_RE.match(key):
+            raise ApiError(400, "invalid_cache_key",
+                           "cache keys are 64 lowercase hex characters "
+                           "(a sha256 digest)")
+        cache = self.result_cache
+        if method == "GET":
+            if cache is None:
+                raise ApiError(404, "cache_disabled",
+                               "this server was started without a result "
+                               "cache (--cache)")
+            report = cache.get_report(key)
+            if report is None:
+                raise ApiError(404, "cache_miss", f"no entry for {key}")
+            with self._metrics_lock:
+                self._cache_gets_served_total += 1
+            return _json_response({"key": key, "report": report.to_dict()})
+        document = self._parse_body(body)
+        if not isinstance(document, dict) \
+                or not isinstance(document.get("report"), dict):
+            raise ApiError(400, "bad_request",
+                           "PUT body must be {\"report\": {...}} with a "
+                           "canonical report document")
+        report = VerificationReport.from_dict(document["report"])
+        stored = cache is not None and cache.put_report(key, report)
+        if stored:
+            with self._metrics_lock:
+                self._cache_puts_served_total += 1
+        return _json_response({"stored": bool(stored)})
 
     def handle_backends(self, body: bytes = b"") -> HttpResponse:
         # The full BackendSpec capability set, field for field — a flag
@@ -466,8 +684,17 @@ class VerificationServerApp:
     def handle_verify(self, body: bytes) -> HttpResponse:
         request = self._clamp_deadline(
             parse_request_document(self._parse_body(body)))
+        key = self._shared_cache_key(request)
+        if key is not None:
+            cached = self._shared_cache_get(key)
+            if cached is not None:
+                self._count_reports([cached], cache_hits=1)
+                return HttpResponse(status=200,
+                                    body=cached.to_json().encode("utf-8"))
         service = self.service()
         report = service.submit(request)
+        if key is not None:
+            self._shared_cache_put(key, report)
         self._count_reports([report], fallbacks=service.last_fallbacks)
         # The exact to_json() bytes — byte-identical to the in-process
         # VerificationService.submit() serialization.
@@ -478,11 +705,12 @@ class VerificationServerApp:
         if not isinstance(document, dict):
             raise ApiError(400, "bad_request",
                            "batch body must be a JSON object")
-        unknown = sorted(set(document) - {"requests", "jobs", "async"})
+        unknown = sorted(set(document) - {"requests", "jobs", "async",
+                                          "stream"})
         if unknown:
             raise ApiError(400, "unknown_field",
                            f"unknown batch field(s) {unknown}; expected "
-                           "'requests', 'jobs', 'async'")
+                           "'requests', 'jobs', 'async', 'stream'")
         entries = document.get("requests")
         if not isinstance(entries, list) or not entries:
             raise ApiError(400, "bad_request",
@@ -492,6 +720,12 @@ class VerificationServerApp:
                                  or isinstance(jobs, bool) or jobs < 1):
             raise ApiError(400, "bad_request",
                            "'jobs' must be a positive integer")
+        stream = document.get("stream")
+        if stream is not None and not isinstance(stream, bool):
+            raise ApiError(400, "bad_request", "'stream' must be a boolean")
+        if stream and document.get("async"):
+            raise ApiError(400, "bad_request",
+                           "'stream' and 'async' are mutually exclusive")
         requests = [self._clamp_deadline(parse_request_document(entry))
                     for entry in entries]
         if document.get("async"):
@@ -503,33 +737,78 @@ class VerificationServerApp:
                                       requests, jobs)
             return _json_response({"job": job.id, "state": job.state,
                                    "poll": f"/v1/jobs/{job.id}"}, status=202)
-        service = self.service()
-        reports = service.run_batch(requests, jobs=jobs)
+        runner = self._batch_runner()
+        if stream:
+            with self._metrics_lock:
+                self._batches_total += 1
+            return HttpResponse(status=200, body=b"",
+                                content_type="application/x-ndjson",
+                                stream=self._stream_batch(runner, requests,
+                                                          jobs))
+        reports = self._run_batch(runner, requests, jobs)
         with self._metrics_lock:
             self._batches_total += 1
-        self._count_reports(reports, service.last_cache_hits,
-                            service.last_executed, service.last_retries,
-                            service.last_fallbacks)
+        self._count_reports(reports, runner.last_cache_hits,
+                            runner.last_executed, runner.last_retries,
+                            runner.last_fallbacks,
+                            getattr(runner, "last_steals", 0))
         return _json_response({
             "reports": [report.to_dict() for report in reports],
-            "cache_hits": service.last_cache_hits,
-            "executed": service.last_executed,
+            "cache_hits": runner.last_cache_hits,
+            "executed": runner.last_executed,
         })
+
+    def _stream_batch(self, runner, requests, jobs):
+        """NDJSON generator: one canonical report per line, counter trailer.
+
+        Reports stream as the batch resolves them (request order), so a
+        huge grid starts answering before it finishes.  A mid-batch
+        failure becomes a final ``{"error": ...}`` line — the client has
+        already consumed every report produced before it.  Counters are
+        only booked once the batch ran to completion.
+        """
+        reports = []
+        try:
+            for report in runner.iter_batch(requests, jobs=jobs):
+                reports.append(report)
+                yield report.to_json().encode("utf-8") + b"\n"
+        except Exception as error:  # noqa: BLE001 - stream boundary
+            document = {"error": {"code": "batch_failed",
+                                  "message": f"{type(error).__name__}: "
+                                             f"{error}"}}
+            yield json.dumps(document, ensure_ascii=False,
+                             separators=(",", ":")).encode("utf-8") + b"\n"
+            return
+        self._count_reports(reports, runner.last_cache_hits,
+                            runner.last_executed, runner.last_retries,
+                            runner.last_fallbacks,
+                            getattr(runner, "last_steals", 0))
+        trailer = {"trailer": {
+            "reports": len(reports),
+            "cache_hits": runner.last_cache_hits,
+            "executed": runner.last_executed,
+            "retries": runner.last_retries,
+            "fallbacks": runner.last_fallbacks,
+            "steals": getattr(runner, "last_steals", 0),
+        }}
+        yield json.dumps(trailer, ensure_ascii=False,
+                         separators=(",", ":")).encode("utf-8") + b"\n"
 
     def _run_async_batch(self, job_id: str, requests, jobs) -> None:
         """Background executor target for ``"async": true`` batches."""
         self.job_store.start(job_id)
         try:
-            service = self.service()
-            reports = service.run_batch(requests, jobs=jobs)
+            runner = self._batch_runner()
+            reports = self._run_batch(runner, requests, jobs)
         except Exception as error:  # noqa: BLE001 - job isolation boundary
             self.job_store.fail(job_id, f"{type(error).__name__}: {error}")
             return
-        self._count_reports(reports, service.last_cache_hits,
-                            service.last_executed, service.last_retries,
-                            service.last_fallbacks)
-        self.job_store.finish(job_id, reports, service.last_cache_hits,
-                              service.last_executed)
+        self._count_reports(reports, runner.last_cache_hits,
+                            runner.last_executed, runner.last_retries,
+                            runner.last_fallbacks,
+                            getattr(runner, "last_steals", 0))
+        self.job_store.finish(job_id, reports, runner.last_cache_hits,
+                              runner.last_executed)
 
     def handle_job(self, job_id: str) -> HttpResponse:
         job = self.job_store.get(job_id)

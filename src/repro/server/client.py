@@ -1,12 +1,14 @@
 """Thin stdlib HTTP client for the verification server.
 
 :class:`VerificationClient` speaks the wire schema of
-:mod:`repro.server.app` over ``http.client`` — one connection per request
-(the server closes connections after every response), JSON in, JSON out,
-reports rebuilt as :class:`~repro.api.report.VerificationReport` objects.
-It is what the server tests, the benchmark harness, and
-``examples/http_client.py`` drive; it is *not* a required dependency of
-the server side.
+:mod:`repro.server.app` over ``http.client`` — JSON in, JSON out,
+reports rebuilt as :class:`~repro.api.report.VerificationReport`
+objects.  Connections are kept alive and pooled per thread (the server
+speaks HTTP/1.1 persistent connections); a connection the server has
+idled out is transparently replaced and the request replayed once.  It
+is what the server tests, the fleet dispatcher, the benchmark harness,
+and ``examples/http_client.py`` drive; it is *not* a required
+dependency of the server side.
 
 Request documents are plain dicts mirroring
 :class:`~repro.api.request.VerificationRequest` — e.g.
@@ -19,7 +21,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
+from typing import Iterator
 
 from repro.api.report import VerificationReport
 from repro.errors import ReproError
@@ -44,6 +48,15 @@ class ServerError(ReproError):
 #: Responses worth retrying: backpressure rejection and transient 5xx.
 _RETRYABLE_STATUSES = frozenset((429, 500, 502, 503, 504))
 
+#: Exceptions that mark a pooled connection as *stale* — the server (or
+#: a middlebox) closed it while it sat idle in the pool.  A request that
+#: hits one of these on a previously-used connection is replayed once on
+#: a fresh connection before any failure surfaces.
+#: (``RemoteDisconnected`` subclasses both ``BadStatusLine`` and
+#: ``ConnectionResetError``, so it is covered twice over.)
+_STALE_ERRORS = (http.client.BadStatusLine, ConnectionResetError,
+                 BrokenPipeError)
+
 
 class VerificationClient:
     """Talk to a running ``repro-verify serve`` instance.
@@ -55,44 +68,113 @@ class VerificationClient:
     transient 5xx) under ``retry_policy``.  Pass
     ``RetryPolicy(max_attempts=1)`` to disable retries (one attempt,
     failures surface immediately as :class:`ServerError`).
+
+    With ``keep_alive`` (the default) the client pools one persistent
+    connection per thread and reuses it across requests, recycling it
+    whenever the server closes it or an error leaves it in an unknown
+    state; ``keep_alive=False`` restores the one-connection-per-request
+    behaviour.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8585,
                  timeout_s: float = 300.0,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 keep_alive: bool = True) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.retry_policy = (RetryPolicy(max_attempts=3, base_delay_s=0.1)
                              if retry_policy is None else retry_policy)
+        self.keep_alive = keep_alive
+        #: Trailer counters of the last exhausted :meth:`batch_stream`.
+        self.last_trailer: dict | None = None
+        self._local = threading.local()
 
     # -- transport -------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+
+    def _pooled(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's pooled connection and whether it has served before."""
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = self._connect()
+            self._local.connection = connection
+            self._local.served = 0
+        return connection, self._local.served > 0
+
+    def _discard(self) -> None:
+        """Drop this thread's pooled connection (state unknown or closed)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            try:
+                connection.close()
+            except Exception:
+                pass
+        self._local.connection = None
+        self._local.served = 0
+
+    def close(self) -> None:
+        """Close the calling thread's pooled connection, if any."""
+        self._discard()
+
+    @staticmethod
+    def _roundtrip(connection: http.client.HTTPConnection, method: str,
+                   path: str, body: bytes | None, headers: dict,
+                   ) -> tuple[int, bytes, float | None, bool]:
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        payload = response.read()
+        retry_after = None
+        header = response.getheader("Retry-After")
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                pass
+        return response.status, payload, retry_after, response.will_close
 
     def _exchange(self, method: str, path: str, document: dict | None,
                   ) -> tuple[int, bytes, float | None]:
         """One wire exchange: ``(status, body, Retry-After seconds)``."""
-        connection = http.client.HTTPConnection(self.host, self.port,
-                                                timeout=self.timeout_s)
-        try:
-            body = None
-            headers = {}
-            if document is not None:
-                body = json.dumps(document, ensure_ascii=False,
-                                  separators=(",", ":")).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            payload = response.read()
-            retry_after = None
-            header = response.getheader("Retry-After")
-            if header is not None:
-                try:
-                    retry_after = float(header)
-                except ValueError:
-                    pass
-            return response.status, payload, retry_after
-        finally:
-            connection.close()
+        body = None
+        headers = {}
+        if document is not None:
+            body = json.dumps(document, ensure_ascii=False,
+                              separators=(",", ":")).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if not self.keep_alive:
+            connection = self._connect()
+            try:
+                status, payload, retry_after, _ = self._roundtrip(
+                    connection, method, path, body, headers)
+                return status, payload, retry_after
+            finally:
+                connection.close()
+        for replay in (False, True):
+            connection, reused = self._pooled()
+            try:
+                status, payload, retry_after, will_close = self._roundtrip(
+                    connection, method, path, body, headers)
+            except _STALE_ERRORS:
+                # The server idled out the cached connection between
+                # requests; replay exactly once on a fresh one.  A fresh
+                # connection failing the same way is a real error.
+                self._discard()
+                if reused and not replay:
+                    continue
+                raise
+            except Exception:
+                self._discard()
+                raise
+            if will_close:
+                self._discard()
+            else:
+                self._local.served += 1
+            return status, payload, retry_after
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def request_raw(self, method: str, path: str,
                     document: dict | None = None) -> tuple[int, bytes]:
@@ -164,12 +246,32 @@ class VerificationClient:
     def metrics(self) -> dict:
         return self.request("GET", "/metrics")
 
+    def version(self) -> dict:
+        """``GET /v1/version`` — package version and wire-schema numbers."""
+        return self.request("GET", "/v1/version")
+
     def backends(self) -> list[dict]:
         return self.request("GET", "/v1/backends")["backends"]
 
     def certificate(self, digest: str) -> dict:
         """``GET /v1/certificates/{hash}`` — a stored proof certificate."""
         return self.request("GET", f"/v1/certificates/{digest}")
+
+    # -- shared result cache ---------------------------------------------------
+
+    def cache_get(self, key: str) -> VerificationReport | None:
+        """``GET /v1/cache/{key}`` — a shared-cache report, or ``None``."""
+        status, body = self.request_raw("GET", f"/v1/cache/{key}")
+        if status == 404:
+            return None
+        parsed = self._parse(status, body)
+        return VerificationReport.from_dict(parsed["report"])
+
+    def cache_put(self, key: str, report: VerificationReport) -> bool:
+        """``PUT /v1/cache/{key}`` — publish a report; ``True`` iff stored."""
+        document = {"report": report.to_dict()}
+        answer = self.request("PUT", f"/v1/cache/{key}", document)
+        return bool(answer.get("stored"))
 
     # -- verification ----------------------------------------------------------
 
@@ -202,6 +304,50 @@ class VerificationClient:
         """Synchronous batch returning reports in request order."""
         return [VerificationReport.from_dict(entry) for entry in
                 self.batch_envelope(documents, jobs=jobs)["reports"]]
+
+    def batch_stream(self, documents: list[dict],
+                     jobs: int | None = None
+                     ) -> Iterator[VerificationReport]:
+        """Streaming ``POST /v1/batch`` (``"stream": true``).
+
+        Yields one report per NDJSON line as the server resolves them,
+        in request order.  The stream's trailing counter line is stored
+        in :attr:`last_trailer` once the stream is exhausted (``None``
+        until then, and ``None`` again at the start of every call).  A
+        mid-stream ``error`` line raises :class:`ServerError`.  Uses a
+        dedicated connection (streams monopolize one), no retries — a
+        partially-consumed grid must not silently restart.
+        """
+        self.last_trailer = None
+        body = {"requests": list(documents), "stream": True}
+        if jobs is not None:
+            body["jobs"] = jobs
+        payload = json.dumps(body, ensure_ascii=False,
+                             separators=(",", ":")).encode("utf-8")
+        connection = self._connect()
+        try:
+            connection.request("POST", "/v1/batch", body=payload,
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            if response.status != 200:
+                self._parse(response.status, response.read())
+                raise ServerError(response.status, "unknown",
+                                  "streaming batch refused")
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                document = json.loads(line.decode("utf-8"))
+                if "trailer" in document:
+                    self.last_trailer = document["trailer"]
+                    continue
+                if "error" in document:
+                    error = document["error"]
+                    raise ServerError(200, error.get("code", "batch_failed"),
+                                      error.get("message", "batch failed"))
+                yield VerificationReport.from_dict(document)
+        finally:
+            connection.close()
 
     # -- asynchronous jobs -----------------------------------------------------
 

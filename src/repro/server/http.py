@@ -4,9 +4,14 @@ Pure standard library: one :func:`asyncio.start_server` acceptor parses
 requests (request line, headers, ``Content-Length`` body), hands each one
 to :meth:`VerificationServerApp.handle` on a thread-pool executor — the
 verification work is blocking CPU-bound Python, so the event loop only
-ever moves bytes — and writes the response back with ``Connection: close``
-semantics.  No routing, TLS, chunked encoding, or keep-alive: the server
-is the network face of the service API, not a general web framework.
+ever moves bytes — and writes the response back.  Connections are
+HTTP/1.1 persistent: the server answers ``Connection: keep-alive`` and
+loops for the next request until the client asks to close, goes quiet
+past :data:`KEEPALIVE_IDLE_S`, or shutdown starts.  Streaming responses
+(:attr:`HttpResponse.stream`, the NDJSON batch path) are written chunk
+by chunk and always close the connection when the stream ends.  No
+routing, TLS, or chunked *request* bodies: the server is the network
+face of the service API, not a general web framework.
 
 Three entry points:
 
@@ -34,6 +39,10 @@ from repro.server.app import HttpResponse, VerificationServerApp, error_response
 MAX_HEADER_LINE = 16_384
 MAX_HEADER_COUNT = 100
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: A kept-alive connection idle longer than this is closed.  Above any
+#: sane client think-time, below typical NAT/middlebox idle cutoffs.
+KEEPALIVE_IDLE_S = 75.0
 
 #: Reason phrases for the statuses the app emits.
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
@@ -75,10 +84,12 @@ class VerificationHttpServer:
         self.drain_s = drain_s
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
+        self._stopping: asyncio.Event | None = None
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-http")
 
     async def start(self) -> None:
+        self._stopping = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port,
             limit=MAX_HEADER_LINE)
@@ -98,6 +109,10 @@ class VerificationHttpServer:
         each one is answering exactly one request — so a response being
         computed when shutdown starts is still written back.
         """
+        if self._stopping is not None:
+            # Wake idle kept-alive connections so the drain below isn't
+            # held hostage by clients that are merely between requests.
+            self._stopping.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -126,21 +141,77 @@ class VerificationHttpServer:
 
     async def _serve_one(self, reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> None:
-        fault_key = None
+        """Keep-alive loop: serve requests until the connection retires."""
         try:
-            method, path, body = await self._read_request(reader)
+            while await self._serve_request(reader, writer):
+                pass
+        finally:
+            writer.close()
+
+    async def _next_request(self, reader: asyncio.StreamReader,
+                            ) -> "str | None":
+        """The next request line, or ``None`` to retire the connection.
+
+        Races the read against server shutdown and the keep-alive idle
+        timeout; EOF (the client closed between requests) is a clean
+        retirement, not a protocol error.  Over-long lines still raise
+        :class:`_BadRequest` (431) like any other header line.
+        """
+        line_task = asyncio.ensure_future(self._read_line(reader))
+        waiters = {line_task}
+        stop_task = None
+        if self._stopping is not None:
+            stop_task = asyncio.ensure_future(self._stopping.wait())
+            waiters.add(stop_task)
+        try:
+            done, _ = await asyncio.wait(waiters, timeout=KEEPALIVE_IDLE_S,
+                                         return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            if stop_task is not None:
+                stop_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await stop_task
+        if line_task not in done:
+            line_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await line_task
+            return None
+        line = line_task.result()  # may raise _BadRequest (431)
+        if not line.strip():
+            return None  # EOF, or a blank line where a request should be
+        return line.decode("latin-1").strip()
+
+    async def _serve_request(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> bool:
+        """Serve one request; ``True`` keeps the connection open."""
+        fault_key = None
+        close_requested = True
+        try:
+            request_line = await self._next_request(reader)
+            if request_line is None:
+                return False
+            method, path, body, close_requested = \
+                await self._read_request(reader, request_line)
             fault_key = f"{method} {path}"
         except _BadRequest as bad:
             response = bad.response
+            close_requested = True
         except (asyncio.IncompleteReadError, ConnectionError,
                 asyncio.LimitOverrunError):
-            writer.close()
-            return
+            return False
         else:
             loop = asyncio.get_running_loop()
             response = await loop.run_in_executor(
                 self._executor, self.app.handle, method, path, body)
-        payload = self._render(response)
+        if response.stream is not None:
+            # Streaming responses have no Content-Length; the connection
+            # close delimits the body.
+            await self._write_streaming(writer, response)
+            return False
+        keep_open = (not close_requested
+                     and not (self._stopping is not None
+                              and self._stopping.is_set()))
+        payload = self._render(response, keep_open)
         plan = active_plan()
         if plan is not None and fault_key is not None:
             fault = plan.should("disconnect", fault_key)
@@ -151,15 +222,50 @@ class VerificationHttpServer:
                 with contextlib.suppress(ConnectionError):
                     writer.write(payload[:max(1, len(payload) // 2)])
                     await writer.drain()
-                writer.close()
-                return
+                return False
         try:
             writer.write(payload)
             await writer.drain()
         except ConnectionError:
+            return False
+        return keep_open
+
+    async def _write_streaming(self, writer: asyncio.StreamWriter,
+                               response: HttpResponse) -> None:
+        """Write head + chunks as the (blocking) iterator produces them.
+
+        The iterator runs on the executor so a slow batch never blocks
+        the event loop; a client that disconnects mid-stream closes the
+        generator (its cleanup tears the batch down) and stops paying
+        for the rest of the grid.
+        """
+        reason = _REASONS.get(response.status, "Unknown")
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in response.headers.items())
+        head = (f"HTTP/1.1 {response.status} {reason}\r\n"
+                f"Content-Type: {response.content_type}\r\n"
+                f"{extra}"
+                f"Connection: close\r\n\r\n")
+        loop = asyncio.get_running_loop()
+        iterator = iter(response.stream)
+        sentinel = object()
+        try:
+            writer.write(head.encode("latin-1"))
+            await writer.drain()
+            while True:
+                chunk = await loop.run_in_executor(
+                    self._executor, next, iterator, sentinel)
+                if chunk is sentinel:
+                    break
+                writer.write(chunk)
+                await writer.drain()
+        except Exception:  # noqa: BLE001 - transport boundary
             pass
         finally:
-            writer.close()
+            close = getattr(response.stream, "close", None)
+            if close is not None:
+                with contextlib.suppress(Exception):
+                    await loop.run_in_executor(self._executor, close)
 
     @staticmethod
     async def _read_line(reader: asyncio.StreamReader) -> bytes:
@@ -177,15 +283,22 @@ class VerificationHttpServer:
                 "request header line too long")) from None
 
     async def _read_request(self, reader: asyncio.StreamReader,
-                            ) -> tuple[str, str, bytes]:
-        request_line = (await self._read_line(reader)).decode("latin-1").strip()
+                            request_line: str,
+                            ) -> tuple[str, str, bytes, bool]:
+        """Parse headers + body; returns ``(method, path, body, close)``.
+
+        ``close`` is whether the *client* asked to retire the connection
+        after this response: an explicit ``Connection: close``, or an
+        HTTP/1.0 request without ``Connection: keep-alive``.
+        """
         parts = request_line.split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
             raise _BadRequest(error_response(
                 400, "bad_request", f"malformed request line {request_line!r}"))
-        method, target = parts[0], parts[1]
+        method, target, version = parts
         path = target.split("?", 1)[0]
         content_length = 0
+        connection = None
         # One extra iteration so exactly MAX_HEADER_COUNT headers followed
         # by the terminating blank line are accepted, not rejected.
         for _ in range(MAX_HEADER_COUNT + 1):
@@ -193,13 +306,16 @@ class VerificationHttpServer:
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     raise _BadRequest(error_response(
                         400, "bad_request",
                         "malformed Content-Length header")) from None
+            elif name == "connection":
+                connection = value.strip().lower()
         else:
             raise _BadRequest(error_response(
                 431, "too_many_headers",
@@ -210,18 +326,23 @@ class VerificationHttpServer:
                 f"request body exceeds {MAX_BODY_BYTES} bytes"))
         body = (await reader.readexactly(content_length)
                 if content_length else b"")
-        return method, path, body
+        if version == "HTTP/1.0":
+            close = connection != "keep-alive"
+        else:
+            close = connection == "close"
+        return method, path, body, close
 
     @staticmethod
-    def _render(response: HttpResponse) -> bytes:
+    def _render(response: HttpResponse, keep_alive: bool = False) -> bytes:
         reason = _REASONS.get(response.status, "Unknown")
         extra = "".join(f"{name}: {value}\r\n"
                         for name, value in response.headers.items())
+        connection = "keep-alive" if keep_alive else "close"
         head = (f"HTTP/1.1 {response.status} {reason}\r\n"
                 f"Content-Type: {response.content_type}\r\n"
                 f"Content-Length: {len(response.body)}\r\n"
                 f"{extra}"
-                f"Connection: close\r\n\r\n")
+                f"Connection: {connection}\r\n\r\n")
         return head.encode("latin-1") + response.body
 
 

@@ -1,0 +1,262 @@
+"""FleetDispatcher against real in-process worker servers.
+
+Two :class:`ServerThread` workers on ephemeral ports back these tests;
+the dispatcher drives them over real sockets.  Pins the subsystem's
+core contracts: report byte-parity with the in-process service (modulo
+timings and ``attempts``), longest-expected-first placement over both
+workers, backend-allowlist routing, the coordinator-side shared result
+cache, tolerance of workers that are down at start, retry failover with
+an honest ``attempts`` history, and the ``/v1/version`` mixed-schema
+refusal.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.request import VerificationRequest
+from repro.api.service import VerificationService
+from repro.errors import VerificationError
+from repro.fleet import FleetDispatcher, FleetTopology, wire_document
+from repro.generators.multipliers import generate_multiplier
+from repro.server import ServerThread, VerificationClient, \
+    VerificationServerApp
+from repro.server.app import _json_response
+
+GRID = [("SP-AR-RC", 4, "mt-lr"), ("SP-AR-RC", 4, "sat-cec"),
+        ("SP-WT-CL", 4, "mt-lr"), ("SP-WT-CL", 4, "sat-cec"),
+        ("BP-CT-BK", 4, "mt-lr"), ("BP-CT-BK", 4, "sat-cec"),
+        ("SP-DT-KS", 3, "mt-fo"), ("SP-AR-RC", 3, "bdd-cec")]
+
+_TIMING_KEYS = ("time", "time_s", "attempts")
+_TIMING_COUNTERS = ("conflicts", "decisions")
+
+
+def stable(report) -> dict:
+    """A report dict with the run-to-run-varying fields masked."""
+    document = report.to_dict()
+    for key in _TIMING_KEYS:
+        document[key] = "*"
+    document["counters"] = {
+        key: ("*" if key.endswith("time_s") or key in _TIMING_COUNTERS
+              else value)
+        for key, value in (document.get("counters") or {}).items()}
+    return document
+
+
+def requests_for(grid):
+    return [VerificationRequest.from_architecture(
+        architecture, width, method, find_counterexample=False)
+        for architecture, width, method in grid]
+
+
+@pytest.fixture(scope="module")
+def workers():
+    with ServerThread(VerificationServerApp()) as one:
+        with ServerThread(VerificationServerApp()) as two:
+            yield one, two
+
+
+def topology_for(workers, **extra) -> FleetTopology:
+    return FleetTopology.from_document({
+        "workers": [{"name": f"w{index}", "port": worker.port}
+                    for index, worker in enumerate(workers)],
+        **extra})
+
+
+# -- parity --------------------------------------------------------------------
+
+def test_fleet_batch_matches_local_run_batch(workers):
+    requests = requests_for(GRID)
+    dispatcher = FleetDispatcher(topology_for(workers))
+    fleet = dispatcher.run_batch(requests)
+    local = VerificationService().run_batch(requests_for(GRID))
+    assert [stable(report) for report in fleet] == \
+        [stable(report) for report in local]
+    # Every row executed remotely, and both workers took dispatches.
+    assert dispatcher.last_executed == len(GRID)
+    assert dispatcher.last_cache_hits == 0
+    assert {name for _, _, name in dispatcher.dispatch_log} == {"w0", "w1"}
+
+
+def test_placement_is_longest_expected_first(workers):
+    from repro.fleet import dispatch_cost
+
+    requests = requests_for(GRID)
+    dispatcher = FleetDispatcher(topology_for(workers))
+    dispatcher.run_batch(requests)
+    dispatched = [index for _, index, _ in dispatcher.dispatch_log]
+    expected = sorted(range(len(requests)),
+                      key=lambda i: dispatch_cost(requests[i]), reverse=True)
+    assert dispatched == expected
+
+
+def test_untransportable_requests_run_on_the_local_service(workers):
+    netlist = generate_multiplier("SP-AR-RC", 3)
+    request = VerificationRequest(netlist=netlist, method="mt-lr",
+                                  find_counterexample=False)
+    assert wire_document(request) is None
+    dispatcher = FleetDispatcher(topology_for(workers))
+    report = dispatcher.run_batch([request])[0]
+    local = VerificationService().run_batch(
+        [VerificationRequest(netlist=netlist, method="mt-lr",
+                             find_counterexample=False)])[0]
+    assert stable(report) == stable(local)
+    assert dispatcher.dispatch_log == []        # nothing went over the wire
+
+
+# -- allowlists ----------------------------------------------------------------
+
+def test_backend_allowlists_route_dispatch(workers):
+    topology = FleetTopology.from_document({"workers": [
+        {"name": "mt-only", "port": workers[0].port,
+         "backends": ["mt-lr", "mt-fo"]},
+        {"name": "sat-only", "port": workers[1].port,
+         "backends": ["sat-cec", "bdd-cec"]},
+    ]})
+    requests = requests_for(GRID)
+    dispatcher = FleetDispatcher(topology)
+    reports = dispatcher.run_batch(requests)
+    assert [report.verdict for report in reports] == \
+        ["verified"] * len(requests)
+    for _, index, worker in dispatcher.dispatch_log:
+        method = requests[index].method
+        assert worker == ("mt-only" if method.startswith("mt") else "sat-only")
+
+
+# -- shared result cache -------------------------------------------------------
+
+def test_coordinator_cache_replays_without_executing(workers, tmp_path):
+    topology = topology_for(workers, cache_dir=str(tmp_path / "cache"))
+    first = FleetDispatcher(topology)
+    originals = first.run_batch(requests_for(GRID))
+    assert first.last_executed == len(GRID)
+
+    replay = FleetDispatcher(topology)
+    replayed = replay.run_batch(requests_for(GRID))
+    assert replay.last_executed == 0
+    assert replay.last_cache_hits == len(GRID)
+    assert replay.dispatch_log == []
+    # Replays are byte-identical to the executed originals — timings too,
+    # because they are the *same* cached documents.
+    assert [report.to_json() for report in replayed] == \
+        [report.to_json() for report in originals]
+
+
+# -- failure handling ----------------------------------------------------------
+
+def _closed_port() -> int:
+    import socket
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_worker_down_at_start_is_tolerated(workers):
+    topology = FleetTopology.from_document({"workers": [
+        {"name": "alive", "port": workers[0].port},
+        {"name": "dead", "port": _closed_port()},
+    ]})
+    dispatcher = FleetDispatcher(topology)
+    reports = dispatcher.run_batch(requests_for(GRID[:4]))
+    assert [report.verdict for report in reports] == ["verified"] * 4
+    assert {name for _, _, name in dispatcher.dispatch_log} == {"alive"}
+    assert "dead" not in dispatcher.worker_versions
+
+
+def test_no_reachable_worker_is_an_error():
+    topology = FleetTopology.from_document(
+        {"workers": [{"name": "dead", "port": _closed_port()}]})
+    with pytest.raises(VerificationError, match="no fleet worker is reachable"):
+        FleetDispatcher(topology).run_batch(requests_for(GRID[:1]))
+
+
+class _FlakyOnce:
+    """Delegates to a real client, failing the first batch POST with a 503."""
+
+    def __init__(self, client: VerificationClient) -> None:
+        self.client = client
+        self.failures = 0
+
+    def version(self) -> dict:
+        return self.client.version()
+
+    def request_raw(self, method: str, path: str, document=None):
+        if self.failures == 0:
+            self.failures += 1
+            return 503, json.dumps({"error": {
+                "code": "worker_overloaded",
+                "message": "injected transient failure"}}).encode("utf-8")
+        return self.client.request_raw(method, path, document)
+
+
+def test_transient_5xx_is_retried_and_recorded_in_attempts(workers):
+    flaky: dict[str, _FlakyOnce] = {}
+
+    def factory(worker):
+        flaky[worker.name] = _FlakyOnce(
+            VerificationClient(port=worker.port))
+        return flaky[worker.name]
+
+    dispatcher = FleetDispatcher(topology_for(workers[:1]),
+                                 client_factory=factory)
+    report = dispatcher.run_batch(requests_for(GRID[:1]))[0]
+    assert report.verdict == "verified"
+    assert dispatcher.last_retries == 1
+    crash, final = report.attempts
+    assert crash["outcome"] == "crash"
+    assert "HTTP 503" in crash["reason"]
+    assert final["kind"] == "retry"
+    assert final["outcome"] == "verified"
+    # The annotated report still matches a local run once attempts are masked.
+    local = VerificationService().run_batch(requests_for(GRID[:1]))[0]
+    assert stable(report) == stable(local)
+
+
+def test_exhausted_retries_yield_an_honest_error_report(workers):
+    class _AlwaysBusy(_FlakyOnce):
+        def request_raw(self, method, path, document=None):
+            self.failures += 1
+            return 503, b'{"error":{"code":"busy","message":"always"}}'
+
+    busy: dict[str, _AlwaysBusy] = {}
+
+    def factory(worker):
+        busy[worker.name] = _AlwaysBusy(VerificationClient(port=worker.port))
+        return busy[worker.name]
+
+    topology = topology_for(workers[:1], max_attempts=2)
+    dispatcher = FleetDispatcher(topology, client_factory=factory)
+    report = dispatcher.run_batch(requests_for(GRID[:1]))[0]
+    assert report.status == "error"
+    assert report.verdict == "error"
+    assert "HTTP 503" in report.reason
+    assert busy["w0"].failures == 2             # max_attempts, then give up
+    assert [entry["outcome"] for entry in report.attempts] == \
+        ["crash", "crash"]
+
+
+# -- version handshake ---------------------------------------------------------
+
+class _AncientSchemaApp(VerificationServerApp):
+    def handle_version(self, body: bytes = b"") -> object:
+        document = json.loads(
+            super().handle_version(body).body.decode("utf-8"))
+        document["report_schema"] = 1
+        return _json_response(document)
+
+
+def test_mixed_schema_fleet_is_refused(workers):
+    with ServerThread(_AncientSchemaApp()) as ancient:
+        topology = FleetTopology.from_document({"workers": [
+            {"name": "modern", "port": workers[0].port},
+            {"name": "ancient", "port": ancient.port},
+        ]})
+        with pytest.raises(VerificationError,
+                           match="refusing mixed-schema") as info:
+            FleetDispatcher(topology).run_batch(requests_for(GRID[:1]))
+        assert "ancient" in str(info.value)
+        assert "report_schema=1" in str(info.value)

@@ -1,0 +1,122 @@
+"""Fleet topology parsing and validation.
+
+The topology document is the fleet's public configuration surface
+(``batch --fleet CONFIG`` / ``serve --fleet CONFIG``), so its contract
+— defaults, unknown-key rejection, type checks, allowlist validation
+against the registry, and the three loaders (document / file /
+``REPRO_FLEET``) — is pinned here.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.registry import backend_names
+from repro.errors import VerificationError
+from repro.fleet import FleetTopology, WorkerSpec
+
+
+def test_minimal_document_gets_defaults():
+    topology = FleetTopology.from_document({"workers": [{}]})
+    worker = topology.workers[0]
+    assert worker == WorkerSpec(name="worker-0", host="127.0.0.1",
+                                port=8585, capacity=1, backends=())
+    assert worker.url == "http://127.0.0.1:8585"
+    assert topology.straggler_grace_s is None
+    assert topology.max_attempts == 3
+    assert topology.cache_dir is None
+    assert topology.shared_cache is None
+
+
+def test_full_document_round_trips():
+    topology = FleetTopology.from_document({
+        "workers": [
+            {"name": "a", "host": "10.0.0.1", "port": 9000, "capacity": 4},
+            {"name": "b", "port": 9001, "backends": ["sat-cec"]},
+        ],
+        "straggler_grace_s": 2.5,
+        "max_attempts": 5,
+        "cache_dir": "/tmp/fleet-cache",
+        "shared_cache": "http://10.0.0.1:9000",
+    })
+    assert [worker.name for worker in topology.workers] == ["a", "b"]
+    assert topology.workers[0].capacity == 4
+    assert topology.workers[1].backends == ("sat-cec",)
+    assert topology.straggler_grace_s == 2.5
+    assert topology.max_attempts == 5
+
+
+def test_allowlist_routing_helpers():
+    topology = FleetTopology.from_document({"workers": [
+        {"name": "generalist"},
+        {"name": "sat-box", "port": 9001, "backends": ["sat-cec", "bdd-cec"]},
+    ]})
+    assert topology.workers[0].supports("mt-lr")
+    assert not topology.workers[1].supports("mt-lr")
+    assert [worker.name for worker in topology.workers_for("sat-cec")] == \
+        ["generalist", "sat-box"]
+    assert [worker.name for worker in topology.workers_for("mt-lr")] == \
+        ["generalist"]
+
+
+@pytest.mark.parametrize("document, fragment", [
+    ([], "JSON object"),
+    ({}, "non-empty 'workers'"),
+    ({"workers": []}, "non-empty 'workers'"),
+    ({"workers": [{}], "bogus": 1}, "unknown fleet topology field"),
+    ({"workers": ["w"]}, "must be a JSON object"),
+    ({"workers": [{"bogus": 1}]}, "unknown fleet worker field"),
+    ({"workers": [{"name": 3}]}, "must be strings"),
+    ({"workers": [{"port": 0}]}, "TCP port"),
+    ({"workers": [{"port": True}]}, "TCP port"),
+    ({"workers": [{"port": 99999}]}, "TCP port"),
+    ({"workers": [{"capacity": 0}]}, "positive"),
+    ({"workers": [{"backends": "sat-cec"}]}, "array of"),
+    ({"workers": [{"backends": ["no-such"]}]}, "unknown backend"),
+    ({"workers": [{}], "straggler_grace_s": "fast"}, "number or null"),
+    ({"workers": [{}], "straggler_grace_s": 0}, "must be > 0"),
+    ({"workers": [{}], "max_attempts": 0.5}, "integer"),
+    ({"workers": [{}], "max_attempts": 0}, ">= 1"),
+    ({"workers": [{}], "cache_dir": 7}, "string"),
+    ({"workers": [{}], "shared_cache": 7}, "URL string"),
+    ({"workers": [{"name": "twin"}, {"name": "twin"}]}, "unique"),
+], ids=lambda value: str(value)[:60])
+def test_invalid_documents_are_rejected(document, fragment):
+    with pytest.raises(VerificationError, match=fragment):
+        FleetTopology.from_document(document)
+
+
+def test_allowlists_are_validated_against_the_registry():
+    # The error names the registered backends so a typo is self-repairing.
+    with pytest.raises(VerificationError) as info:
+        FleetTopology.from_document(
+            {"workers": [{"backends": ["mt-lr", "bdd"]}]})
+    assert "bdd" in str(info.value)
+    assert list(backend_names())[0] in str(info.value)
+
+
+def test_from_json_and_from_file(tmp_path):
+    document = {"workers": [{"name": "w", "port": 9000}]}
+    assert FleetTopology.from_json(json.dumps(document)).workers[0].port \
+        == 9000
+    path = tmp_path / "fleet.json"
+    path.write_text(json.dumps(document), encoding="utf-8")
+    assert FleetTopology.from_file(path).workers[0].name == "w"
+    with pytest.raises(VerificationError, match="not valid JSON"):
+        FleetTopology.from_json("{nope")
+    with pytest.raises(VerificationError, match="cannot read"):
+        FleetTopology.from_file(tmp_path / "missing.json")
+
+
+def test_from_environment(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_FLEET", raising=False)
+    assert FleetTopology.from_environment() is None
+    monkeypatch.setenv("REPRO_FLEET",
+                       '{"workers": [{"name": "inline", "port": 9000}]}')
+    assert FleetTopology.from_environment().workers[0].name == "inline"
+    path = tmp_path / "fleet.json"
+    path.write_text('{"workers": [{"name": "from-file"}]}', encoding="utf-8")
+    monkeypatch.setenv("REPRO_FLEET", str(path))
+    assert FleetTopology.from_environment().workers[0].name == "from-file"

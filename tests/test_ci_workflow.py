@@ -42,7 +42,7 @@ def test_workflow_parses_and_triggers(workflow):
 def test_workflow_has_expected_jobs(workflow):
     jobs = workflow["jobs"]
     assert set(jobs) >= {"test", "lint", "docs", "certify", "bench-smoke",
-                         "chaos"}
+                         "chaos", "fleet"}
 
 
 def test_test_job_covers_python_matrix(workflow):
@@ -119,6 +119,29 @@ def test_chaos_job_runs_two_seeds_and_drain_smoke(workflow):
     assert "kill -TERM" in commands
     assert "/v1/batch" in commands
     assert "verified" in commands
+
+
+def test_fleet_job_checks_parity_steals_and_cache(workflow):
+    """Two real workers, byte-parity with serial, steals, cache replay.
+
+    The fleet gate must (a) run the fleet test suite, (b) push a 4-bit
+    grid through ``batch --fleet`` against two worker processes and
+    byte-diff the stdout against the serial run, (c) force work-stealing
+    with a tiny straggler grace and grep a non-zero ``steals`` counter,
+    and (d) re-run against the shared cache asserting non-zero cache
+    hits with zero executions.
+    """
+    commands = " ".join(step.get("run", "")
+                        for step in workflow["jobs"]["fleet"]["steps"])
+    assert "tests/fleet" in commands
+    assert commands.count("repro-verify serve") >= 2
+    assert "--fleet" in commands
+    assert "straggler_grace_s" in commands
+    assert "cache_dir" in commands
+    assert "diff serial" in commands
+    assert "steals=[1-9]" in commands
+    assert "cache-hits=[1-9]" in commands
+    assert "executed=0" in commands
 
 
 def test_docs_job_runs_snippet_check(workflow):
