@@ -19,13 +19,18 @@ Scheduling mirrors :class:`~repro.experiments.runner.ParallelRunner`:
   than ``straggler_grace_s`` is re-dispatched to an idle worker.  Both
   attempts race and the first finisher wins; a dispatch-epoch guard
   (the same pattern as ``ParallelRunner``) drops the loser's result.
+  The report's ``attempts`` history records the steal only when the
+  stolen attempt is the one that won — when the original outruns its
+  re-dispatch, nothing was actually superseded.
 * **Failure taxonomy** — worker failures route through the PR 7
   resilience layer: connect errors and 429/5xx answers are retryable
   (on another worker when one is available, with the deterministic
   :class:`~repro.resilience.policy.RetryPolicy` backoff); verdicts are
   final.  A worker that drops the TCP connection is marked down for the
-  rest of the batch.  Exhausted retries produce an honest ``error``
-  report, never a silent gap.
+  rest of the batch; a client-side *request timeout* is not — the
+  worker may be healthy and merely slow on one job, so timeouts retry
+  like any other transient failure.  Exhausted retries produce an
+  honest ``error`` report, never a silent gap.
 
 Results are byte-identical to local runs: workers return canonical
 :class:`~repro.api.report.VerificationReport` JSON, and the dispatcher
@@ -273,6 +278,9 @@ class _FleetRun:
         self.attempt_of: dict[tuple[int, int], int] = {}
         self.attempt_counts: dict[int, int] = {}
         self.histories: dict[int, list[dict]] = {}
+        #: ``(index, stealing epoch) -> (superseded attempt, entry)`` —
+        #: steal annotations held back until the stolen attempt wins.
+        self.pending_steals: dict[tuple[int, int], tuple[int, dict]] = {}
         self.tried: dict[int, set[str]] = {}
         self.starts: dict[tuple[int, int], float] = {}
         self.running: dict[tuple[int, int], str] = {}
@@ -378,6 +386,12 @@ class _FleetRun:
                     self._promote_retries(now)
                     self._assign(now)
                     self._steal(now)
+                    # _assign may have resolved the last jobs itself
+                    # (queued work dropped because its workers died) —
+                    # re-check before sleeping, or this thread waits on
+                    # a notification that will never come.
+                    if self.closed or not self.unresolved:
+                        break
                     self.condition.wait(timeout=self._wakeup(now))
         except BaseException as error:  # pragma: no cover - defensive
             with self.condition:
@@ -453,12 +467,17 @@ class _FleetRun:
         if steal_from is not None:
             superseded_attempt, grace_text = steal_from
             self.steals += 1
-            self.histories.setdefault(index, []).append(attempt_entry(
-                superseded_attempt, request.method,
-                "initial" if superseded_attempt == 1 else "retry",
-                "hard_timeout",
-                reason=f"straggler re-dispatch after {grace_text}s grace "
-                       f"to {worker.name}"))
+            # Both attempts race and the original frequently wins, so the
+            # "superseded" entry is only pending until this new epoch
+            # actually finishes first (_finish attaches it then).
+            self.pending_steals[(index, epoch)] = (
+                superseded_attempt,
+                attempt_entry(
+                    superseded_attempt, request.method,
+                    "initial" if superseded_attempt == 1 else "retry",
+                    "hard_timeout",
+                    reason=f"straggler re-dispatch after {grace_text}s grace "
+                           f"to {worker.name}"))
         assert self.executor is not None
         self.executor.submit(self._attempt, index, epoch, worker)
 
@@ -526,7 +545,12 @@ class _FleetRun:
             status, body = client.request_raw("POST", "/v1/batch", document)
         except ServerError as error:
             reason = f"worker {worker.name}: {error}"
-            transport = error.status == 0
+            # Only connection-level failures mark the worker down; a
+            # client-side request timeout means one slow job, not a dead
+            # worker — it routes through the normal retry path so one
+            # straggler cannot cascade a healthy fleet into "all down".
+            transport = (error.status == 0
+                         and error.code != "request_timeout")
             retryable = True
         except Exception as error:  # pragma: no cover - defensive
             reason = (f"worker {worker.name}: "
@@ -572,6 +596,13 @@ class _FleetRun:
                         retryable: bool) -> None:
         attempt = self.attempt_of[(index, epoch)]
         request = self.requests[index]
+        # This attempt's real outcome is a crash: it neither supersedes
+        # anything (a failed stealer) nor was superseded (the annotation
+        # claiming so would be false history).
+        self.pending_steals.pop((index, epoch), None)
+        for key, (superseded, _entry) in list(self.pending_steals.items()):
+            if key[0] == index and superseded == attempt:
+                del self.pending_steals[key]
         self.histories.setdefault(index, []).append(attempt_entry(
             attempt, request.method,
             "initial" if attempt == 1 else "retry",
@@ -608,6 +639,15 @@ class _FleetRun:
 
     def _finish(self, index: int, epoch: "int | None",
                 report: VerificationReport, close_history: bool = True) -> None:
+        # A steal annotation only becomes true history if the stolen
+        # (new-epoch) attempt is the one that actually wins the race —
+        # first-finisher-wins means the original frequently does.
+        steal = (self.pending_steals.pop((index, epoch), None)
+                 if epoch is not None else None)
+        if steal is not None:
+            self.histories.setdefault(index, []).append(steal[1])
+        for key in [key for key in self.pending_steals if key[0] == index]:
+            del self.pending_steals[key]
         history = self.histories.pop(index, None)
         if history:
             if close_history:
@@ -624,3 +664,8 @@ class _FleetRun:
         self.results[index] = report
         self.executed += 1
         self.unresolved -= 1
+        # Always called with the lock held; wake the consumer directly so
+        # resolutions that never pass through _attempt — a queued job
+        # dropped because its every supporting worker went down — cannot
+        # leave take() blocked forever.
+        self.condition.notify_all()

@@ -479,6 +479,14 @@ class VerificationServerApp:
                 self._inflight += 1
         try:
             response = self._dispatch(method, path, body)
+            if gated and response.stream is not None:
+                # A streaming batch does its verification work while the
+                # transport iterates the body, long after this handler
+                # returns — hand the in-flight slot to the stream (the
+                # transport always exhausts or closes it) so
+                # ``--max-inflight`` gates streaming load too.
+                response.stream = self._gated_stream(response.stream)
+                gated = False
         except ApiError as error:
             response = error_response(error.status, error.code, str(error))
         except JobStoreFull as error:
@@ -758,6 +766,10 @@ class VerificationServerApp:
             "executed": runner.last_executed,
         })
 
+    def _gated_stream(self, chunks) -> "_GatedStream":
+        """Hold the ``max_inflight`` slot until a streaming body finishes."""
+        return _GatedStream(self, chunks)
+
     def _stream_batch(self, runner, requests, jobs):
         """NDJSON generator: one canonical report per line, counter trailer.
 
@@ -817,3 +829,38 @@ class VerificationServerApp:
                            f"unknown job {job_id!r} (never submitted, or "
                            "evicted from the bounded store)")
         return _json_response(job.to_document())
+
+
+class _GatedStream:
+    """A streaming body that occupies one ``max_inflight`` slot.
+
+    The slot is released exactly once — on exhaustion, on a mid-stream
+    error, or on ``close()``.  An explicit object rather than a wrapping
+    generator because the transport may ``close()`` the stream before
+    pulling the first chunk (head write failed), and a never-started
+    generator's ``finally`` would not run — leaking the slot forever.
+    """
+
+    def __init__(self, app: VerificationServerApp, chunks) -> None:
+        self._app = app
+        self._iterator = iter(chunks)
+        self._released = False
+
+    def __iter__(self) -> "_GatedStream":
+        return self
+
+    def __next__(self) -> bytes:
+        try:
+            return next(self._iterator)
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        if not self._released:
+            self._released = True
+            with self._app._metrics_lock:
+                self._app._inflight -= 1
+        close = getattr(self._iterator, "close", None)
+        if close is not None:
+            close()

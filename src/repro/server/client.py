@@ -35,8 +35,10 @@ class ServerError(ReproError):
 
     ``status=0`` marks transport-level failures the client gave up on
     after exhausting its retries: code ``"connection_error"`` (could not
-    connect / connection reset) or ``"truncated_response"`` (the server
-    closed the connection mid-body).
+    connect / connection reset), ``"request_timeout"`` (no answer within
+    ``timeout_s`` — the server may still be healthy, just slow on this
+    request), or ``"truncated_response"`` (the server closed the
+    connection mid-body).
     """
 
     def __init__(self, status: int, code: str, message: str) -> None:
@@ -205,8 +207,13 @@ class VerificationClient:
             except (http.client.HTTPException, ConnectionError,
                     TimeoutError, OSError) as error:
                 if attempt >= policy.max_attempts:
+                    # A timed-out request is not a dead server: callers
+                    # (the fleet dispatcher) treat the two differently.
+                    code = ("request_timeout"
+                            if isinstance(error, TimeoutError)
+                            else "connection_error")
                     raise ServerError(
-                        0, "connection_error",
+                        0, code,
                         f"{key}: {type(error).__name__}: {error}") from error
             else:
                 if (status not in _RETRYABLE_STATUSES

@@ -13,6 +13,8 @@ refusal.
 from __future__ import annotations
 
 import json
+import threading
+import time
 
 import pytest
 
@@ -24,6 +26,7 @@ from repro.generators.multipliers import generate_multiplier
 from repro.server import ServerThread, VerificationClient, \
     VerificationServerApp
 from repro.server.app import _json_response
+from repro.server.client import ServerError
 
 GRID = [("SP-AR-RC", 4, "mt-lr"), ("SP-AR-RC", 4, "sat-cec"),
         ("SP-WT-CL", 4, "mt-lr"), ("SP-WT-CL", 4, "sat-cec"),
@@ -237,6 +240,140 @@ def test_exhausted_retries_yield_an_honest_error_report(workers):
     assert busy["w0"].failures == 2             # max_attempts, then give up
     assert [entry["outcome"] for entry in report.attempts] == \
         ["crash", "crash"]
+
+
+def test_queued_jobs_resolve_when_every_worker_goes_down(workers):
+    """A job dropped because its workers died must wake the consumer.
+
+    One worker, capacity 1, two requests: the first dispatch marks the
+    worker down (connection error), so the second — still queued — is
+    resolved by the scheduler thread, not by any worker attempt.  The
+    consumer blocked in ``take()`` must see that resolution instead of
+    sleeping forever.
+    """
+    class _Dead:
+        def __init__(self, client: VerificationClient) -> None:
+            self.client = client
+
+        def version(self) -> dict:
+            return self.client.version()
+
+        def request_raw(self, method, path, document=None):
+            raise ServerError(0, "connection_error", "injected dead worker")
+
+    dispatcher = FleetDispatcher(
+        topology_for(workers[:1]),
+        client_factory=lambda worker: _Dead(
+            VerificationClient(port=worker.port)))
+    reports: list = []
+    consumer = threading.Thread(
+        target=lambda: reports.extend(
+            dispatcher.run_batch(requests_for(GRID[:2]))),
+        daemon=True)
+    consumer.start()
+    consumer.join(timeout=30.0)
+    assert not consumer.is_alive(), "consumer hung on a dropped queued job"
+    assert [report.verdict for report in reports] == ["error", "error"]
+    assert any("connection_error" in (report.reason or "")
+               for report in reports)
+    assert any("are down" in (report.reason or "") for report in reports)
+
+
+def test_request_timeout_is_retried_without_marking_worker_down(workers):
+    """One slow job must not remove a healthy worker from the fleet."""
+    class _TimesOutOnce(_FlakyOnce):
+        def request_raw(self, method, path, document=None):
+            if self.failures == 0:
+                self.failures += 1
+                raise ServerError(0, "request_timeout",
+                                  "POST /v1/batch: timed out")
+            return self.client.request_raw(method, path, document)
+
+    dispatcher = FleetDispatcher(
+        topology_for(workers[:1]),
+        client_factory=lambda worker: _TimesOutOnce(
+            VerificationClient(port=worker.port)))
+    report = dispatcher.run_batch(requests_for(GRID[:1]))[0]
+    assert report.verdict == "verified"
+    assert dispatcher.last_retries == 1
+    # The worker stayed up: the retry was dispatched back to it.
+    assert [name for _, _, name in dispatcher.dispatch_log] == ["w0", "w0"]
+    crash, final = report.attempts
+    assert crash["outcome"] == "crash"
+    assert "request_timeout" in crash["reason"]
+    assert final["outcome"] == "verified"
+
+
+# -- work-stealing -------------------------------------------------------------
+
+class _Gated:
+    """Real client whose batch POSTs can block on an event or dawdle."""
+
+    def __init__(self, client: VerificationClient,
+                 gate: "threading.Event | None" = None,
+                 delay: float = 0.0) -> None:
+        self.client = client
+        self.gate = gate
+        self.delay = delay
+
+    def version(self) -> dict:
+        return self.client.version()
+
+    def request_raw(self, method, path, document=None):
+        if self.gate is not None:
+            self.gate.wait(timeout=30.0)
+        if self.delay:
+            time.sleep(self.delay)
+        return self.client.request_raw(method, path, document)
+
+
+def test_steal_annotation_recorded_when_stolen_attempt_wins(workers):
+    gate = threading.Event()
+
+    def factory(worker):
+        client = VerificationClient(port=worker.port)
+        # w0 blocks until released; the steal to w1 runs through and wins.
+        return _Gated(client, gate=gate if worker.name == "w0" else None)
+
+    topology = topology_for(workers, straggler_grace_s=0.05)
+    dispatcher = FleetDispatcher(topology, client_factory=factory)
+    iterator = dispatcher.iter_batch(requests_for(GRID[:1]))
+    report = next(iterator)
+    gate.set()          # release the original; the epoch guard drops it
+    assert list(iterator) == []
+    assert report.verdict == "verified"
+    assert dispatcher.last_steals == 1
+    assert len(dispatcher.dispatch_log) == 2
+    superseded, final = report.attempts
+    assert superseded["attempt"] == 1
+    assert superseded["outcome"] == "hard_timeout"
+    assert "straggler re-dispatch" in superseded["reason"]
+    assert final["attempt"] == 2
+    assert final["outcome"] == "verified"
+
+
+def test_no_steal_annotation_when_original_attempt_wins(workers):
+    gate = threading.Event()
+
+    def factory(worker):
+        client = VerificationClient(port=worker.port)
+        if worker.name == "w0":
+            # Slow enough to trip the grace and trigger a steal, but the
+            # steal target blocks — the original finishes first and wins.
+            return _Gated(client, delay=0.5)
+        return _Gated(client, gate=gate)
+
+    topology = topology_for(workers, straggler_grace_s=0.05)
+    dispatcher = FleetDispatcher(topology, client_factory=factory)
+    iterator = dispatcher.iter_batch(requests_for(GRID[:1]))
+    report = next(iterator)
+    gate.set()          # release the losing stolen attempt
+    assert list(iterator) == []
+    assert report.verdict == "verified"
+    assert dispatcher.last_steals == 1          # a steal was dispatched...
+    assert len(dispatcher.dispatch_log) == 2
+    # ...but the winner was never superseded, so its history stays clean.
+    assert not report.attempts
 
 
 # -- version handshake ---------------------------------------------------------

@@ -57,6 +57,30 @@ def test_connect_error_surfaces_after_bounded_retries():
     assert caught.value.code == "connection_error"
 
 
+def test_transport_errors_distinguish_timeouts_from_connect_failures():
+    """``request_timeout`` vs ``connection_error`` — the fleet dispatcher
+    marks workers down only for the latter, so the codes must differ."""
+    client = VerificationClient(retry_policy=_bare())
+
+    def time_out(method, path, document):
+        raise TimeoutError("timed out")
+
+    client._exchange = time_out
+    with pytest.raises(ServerError) as caught:
+        client.request_raw("GET", "/healthz")
+    assert caught.value.status == 0
+    assert caught.value.code == "request_timeout"
+
+    def refuse(method, path, document):
+        raise ConnectionRefusedError("refused")
+
+    client._exchange = refuse
+    with pytest.raises(ServerError) as caught:
+        client.request_raw("GET", "/healthz")
+    assert caught.value.status == 0
+    assert caught.value.code == "connection_error"
+
+
 # -- backpressure --------------------------------------------------------------
 
 def test_saturated_server_answers_429_with_retry_after():
@@ -73,6 +97,44 @@ def test_saturated_server_answers_429_with_retry_after():
         resilience = client.metrics()["resilience"]
         assert resilience["max_inflight"] == 0
         assert resilience["rejected_total"] >= 2
+
+
+def test_streaming_batch_holds_the_inflight_slot_until_drained():
+    """``"stream": true`` work runs while the body streams — the
+    ``max_inflight`` slot must be held for the generator's lifetime,
+    not just for the (instant) handler call."""
+    app = VerificationServerApp(max_inflight=1)
+    streaming = app.handle("POST", "/v1/batch", json.dumps(
+        {"requests": [DOCUMENT], "stream": True}).encode("utf-8"))
+    assert streaming.status == 200
+    assert streaming.stream is not None
+    # The stream is unconsumed, so its slot is taken: further
+    # verification POSTs shed load instead of stacking without bound.
+    rejected = app.handle("POST", "/v1/verify",
+                          json.dumps(DOCUMENT).encode("utf-8"))
+    assert rejected.status == 429
+    lines = b"".join(streaming.stream).splitlines()
+    assert json.loads(lines[0])["verdict"] == "verified"
+    assert "trailer" in json.loads(lines[-1])
+    # Exhausting the stream releases the slot.
+    accepted = app.handle("POST", "/v1/verify",
+                          json.dumps(DOCUMENT).encode("utf-8"))
+    assert accepted.status == 200
+    assert app._inflight == 0
+
+
+def test_streaming_batch_releases_the_slot_on_close_before_first_chunk():
+    """A client that disconnects before the body starts must not leak
+    the slot — the transport closes the stream without iterating it."""
+    app = VerificationServerApp(max_inflight=1)
+    streaming = app.handle("POST", "/v1/batch", json.dumps(
+        {"requests": [DOCUMENT], "stream": True}).encode("utf-8"))
+    assert streaming.status == 200
+    streaming.stream.close()
+    assert app._inflight == 0
+    accepted = app.handle("POST", "/v1/verify",
+                          json.dumps(DOCUMENT).encode("utf-8"))
+    assert accepted.status == 200
 
 
 def test_backpressure_admits_when_capacity_frees_up():
