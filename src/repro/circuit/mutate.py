@@ -41,6 +41,11 @@ class Mutation:
         return (f"gate driving {self.signal!r} changed from "
                 f"{self.original.value} to {self.mutated.value}")
 
+    @property
+    def key(self) -> str:
+        """Stable machine-readable identity (campaign row ids, resume files)."""
+        return f"{self.signal}:{self.original.value}->{self.mutated.value}"
+
 
 def list_mutations(netlist: Netlist) -> list[Mutation]:
     """All single-gate gate-type substitutions applicable to the netlist."""

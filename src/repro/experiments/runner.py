@@ -58,7 +58,8 @@ class ExperimentConfig:
     * ``REPRO_BENCH_MONOMIAL_BUDGET`` — remainder-size budget of GB reduction,
     * ``REPRO_BENCH_SAT_CONFLICTS`` — CDCL conflict budget,
     * ``REPRO_BENCH_BDD_NODES`` — ROBDD node budget,
-    * ``REPRO_BENCH_CACHE`` — directory for the on-disk result cache.
+    * ``REPRO_BENCH_CACHE`` — directory for the on-disk result cache,
+    * ``REPRO_BENCH_CONE_CACHE`` — directory for the incremental cone cache.
     """
 
     widths: tuple[int, ...] = (4, 8)
@@ -73,6 +74,9 @@ class ExperimentConfig:
     jobs: int = 1
     #: Directory of the on-disk result cache (``None`` disables caching).
     cache_dir: str | None = None
+    #: Directory of the per-cone proof cache used by incremental runs
+    #: (:mod:`repro.incremental`; ``None`` disables cone reuse).
+    cone_cache_dir: str | None = None
 
     @classmethod
     def from_environment(cls) -> "ExperimentConfig":
@@ -91,6 +95,7 @@ class ExperimentConfig:
             os.environ.get("REPRO_BENCH_BDD_NODES", config.bdd_node_budget))
         config.jobs = int(os.environ.get("REPRO_BENCH_JOBS", config.jobs))
         config.cache_dir = os.environ.get("REPRO_BENCH_CACHE") or None
+        config.cone_cache_dir = os.environ.get("REPRO_BENCH_CONE_CACHE") or None
         return config
 
 
@@ -370,12 +375,13 @@ class ResultCache:
     """
 
     #: Bump when the stored schema or its semantics change within a version.
-    #: 4 = report schema 4 (``attempts`` retry/fallback history) plus an
-    #: entry-level ``sha256`` integrity checksum.  Entries of earlier
-    #: generations are not re-read (their keys differ) but still *parse*
-    #: via the report layer's legacy-schema support, so a directory can
-    #: hold several generations.
-    SCHEMA = 4
+    #: 5 = report schema 5 (the ``incremental`` cone-counter block of the
+    #: per-cone proof-reuse path).  4 added the ``attempts``
+    #: retry/fallback history plus an entry-level ``sha256`` integrity
+    #: checksum.  Entries of earlier generations are not re-read (their
+    #: keys differ) but still *parse* via the report layer's legacy-schema
+    #: support, so a directory can hold several generations.
+    SCHEMA = 5
 
     #: Row statuses that are deterministic outcomes of (circuit, budgets).
     CACHEABLE_STATUSES = ("ok", "mismatch", "TO", "n/a")

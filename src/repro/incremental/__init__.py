@@ -1,0 +1,50 @@
+"""Incremental verification: per-cone proof reuse and mutation campaigns.
+
+The package splits a netlist into per-output reduction cones with
+content-derived canonical hashes (:mod:`~repro.incremental.cones`), caches
+each cone's integer normal form keyed by that hash
+(:mod:`~repro.incremental.cache`), composes cached and freshly reduced
+cones under the word-level specification
+(:mod:`~repro.incremental.verify`), and drives fault-injection sweeps that
+exercise the reuse path at scale (:mod:`~repro.incremental.campaign`).
+See ``docs/incremental.md`` for the exactness argument and the hash
+contract.
+"""
+
+from repro.incremental.cache import ConeCache
+from repro.incremental.campaign import (
+    CampaignTask,
+    enumerate_tasks,
+    run_campaign,
+)
+from repro.incremental.cones import (
+    Cone,
+    ConePartition,
+    cone_hash,
+    cone_subnetlist,
+    extract_cone,
+    partition_cones,
+)
+from repro.incremental.verify import (
+    DEFAULT_MAX_CONE_INPUTS,
+    ConeTooWideError,
+    IncrementalOutcome,
+    incremental_verify,
+)
+
+__all__ = [
+    "CampaignTask",
+    "Cone",
+    "ConeCache",
+    "ConePartition",
+    "ConeTooWideError",
+    "DEFAULT_MAX_CONE_INPUTS",
+    "IncrementalOutcome",
+    "cone_hash",
+    "cone_subnetlist",
+    "enumerate_tasks",
+    "extract_cone",
+    "incremental_verify",
+    "partition_cones",
+    "run_campaign",
+]

@@ -1,0 +1,177 @@
+"""On-disk cache of per-cone Gröbner-basis reduction results.
+
+The cone layer sits *under* the report-level
+:class:`~repro.experiments.runner.ResultCache`: where that cache replays
+whole verification reports keyed by netlist content, this one replays the
+normal form of a single output cone keyed by the cone's canonical content
+hash (:mod:`repro.incremental.cones`), the method, and the budgets that
+produced it.  A mutated or ECO'd circuit therefore re-reduces only the
+cones whose hash changed and replays every untouched cone — across
+circuits, architectures, and operand widths, since the key never mentions
+where the cone came from.
+
+Entries store the remainder over canonical *input slots* (the cone's
+primary-input ids), so a replayed polynomial is renamed into whatever ring
+the consuming circuit uses.  Integrity follows the ResultCache contract:
+entries carry a sha256 checksum, are published atomically per writer, and
+corrupt files are quarantined (renamed ``*.json.quarantined``) and
+re-reduced instead of poisoning the run.  Budget trips are never cached —
+they are schedule-dependent, not a property of the cone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro.api.request import Budgets
+
+#: Entry counter keys persisted alongside the remainder so replayed cones
+#: reproduce the counters their original reduction reported.
+_COUNTER_KEYS = ("cancelled_vanishing_monomials", "num_polynomials",
+                 "num_monomials", "max_polynomial_terms",
+                 "max_monomial_variables", "peak_monomials", "substitutions")
+
+
+class ConeCache:
+    """Content-addressed store of per-cone reduction remainders."""
+
+    #: Bump when the entry schema or the reduction semantics change.
+    SCHEMA = 1
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Lifetime counters of this instance (campaigns aggregate them).
+        self.hits = 0
+        self.misses = 0
+        self.quarantined = 0
+
+    # -- keying ----------------------------------------------------------------
+
+    def key(self, cone_hash: str, method: str, budgets: Budgets,
+            xor_and_only: bool = False) -> str:
+        """Cache key of one cone reduction.
+
+        Only the budget fields that shape an algebraic reduction
+        participate (monomial/time budgets and the vanishing-cache limit);
+        width, output index, and circuit identity deliberately do not, so
+        structurally identical cones share entries across architectures.
+        """
+        from repro import __version__
+        payload = {
+            "schema": self.SCHEMA,
+            "version": __version__,
+            "cone": cone_hash,
+            "method": method,
+            "monomial_budget": budgets.monomial_budget,
+            "time_budget_s": budgets.time_budget_s,
+            "vanishing_cache_limit": budgets.vanishing_cache_limit,
+            "xor_and_only": xor_and_only,
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- storage ---------------------------------------------------------------
+
+    def get(self, key: str | None) -> dict | None:
+        """Return the cached entry for ``key``, or ``None`` on a miss.
+
+        The entry is ``{"cone": hash, "method": str, "remainder":
+        [[coeff, [slot, ...]], ...], "counters": {...}}``.  Corrupt files
+        — unparseable JSON, a malformed document, a checksum mismatch, or
+        a remainder that is not a well-formed term list — are quarantined
+        and reported as a miss.
+        """
+        if key is None:
+            return None
+        path = self.directory / f"{key}.json"
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            document = json.loads(raw.decode("utf-8"))
+            if document["schema"] != self.SCHEMA:
+                raise ValueError("cone cache entry schema mismatch")
+            entry = document["entry"]
+            if document["sha256"] != self._checksum(entry):
+                raise ValueError("cone cache entry checksum mismatch")
+            self._validate(entry)
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            self.quarantined += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str | None, cone_hash: str, method: str,
+            remainder: list[tuple[int, tuple[int, ...]]],
+            counters: dict | None = None) -> bool:
+        """Publish one reduced cone; returns ``True`` iff it was written."""
+        if key is None:
+            return False
+        entry = {
+            "cone": cone_hash,
+            "method": method,
+            "remainder": [[coeff, list(slots)] for coeff, slots in remainder],
+            "counters": {name: int((counters or {}).get(name, 0))
+                         for name in _COUNTER_KEYS},
+        }
+        document = {"schema": self.SCHEMA, "entry": entry,
+                    "sha256": self._checksum(entry)}
+        path = self.directory / f"{key}.json"
+        # Atomic publish, per-writer temporary — campaigns run many
+        # processes and threads against one directory.
+        temporary = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}")
+        try:
+            temporary.write_text(
+                json.dumps(document, separators=(",", ":")) + "\n",
+                encoding="utf-8")
+            temporary.replace(path)
+        except OSError:
+            temporary.unlink(missing_ok=True)
+            return False
+        return True
+
+    # -- integrity -------------------------------------------------------------
+
+    @staticmethod
+    def _checksum(entry: dict) -> str:
+        return hashlib.sha256(
+            json.dumps(entry, sort_keys=True,
+                       separators=(",", ":")).encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def _validate(entry: dict) -> None:
+        """Raise unless the entry's remainder is a well-formed term list."""
+        if not isinstance(entry["cone"], str) \
+                or not isinstance(entry["method"], str):
+            raise ValueError("malformed cone cache entry")
+        for term in entry["remainder"]:
+            coeff, slots = term
+            if not isinstance(coeff, int) or isinstance(coeff, bool):
+                raise ValueError("malformed cone remainder coefficient")
+            if not all(isinstance(slot, int) and not isinstance(slot, bool)
+                       and slot >= 0 for slot in slots):
+                raise ValueError("malformed cone remainder monomial")
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        target = path.with_name(path.name + ".quarantined")
+        try:
+            path.replace(target)
+        except OSError:
+            pass  # a concurrent reader already moved (or removed) it
+
+    def stats(self) -> dict:
+        """Hit/miss/quarantine counters of this instance."""
+        return {"hits": self.hits, "misses": self.misses,
+                "quarantined": self.quarantined}

@@ -1,0 +1,258 @@
+"""Mutation campaigns: the fault-injection sweep as a first-class workload.
+
+A campaign enumerates every single-gate mutation
+(:func:`repro.circuit.mutate.list_mutations`) over an architecture×width
+grid, verifies each mutant through
+:class:`~repro.api.service.VerificationService` on the incremental per-cone
+path with one shared :class:`~repro.incremental.cache.ConeCache`, and emits
+one JSON-lines row per mutant.  Consecutive mutants of one circuit differ
+in a single gate, so after the first few rows almost every cone replays
+from the cache — the workload the ROADMAP's per-cone proof reuse exists
+for.  A sampled subset of rows is additionally re-verified from scratch
+(``cross_check``), pinning the incremental path to the differential
+reference.
+
+Rows are appended and flushed one by one, so an interrupted campaign
+resumes (``resume=True``) executing only the unfinished mutants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.api.request import Budgets, VerificationRequest
+
+#: Worker-process state built once per worker by :func:`_init_worker`.
+_WORKER = {}
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One campaign cell: a mutant (or the unmutated baseline) to verify."""
+
+    architecture: str
+    width: int
+    #: Index into ``list_mutations`` order; ``-1`` is the baseline circuit.
+    index: int
+    #: Stable row id (``<arch>-w<width>-<mutation key>`` / ``...-baseline``).
+    id: str
+
+
+def enumerate_tasks(architectures: Sequence[str], widths: Sequence[int],
+                    sample: int | None = None, seed: int = 0,
+                    limit: int | None = None) -> list[CampaignTask]:
+    """The campaign task list: baseline + mutants per grid cell.
+
+    ``sample`` caps the mutants *per cell* via a seeded draw (kept in
+    ``list_mutations`` order), so the same (architectures, widths, sample,
+    seed) always yields the same task list — resume files and cross-check
+    subsets depend on that.
+    """
+    from repro.circuit.mutate import list_mutations
+    from repro.generators.multipliers import generate_multiplier
+
+    tasks: list[CampaignTask] = []
+    for architecture in architectures:
+        for width in widths:
+            netlist = generate_multiplier(architecture, width)
+            cell = f"{architecture}-w{width}"
+            tasks.append(CampaignTask(architecture, width, -1,
+                                      f"{cell}-baseline"))
+            mutants = [
+                CampaignTask(architecture, width, index,
+                             f"{cell}-{mutation.key}")
+                for index, mutation in enumerate(list_mutations(netlist))]
+            if sample is not None and sample < len(mutants):
+                rng = random.Random(f"campaign:{seed}:{cell}")
+                mutants = sorted(rng.sample(mutants, sample),
+                                 key=lambda task: task.index)
+            tasks.extend(mutants)
+    if limit is not None:
+        tasks = tasks[:limit]
+    return tasks
+
+
+def _build_service(method: str, budgets: Budgets,
+                   cone_cache_dir: str | None):
+    from repro.api.service import VerificationService
+    return VerificationService(budgets=budgets,
+                               cone_cache_dir=cone_cache_dir)
+
+
+def _init_worker(method: str, budgets: Budgets,
+                 cone_cache_dir: str | None) -> None:
+    _WORKER["service"] = _build_service(method, budgets, cone_cache_dir)
+    _WORKER["method"] = method
+    _WORKER["budgets"] = budgets
+
+
+def _execute_task(service, task: CampaignTask, method: str,
+                  budgets: Budgets, cross_check: bool) -> dict:
+    """Verify one campaign cell incrementally; optionally cross-check."""
+    from repro.circuit.mutate import apply_mutation, list_mutations
+    from repro.generators.multipliers import generate_multiplier
+
+    netlist = generate_multiplier(task.architecture, task.width)
+    mutation = None
+    if task.index >= 0:
+        mutation = list_mutations(netlist)[task.index]
+        netlist = apply_mutation(netlist, mutation)
+    request = VerificationRequest.from_netlist(
+        netlist, method=method, budgets=budgets,
+        find_counterexample=False, incremental=True)
+    report = service.submit(request)
+    row = {
+        "id": task.id,
+        "architecture": task.architecture,
+        "width": task.width,
+        "mutation": mutation.describe() if mutation is not None else None,
+        "verdict": report.verdict,
+        "status": report.status,
+        "time_s": report.time_s,
+        "incremental": report.incremental,
+    }
+    if cross_check:
+        reference = service.submit(
+            dataclasses.replace(request, incremental=False))
+        row["cross_check"] = {
+            "verdict": reference.verdict,
+            "agrees": reference.verdict == report.verdict,
+        }
+    return row
+
+
+def _pool_task(args) -> dict:
+    task, cross_check = args
+    return _execute_task(_WORKER["service"], task, _WORKER["method"],
+                         _WORKER["budgets"], cross_check)
+
+
+def _finished_ids(out_path: Path) -> set[str]:
+    """Row ids already present in a (possibly torn) campaign output file."""
+    finished: set[str] = set()
+    try:
+        lines = out_path.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return finished
+    for line in lines:
+        try:
+            row = json.loads(line)
+            finished.add(row["id"])
+        except (ValueError, KeyError, TypeError):
+            continue  # torn trailing line of an interrupted run
+    return finished
+
+
+def run_campaign(architectures: Sequence[str], widths: Sequence[int],
+                 method: str = "mt-lr", *,
+                 budgets: Budgets | None = None,
+                 cone_cache_dir: str | None = None,
+                 out_path: str | Path | None = None,
+                 resume: bool = False,
+                 sample: int | None = None,
+                 seed: int = 0,
+                 cross_check: int = 0,
+                 limit: int | None = None,
+                 jobs: int = 1,
+                 on_row: Callable[[dict], None] | None = None) -> dict:
+    """Run a mutation campaign and return its summary.
+
+    One JSONL row per task is appended to ``out_path`` (when given) as it
+    completes; with ``resume=True`` tasks whose id already appears there
+    are skipped.  ``cross_check`` picks that many mutant rows (seeded) to
+    re-verify from scratch, asserting verdict agreement row by row.  With
+    ``jobs > 1`` the tasks fan across worker processes that share the
+    on-disk cone cache (entries publish atomically, so concurrent writers
+    are safe).
+    """
+    if budgets is None:
+        budgets = Budgets()
+    tasks = enumerate_tasks(architectures, widths, sample=sample, seed=seed,
+                            limit=limit)
+    checked_ids: set[str] = set()
+    if cross_check > 0:
+        mutant_ids = [task.id for task in tasks if task.index >= 0]
+        rng = random.Random(f"cross-check:{seed}")
+        checked_ids = set(rng.sample(mutant_ids,
+                                     min(cross_check, len(mutant_ids))))
+    skipped = 0
+    if resume and out_path is not None:
+        finished = _finished_ids(Path(out_path))
+        pending = [task for task in tasks if task.id not in finished]
+        skipped = len(tasks) - len(pending)
+        tasks = pending
+
+    verdicts: dict[str, int] = {}
+    hits = misses = 0
+    cross_checked = disagreements = 0
+    out_file = None
+    if out_path is not None:
+        Path(out_path).parent.mkdir(parents=True, exist_ok=True)
+        out_file = open(out_path, "a", encoding="utf-8")
+        if out_file.tell():
+            # An interrupted run can leave a torn trailing line with no
+            # newline; appending straight after it would swallow the next
+            # row.  Start on a fresh line instead.
+            with open(out_path, "rb") as tail:
+                tail.seek(-1, os.SEEK_END)
+                if tail.read(1) != b"\n":
+                    out_file.write("\n")
+
+    def consume(row: dict) -> None:
+        nonlocal hits, misses, cross_checked, disagreements
+        verdicts[row["verdict"]] = verdicts.get(row["verdict"], 0) + 1
+        counters = row.get("incremental") or {}
+        hits += counters.get("cache_hits", 0)
+        misses += counters.get("cache_misses", 0)
+        check = row.get("cross_check")
+        if check is not None:
+            cross_checked += 1
+            if not check["agrees"]:
+                disagreements += 1
+        if out_file is not None:
+            out_file.write(json.dumps(row, separators=(",", ":")) + "\n")
+            out_file.flush()
+        if on_row is not None:
+            on_row(row)
+
+    work = [(task, task.id in checked_ids) for task in tasks]
+    try:
+        if jobs > 1 and len(work) > 1:
+            context = multiprocessing.get_context()
+            with context.Pool(jobs, initializer=_init_worker,
+                              initargs=(method, budgets,
+                                        cone_cache_dir)) as pool:
+                for row in pool.imap(_pool_task, work):
+                    consume(row)
+        else:
+            service = _build_service(method, budgets, cone_cache_dir)
+            for task, check in work:
+                consume(_execute_task(service, task, method, budgets, check))
+    finally:
+        if out_file is not None:
+            out_file.close()
+
+    total_cones = hits + misses
+    return {
+        "method": method,
+        "seed": seed,
+        "tasks": len(tasks) + skipped,
+        "executed": len(tasks),
+        "skipped": skipped,
+        "verdicts": verdicts,
+        "cone_cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total_cones) if total_cones else 0.0,
+        },
+        "cross_checked": cross_checked,
+        "cross_check_disagreements": disagreements,
+        "out": str(out_path) if out_path is not None else None,
+    }

@@ -1,0 +1,193 @@
+"""Per-output reduction cones with canonical content hashes.
+
+The incremental verifier splits a netlist along its primary outputs: the
+*cone* of an output is its transitive fanin
+(:func:`repro.circuit.analysis.output_cones`), the sub-circuit whose
+Gröbner-basis reduction produces that output bit's normal form over the
+primary inputs.  Cones of different outputs overlap wherever logic is
+shared; for bookkeeping that must cover every gate exactly once (campaign
+accounting, dead-logic detection) each gate is additionally *owned* by the
+first output — in ``netlist.outputs`` order — whose cone contains it.
+
+Every cone carries a canonical content hash: the cone is renamed
+topologically (post-order DFS from the output, following each gate's input
+tuple), so the hash is a pure function of the cone's *structure* — invariant
+under signal renaming and gate declaration order, and distinct for any
+single-gate functional edit inside the cone.  Two circuits that share a
+cone hash share the cone's reduction result, which is what the
+:class:`repro.incremental.cache.ConeCache` keys on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.circuit.analysis import output_cones
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+
+#: Canonical-node tag for primary inputs (gate nodes use the GateType value).
+_INPUT_TAG = "in"
+
+
+@dataclass(frozen=True)
+class Cone:
+    """One output's reduction cone, in canonical (structure-only) form.
+
+    ``nodes`` is the canonical document the hash is computed over: node
+    ``i`` is either ``("in",)`` for a primary input or
+    ``(gate_type_value, (child_ids...))`` for a gate, with ids assigned in
+    post-order DFS completion order — every child id is smaller than its
+    parent's, and the cone's output is always the last node.
+    """
+
+    #: Primary-output signal (original netlist name) this cone reduces.
+    output: str
+    #: Canonical content hash (sha256 hex over ``nodes``).
+    hash: str
+    #: Canonical node list; index = canonical id.
+    nodes: tuple[tuple, ...]
+    #: ``(canonical id, original signal name)`` of every primary input.
+    inputs: tuple[tuple[int, str], ...]
+    #: Gate-output signals inside the cone (original names; overlapping).
+    gates: frozenset[str]
+    #: Gates owned by this cone under first-output ownership (exact-once).
+    owned: tuple[str, ...]
+
+    @property
+    def root(self) -> int:
+        """Canonical id of the cone output (always the last node)."""
+        return len(self.nodes) - 1
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gates in the (overlapping) support cone."""
+        return len(self.gates)
+
+
+@dataclass(frozen=True)
+class ConePartition:
+    """All cones of a netlist plus the gates no output depends on."""
+
+    cones: tuple[Cone, ...]
+    #: Gate outputs outside every output cone (insertion order).
+    dead_gates: tuple[str, ...]
+
+    def by_output(self) -> dict[str, Cone]:
+        """Cones keyed by their output signal."""
+        return {cone.output: cone for cone in self.cones}
+
+    def changed_cones(self, other: "ConePartition") -> list[str]:
+        """Outputs whose cone hash differs between two partitions.
+
+        Outputs present in only one partition count as changed.
+        """
+        mine = {cone.output: cone.hash for cone in self.cones}
+        theirs = {cone.output: cone.hash for cone in other.cones}
+        return sorted(output for output in mine.keys() | theirs.keys()
+                      if mine.get(output) != theirs.get(output))
+
+
+def _canonical_nodes(netlist: Netlist, output: str,
+                     ) -> tuple[tuple[tuple, ...], tuple[tuple[int, str], ...]]:
+    """Canonically renamed cone of ``output``: (nodes, input slots).
+
+    Iterative post-order DFS from the output following each gate's ordered
+    input tuple; a node's id is assigned when all its children are done, so
+    ids are topological and depend only on the cone's structure — never on
+    signal names or the netlist's gate declaration order.
+    """
+    ids: dict[str, int] = {}
+    nodes: list[tuple] = []
+    inputs: list[tuple[int, str]] = []
+    stack: list[tuple[str, bool]] = [(output, False)]
+    while stack:
+        signal, expanded = stack.pop()
+        if signal in ids:
+            continue
+        if netlist.is_input(signal):
+            ids[signal] = len(nodes)
+            inputs.append((len(nodes), signal))
+            nodes.append((_INPUT_TAG,))
+            continue
+        gate = netlist.gate_of(signal)
+        if expanded:
+            ids[signal] = len(nodes)
+            nodes.append((gate.gate_type.value,
+                          tuple(ids[child] for child in gate.inputs)))
+        else:
+            stack.append((signal, True))
+            for child in reversed(gate.inputs):
+                if child not in ids:
+                    stack.append((child, False))
+    return tuple(nodes), tuple(inputs)
+
+
+def cone_hash(nodes: tuple[tuple, ...]) -> str:
+    """sha256 over the canonical node document (compact JSON)."""
+    payload = json.dumps(
+        [[node[0]] if len(node) == 1 else [node[0], list(node[1])]
+         for node in nodes],
+        separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def extract_cone(netlist: Netlist, output: str,
+                 owned: tuple[str, ...] = (),
+                 support: set[str] | None = None) -> Cone:
+    """Build the :class:`Cone` of one primary output."""
+    nodes, inputs = _canonical_nodes(netlist, output)
+    if support is None:
+        from repro.circuit.analysis import transitive_fanin
+        support = transitive_fanin(netlist, [output])
+    gates = frozenset(signal for signal in support
+                      if not netlist.is_input(signal))
+    return Cone(output=output, hash=cone_hash(nodes), nodes=nodes,
+                inputs=inputs, gates=gates, owned=tuple(owned))
+
+
+def partition_cones(netlist: Netlist) -> ConePartition:
+    """Split a netlist into per-output cones with exact-once gate ownership.
+
+    Cones appear in ``netlist.outputs`` order.  A gate is owned by the
+    first output whose cone contains it; gates in no cone (dead logic) are
+    reported separately, so ``owned`` sets plus ``dead_gates`` cover every
+    gate exactly once.
+    """
+    fanins = output_cones(netlist)
+    claimed: set[str] = set()
+    cones: list[Cone] = []
+    for output in netlist.outputs:
+        support = fanins[output]
+        owned = tuple(gate.output for gate in netlist.gates()
+                      if gate.output in support and gate.output not in claimed)
+        claimed.update(owned)
+        cones.append(extract_cone(netlist, output, owned=owned,
+                                  support=support))
+    dead = tuple(gate.output for gate in netlist.gates()
+                 if gate.output not in claimed)
+    return ConePartition(cones=tuple(cones), dead_gates=dead)
+
+
+def cone_subnetlist(cone: Cone) -> Netlist:
+    """Materialize a cone as a standalone netlist under canonical names.
+
+    Signal ``c<i>`` is canonical node ``i``; nodes are instantiated in
+    ascending id order (topological by construction), the single output is
+    the root.  The result — and therefore its algebraic model, whose
+    variable numbering is deterministic — is a pure function of the
+    canonical document, which is what makes cached per-cone reductions
+    replayable across differently-named circuits.
+    """
+    sub = Netlist(f"cone_{cone.hash[:12]}")
+    for index, node in enumerate(cone.nodes):
+        if node[0] == _INPUT_TAG:
+            sub.add_input(f"c{index}")
+        else:
+            sub.add_gate(GateType(node[0]),
+                         tuple(f"c{child}" for child in node[1]),
+                         output=f"c{index}")
+    sub.add_output(f"c{cone.root}")
+    return sub

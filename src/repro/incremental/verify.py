@@ -1,0 +1,299 @@
+"""Incremental verification: compose per-cone normal forms under the spec.
+
+The word-level specifications of this reproduction (multiplier and adder)
+are *linear* in the output variables, so the Gröbner-basis remainder
+factors along output cones: reduce each output bit ``s_i`` to its unique
+multilinear normal form ``R_i`` over the primary inputs (over ℤ, no
+coefficient modulus — the normal form in ℤ[X]/(x²−x) is independent of the
+substitution schedule and rewriting scheme), substitute ``s_i := R_i`` into
+the specification polynomial, and apply the coefficient modulus once at the
+end.  The surviving term set and all coefficients modulo ``2^|S|`` agree
+exactly with the from-scratch reduction — verdicts and counterexamples are
+identical; only the integer representatives of coefficients may differ by
+multiples of the modulus (e.g. ``-128`` vs ``+128`` mod 256), because the
+from-scratch engine drops-but-never-normalizes coefficients mid-run.  This
+path renders the canonical symmetric-range representative instead (see
+``docs/incremental.md``).
+
+Per-cone results are replayed from a :class:`~repro.incremental.cache
+.ConeCache` when the cone's canonical hash is unchanged, so re-verifying a
+single-gate mutant re-reduces only the cones the mutation reaches.
+
+The per-output normal form is exponential in the cone's primary-input
+count (cross-column cancellation needs the joint reduction), so circuits
+with a cone wider than ``max_cone_inputs`` are refused up front with
+:class:`ConeTooWideError`; the service falls back to the from-scratch
+engine for those.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.algebra.monomial import bits_of
+from repro.algebra.polynomial import Polynomial
+from repro.api.request import Budgets
+from repro.circuit.netlist import Netlist
+from repro.errors import BlowUpError
+from repro.incremental.cache import ConeCache
+from repro.incremental.cones import (
+    Cone,
+    ConePartition,
+    cone_subnetlist,
+    partition_cones,
+)
+from repro.modeling.model import AlgebraicModel
+from repro.modeling.spec import Specification
+from repro.verification.reduction import (
+    ReductionOptions,
+    ReductionTrace,
+    groebner_basis_reduction,
+)
+from repro.verification.result import ModelStatistics, VerificationResult
+
+
+#: Widest cone (in primary inputs) the per-cone path will reduce.  A cone's
+#: multilinear normal form — and the reduction's peak — is exponential in
+#: its input count (an 8-bit multiplier's ``s6`` cone, 14 inputs, peaks near
+#: 700k monomials where the whole from-scratch reduction stays in the
+#: thousands, because cross-column cancellation only happens when the output
+#: bits are reduced jointly).  12 inputs bounds the normal form at 4096
+#: terms and keeps the worst attempted cone around a quarter second.
+DEFAULT_MAX_CONE_INPUTS = 12
+
+
+class ConeTooWideError(BlowUpError):
+    """A cone exceeds ``max_cone_inputs``; per-cone reduction is refused.
+
+    Subclasses :class:`~repro.errors.BlowUpError` so direct callers see the
+    familiar budget-trip contract, while
+    :class:`~repro.api.service.VerificationService` distinguishes this
+    *structural* refusal (fall back to the from-scratch engine, which does
+    not suffer the per-column blow-up) from a genuine budget trip (report a
+    ``budget`` verdict — from-scratch would trip the same budgets).
+    """
+
+
+@dataclass
+class IncrementalOutcome:
+    """A :class:`VerificationResult` plus the cone-level accounting."""
+
+    result: VerificationResult
+    #: ``cones`` / ``replayed_cones`` / ``reduced_cones`` / ``cache_hits``
+    #: / ``cache_misses`` — the counters surfaced on
+    #: :class:`~repro.api.report.VerificationReport` (schema 5) and
+    #: aggregated by ``/metrics``.
+    counters: dict = field(default_factory=dict)
+    partition: ConePartition | None = field(default=None, repr=False)
+
+
+def incremental_verify(netlist: Netlist,
+                       specification: Specification | str = "multiplier",
+                       method: str = "mt-lr", *,
+                       budgets: Budgets | None = None,
+                       xor_and_only: bool = False,
+                       find_counterexample: bool = True,
+                       seed: int = 0,
+                       cache: ConeCache | None = None,
+                       model: AlgebraicModel | None = None,
+                       partition: ConePartition | None = None,
+                       max_cone_inputs: int | None = DEFAULT_MAX_CONE_INPUTS,
+                       ) -> IncrementalOutcome:
+    """Verify a netlist by per-cone reduction with optional proof reuse.
+
+    Mirrors :func:`repro.verification.engine.verify` (same specification
+    resolution, budgets, counterexample search, and
+    :class:`~repro.errors.BlowUpError` behaviour) but reduces each output
+    cone independently — replaying cones from ``cache`` when their
+    canonical hash already has an entry — instead of reducing the whole
+    circuit in one pass.  Only algebraic methods apply; certificates are
+    not supported on this path (the certificate journal is a from-scratch
+    reduction schedule).
+
+    The verdict needs every cone, so a circuit with any cone wider than
+    ``max_cone_inputs`` primary inputs is refused up front with
+    :class:`ConeTooWideError` — before any reduction work — because the
+    per-output normal form is exponential in the cone's inputs (see
+    ``docs/incremental.md``).  Pass ``max_cone_inputs=None`` to attempt
+    arbitrarily wide cones anyway.
+    """
+    from repro.verification.engine import (
+        _find_counterexample,
+        _resolve_specification,
+    )
+
+    if budgets is None:
+        budgets = Budgets()
+    start_total = time.perf_counter()
+    deadline = (start_total + budgets.time_budget_s
+                if budgets.time_budget_s is not None else None)
+
+    if model is None:
+        model = AlgebraicModel.from_netlist(netlist)
+    spec = _resolve_specification(model, specification)
+    if partition is None:
+        partition = partition_cones(netlist)
+    if max_cone_inputs is not None:
+        for cone in partition.cones:
+            if len(cone.inputs) > max_cone_inputs:
+                raise ConeTooWideError(
+                    f"cone {cone.output!r} spans {len(cone.inputs)} primary "
+                    f"inputs (limit {max_cone_inputs}): its multilinear "
+                    "normal form is exponential in the cone's inputs; "
+                    "per-cone reduction refused", elapsed_s=0.0)
+
+    replayed = reduced = 0
+    aggregate = {"cancelled_vanishing_monomials": 0, "num_polynomials": 0,
+                 "num_monomials": 0, "max_polynomial_terms": 0,
+                 "max_monomial_variables": 0, "peak_monomials": 0,
+                 "substitutions": 0}
+    rewrite_time = 0.0
+    start_reduce = time.perf_counter()
+    replacements: dict[int, Polynomial] = {}
+    for cone in partition.cones:
+        key = (cache.key(cone.hash, method, budgets, xor_and_only)
+               if cache is not None else None)
+        entry = cache.get(key) if cache is not None else None
+        if entry is None:
+            terms, counters, cone_rewrite_s = _reduce_cone(
+                cone, method, budgets, deadline, xor_and_only)
+            rewrite_time += cone_rewrite_s
+            reduced += 1
+            if cache is not None:
+                cache.put(key, cone.hash, method, terms, counters)
+        else:
+            terms = [(coeff, tuple(slots))
+                     for coeff, slots in entry["remainder"]]
+            counters = entry["counters"]
+            replayed += 1
+        for name in aggregate:
+            value = int(counters.get(name, 0))
+            if name.startswith("max_") or name == "peak_monomials":
+                aggregate[name] = max(aggregate[name], value)
+            else:
+                aggregate[name] += value
+        slot_to_var = {slot: model.ring.index(signal)
+                       for slot, signal in cone.inputs}
+        replacements[model.ring.index(cone.output)] = Polynomial.from_terms(
+            (coeff, tuple(slot_to_var[slot] for slot in slots))
+            for coeff, slots in terms)
+
+    remainder = spec.polynomial.substitute_many(replacements)
+    remainder = spec.apply_modulus(remainder)
+    if spec.modulus is not None:
+        # Canonical symmetric-range representatives: the composed integer
+        # coefficients are congruent to the from-scratch remainder's mod
+        # the spec modulus, but the raw representatives of both paths are
+        # schedule-dependent — normalizing here makes the incremental
+        # remainder a pure function of the circuit.
+        remainder = remainder.reduce_coefficients(spec.modulus)
+    reduction_time = time.perf_counter() - start_reduce
+
+    verified = remainder.is_zero
+    counterexample = None
+    if not verified and find_counterexample:
+        counterexample = _find_counterexample(model, remainder, spec.modulus,
+                                              budgets.counterexample_tries,
+                                              seed)
+
+    stats = ModelStatistics(
+        num_polynomials=aggregate["num_polynomials"],
+        num_monomials=aggregate["num_monomials"],
+        max_polynomial_terms=aggregate["max_polynomial_terms"],
+        max_monomial_variables=aggregate["max_monomial_variables"])
+    trace = ReductionTrace(substitutions=aggregate["substitutions"],
+                           peak_monomials=aggregate["peak_monomials"])
+    result = VerificationResult(
+        verified=verified,
+        method=method,
+        circuit=netlist.name,
+        specification=spec.description,
+        remainder=remainder,
+        remainder_text="" if verified else model.ring.render(remainder),
+        counterexample=counterexample,
+        cancelled_vanishing_monomials=aggregate[
+            "cancelled_vanishing_monomials"],
+        model_statistics=stats,
+        reduction_trace=trace,
+        rewrite_time_s=rewrite_time,
+        reduction_time_s=reduction_time - rewrite_time,
+        total_time_s=time.perf_counter() - start_total)
+    counters = {
+        "cones": len(partition.cones),
+        "replayed_cones": replayed,
+        "reduced_cones": reduced,
+        "cache_hits": replayed if cache is not None else 0,
+        "cache_misses": reduced if cache is not None else 0,
+    }
+    return IncrementalOutcome(result=result, counters=counters,
+                              partition=partition)
+
+
+def _reduce_cone(cone: Cone, method: str, budgets: Budgets,
+                 deadline: float | None, xor_and_only: bool,
+                 ) -> tuple[list[tuple[int, tuple[int, ...]]], dict, float]:
+    """Reduce one cone to its ℤ normal form over canonical input slots.
+
+    Returns ``(terms, counters, rewrite_seconds)`` where ``terms`` is a
+    canonically sorted ``[(coeff, (slot, ...)), ...]`` list.  No
+    coefficient modulus is applied — the exact integer normal form is what
+    makes cached results composable under any specification modulus.
+    Budget trips raise :class:`~repro.errors.BlowUpError` and are never
+    cached.
+    """
+    from repro.verification.engine import _rewrite
+
+    if len(cone.nodes) == 1 and cone.nodes[0][0] == "in":
+        # The output is a primary input: its normal form is itself.
+        return [(1, (0,))], _cone_counters(0, None, None), 0.0
+
+    sub = cone_subnetlist(cone)
+    sub_model = AlgebraicModel.from_netlist(sub)
+    remaining = None
+    if deadline is not None:
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            raise BlowUpError("incremental reduction exceeded the time "
+                              "budget before cone "
+                              f"{cone.output!r}", elapsed_s=0.0)
+    start_rewrite = time.perf_counter()
+    rewritten, _ = _rewrite(sub_model, method, xor_and_only,
+                            budgets.monomial_budget, deadline,
+                            budgets.vanishing_cache_limit,
+                            record_vanishing=False)
+    rewrite_s = time.perf_counter() - start_rewrite
+    options = ReductionOptions(monomial_budget=budgets.monomial_budget,
+                               time_budget_s=(deadline - time.perf_counter()
+                                              if deadline is not None
+                                              else None),
+                               coefficient_modulus=None)
+    trace = ReductionTrace()
+    root_var = sub_model.ring.index(f"c{cone.root}")
+    poly = groebner_basis_reduction(Polynomial.variable(root_var), sub_model,
+                                    rewritten.tails, options, trace)
+
+    # Canonical sub-ring variables map 1:1 onto slot ids via their names.
+    slot_of = {var: int(sub_model.ring.name(var)[1:])
+               for var in sub_model.input_vars}
+    terms = sorted(
+        ((coeff, tuple(sorted(slot_of[var] for var in bits_of(mask))))
+         for mask, coeff in poly.term_masks()),
+        key=lambda term: term[1])
+    counters = _cone_counters(rewritten.cancelled_vanishing_monomials,
+                              rewritten.tails, trace)
+    return terms, counters, rewrite_s
+
+
+def _cone_counters(cancelled: int, tails, trace: ReductionTrace | None) -> dict:
+    stats = (ModelStatistics.from_tails(tails) if tails is not None
+             else ModelStatistics())
+    return {
+        "cancelled_vanishing_monomials": cancelled,
+        "num_polynomials": stats.num_polynomials,
+        "num_monomials": stats.num_monomials,
+        "max_polynomial_terms": stats.max_polynomial_terms,
+        "max_monomial_variables": stats.max_monomial_variables,
+        "peak_monomials": trace.peak_monomials if trace is not None else 0,
+        "substitutions": trace.substitutions if trace is not None else 0,
+    }

@@ -82,7 +82,7 @@ def test_json_roundtrip_is_byte_identical():
                               "circuit", "width", "specification", "time",
                               "time_s", "reason", "counterexample",
                               "remainder", "counters", "certificate",
-                              "cross_check", "attempts"]
+                              "cross_check", "attempts", "incremental"]
 
 
 def test_verdict_status_and_exit_code_mapping():

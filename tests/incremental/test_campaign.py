@@ -1,0 +1,137 @@
+"""The mutation-campaign runner: enumeration, rows, resume, cross-check."""
+
+from __future__ import annotations
+
+import json
+
+from repro.incremental import enumerate_tasks, run_campaign
+from repro.incremental.campaign import _finished_ids
+from pathlib import Path
+
+
+def test_enumerate_tasks_is_deterministic_and_stably_identified():
+    tasks = enumerate_tasks(["SP-AR-RC"], [4], sample=10, seed=3)
+    again = enumerate_tasks(["SP-AR-RC"], [4], sample=10, seed=3)
+    assert tasks == again
+    assert tasks[0].id == "SP-AR-RC-w4-baseline"
+    assert tasks[0].index == -1
+    assert len(tasks) == 11  # baseline + sample mutants
+    ids = [task.id for task in tasks]
+    assert len(ids) == len(set(ids))
+    for task in tasks[1:]:
+        # Stable machine-readable id derived from the mutation key.
+        assert task.id.startswith("SP-AR-RC-w4-") and "->" in task.id
+    # A different seed draws a different sample.
+    assert enumerate_tasks(["SP-AR-RC"], [4], sample=10, seed=4) != tasks
+    # limit truncates the flattened grid.
+    assert enumerate_tasks(["SP-AR-RC"], [4], sample=10, seed=3,
+                           limit=5) == tasks[:5]
+
+
+def test_run_campaign_rows_and_summary(tmp_path):
+    out = tmp_path / "campaign.jsonl"
+    rows = []
+    summary = run_campaign(
+        ["SP-AR-RC"], [4], sample=8, seed=1, cross_check=3,
+        cone_cache_dir=str(tmp_path / "cones"), out_path=out,
+        on_row=rows.append)
+    assert summary["tasks"] == summary["executed"] == 9
+    assert summary["skipped"] == 0
+    assert summary["verdicts"].get("verified", 0) >= 1  # the baseline
+    assert sum(summary["verdicts"].values()) == 9
+    assert summary["cross_checked"] == 3
+    assert summary["cross_check_disagreements"] == 0
+    assert summary["out"] == str(out)
+
+    persisted = [json.loads(line) for line in
+                 out.read_text(encoding="utf-8").splitlines()]
+    assert persisted == rows
+    baseline = persisted[0]
+    assert baseline["id"] == "SP-AR-RC-w4-baseline"
+    assert baseline["mutation"] is None
+    assert baseline["verdict"] == "verified"
+    assert baseline["incremental"]["cones"] == 8
+    for row in persisted[1:]:
+        assert row["mutation"] is not None
+        assert row["verdict"] in ("verified", "refuted")
+    checked = [row for row in persisted if "cross_check" in row]
+    assert len(checked) == 3
+    assert all(row["cross_check"]["agrees"] for row in checked)
+
+
+def test_second_run_replays_the_cone_cache(tmp_path):
+    kwargs = dict(sample=8, seed=1, cone_cache_dir=str(tmp_path / "cones"))
+    first = run_campaign(["SP-AR-RC"], [4],
+                         out_path=tmp_path / "run1.jsonl", **kwargs)
+    second = run_campaign(["SP-AR-RC"], [4],
+                          out_path=tmp_path / "run2.jsonl", **kwargs)
+    assert second["cone_cache"]["hit_rate"] >= 0.9
+    assert second["cone_cache"]["misses"] == 0
+    assert first["verdicts"] == second["verdicts"]
+
+    def verdict_column(path):
+        return [(json.loads(line)["id"], json.loads(line)["verdict"])
+                for line in path.read_text(encoding="utf-8").splitlines()]
+
+    assert verdict_column(tmp_path / "run1.jsonl") == \
+        verdict_column(tmp_path / "run2.jsonl")
+
+
+def test_resume_executes_only_the_unfinished_tasks(tmp_path):
+    out = tmp_path / "campaign.jsonl"
+    cache = str(tmp_path / "cones")
+    partial = run_campaign(["SP-AR-RC"], [4], sample=8, seed=1, limit=4,
+                           cone_cache_dir=cache, out_path=out)
+    assert partial["executed"] == 4
+
+    # Simulate the interruption tearing the last line mid-write.
+    with open(out, "a", encoding="utf-8") as handle:
+        handle.write('{"id": "SP-AR-RC-w4-tor')
+
+    resumed = run_campaign(["SP-AR-RC"], [4], sample=8, seed=1, resume=True,
+                           cone_cache_dir=cache, out_path=out)
+    assert resumed["skipped"] == 4
+    assert resumed["executed"] == 5
+    assert resumed["tasks"] == 9
+    ids = [json.loads(line)["id"]
+           for line in out.read_text(encoding="utf-8").splitlines()
+           if not line.startswith('{"id": "SP-AR-RC-w4-tor')]
+    expected = [task.id for task in
+                enumerate_tasks(["SP-AR-RC"], [4], sample=8, seed=1)]
+    assert ids == expected
+
+    # A third run with resume finds nothing left to do.
+    done = run_campaign(["SP-AR-RC"], [4], sample=8, seed=1, resume=True,
+                        cone_cache_dir=cache, out_path=out)
+    assert done["executed"] == 0
+    assert done["skipped"] == 9
+
+
+def test_finished_ids_tolerates_torn_and_foreign_lines(tmp_path):
+    out = tmp_path / "rows.jsonl"
+    out.write_text('{"id": "a", "verdict": "verified"}\n'
+                   '[1, 2, 3]\n'
+                   'not json at all\n'
+                   '{"no_id": true}\n'
+                   '{"id": "b"}\n'
+                   '{"id": "c", "verdi',
+                   encoding="utf-8")
+    assert _finished_ids(out) == {"a", "b"}
+    assert _finished_ids(Path(tmp_path / "missing.jsonl")) == set()
+
+
+def test_parallel_jobs_share_the_cache_and_agree(tmp_path):
+    serial = run_campaign(["SP-AR-RC"], [4], sample=6, seed=2,
+                          cone_cache_dir=str(tmp_path / "serial"),
+                          out_path=tmp_path / "serial.jsonl")
+    parallel = run_campaign(["SP-AR-RC"], [4], sample=6, seed=2, jobs=2,
+                            cone_cache_dir=str(tmp_path / "parallel"),
+                            out_path=tmp_path / "parallel.jsonl")
+    assert parallel["verdicts"] == serial["verdicts"]
+
+    def verdict_of(path):
+        return {json.loads(line)["id"]: json.loads(line)["verdict"]
+                for line in path.read_text(encoding="utf-8").splitlines()}
+
+    assert verdict_of(tmp_path / "parallel.jsonl") == \
+        verdict_of(tmp_path / "serial.jsonl")

@@ -1,0 +1,149 @@
+"""Integrity of the on-disk cone cache.
+
+The cone cache follows the ResultCache contract: checksummed entries,
+atomic publication, and quarantine-then-recompute on any corruption —
+a tampered entry must never poison a verdict.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.request import Budgets
+from repro.errors import BlowUpError
+from repro.generators.multipliers import generate_multiplier
+from repro.incremental import ConeCache, incremental_verify
+
+
+@pytest.fixture()
+def netlist():
+    return generate_multiplier("SP-AR-RC", 3)
+
+
+def _entry_paths(cache):
+    return sorted(cache.directory.glob("*.json"))
+
+
+def test_roundtrip_replays_every_cone(tmp_path, netlist):
+    cache = ConeCache(tmp_path)
+    cold = incremental_verify(netlist, cache=cache)
+    assert cold.result.verified
+    assert cold.counters["cache_misses"] == cold.counters["cones"]
+    assert len(_entry_paths(cache)) == cold.counters["cones"]
+
+    warm = incremental_verify(netlist, cache=cache)
+    assert warm.result.verified
+    assert warm.counters["replayed_cones"] == warm.counters["cones"]
+    assert warm.counters["cache_misses"] == 0
+    assert cache.stats() == {"hits": warm.counters["cones"],
+                             "misses": cold.counters["cones"],
+                             "quarantined": 0}
+
+
+def _tamper(path, mutate):
+    document = json.loads(path.read_text(encoding="utf-8"))
+    mutate(document)
+    path.write_text(json.dumps(document), encoding="utf-8")
+
+
+def _flip_coefficient(document):
+    entry = document["entry"]
+    if entry["remainder"]:
+        entry["remainder"][0][0] += 1
+    else:
+        entry["remainder"].append([1, [0]])
+
+
+@pytest.mark.parametrize("mutate", [
+    _flip_coefficient,
+    lambda document: document.update(schema=99),
+    lambda document: document["entry"].update(remainder=[[True, [0]]],
+                                              ),
+    lambda document: document["entry"].update(remainder=[[1, [0, -3]]]),
+    lambda document: document.pop("sha256"),
+], ids=["flipped-coefficient", "schema-mismatch", "bool-coefficient",
+        "negative-slot", "missing-checksum"])
+def test_tampered_entries_are_quarantined_and_recomputed(
+        tmp_path, netlist, mutate):
+    cache = ConeCache(tmp_path)
+    incremental_verify(netlist, cache=cache)
+    victim = _entry_paths(cache)[0]
+    _tamper(victim, mutate)
+
+    outcome = incremental_verify(netlist, cache=cache)
+    assert outcome.result.verified, "corruption must never flip the verdict"
+    assert outcome.counters["cache_misses"] == 1
+    assert outcome.counters["replayed_cones"] == \
+        outcome.counters["cones"] - 1
+    assert cache.quarantined == 1
+    quarantined = list(cache.directory.glob("*.json.quarantined"))
+    assert len(quarantined) == 1
+    assert quarantined[0].name == victim.name + ".quarantined"
+    # The bad cone was re-reduced and republished with a valid checksum.
+    assert victim.exists()
+    replay = incremental_verify(netlist, cache=cache)
+    assert replay.counters["replayed_cones"] == replay.counters["cones"]
+
+
+def test_resigned_tampered_remainder_still_fails_closed(tmp_path, netlist):
+    """A forger who re-signs a malformed remainder still gets quarantined."""
+    cache = ConeCache(tmp_path)
+    incremental_verify(netlist, cache=cache)
+    victim = _entry_paths(cache)[0]
+    document = json.loads(victim.read_text(encoding="utf-8"))
+    document["entry"]["remainder"] = [["12", [0]]]  # string coefficient
+    document["sha256"] = ConeCache._checksum(document["entry"])
+    victim.write_text(json.dumps(document), encoding="utf-8")
+
+    outcome = incremental_verify(netlist, cache=cache)
+    assert outcome.result.verified
+    assert cache.quarantined == 1
+
+
+def test_unparseable_entry_is_quarantined(tmp_path, netlist):
+    cache = ConeCache(tmp_path)
+    incremental_verify(netlist, cache=cache)
+    victim = _entry_paths(cache)[0]
+    victim.write_text("{not json", encoding="utf-8")
+    outcome = incremental_verify(netlist, cache=cache)
+    assert outcome.result.verified
+    assert cache.quarantined == 1
+    assert (victim.parent / (victim.name + ".quarantined")).exists()
+
+
+def test_budget_trips_are_never_cached(tmp_path, netlist):
+    """Cones reduced before the trip are cached; the tripped one is not."""
+    from repro.incremental import partition_cones
+
+    cache = ConeCache(tmp_path)
+    budgets = Budgets(monomial_budget=2)
+    with pytest.raises(BlowUpError):
+        incremental_verify(netlist, cache=cache, budgets=budgets)
+    cached = len(_entry_paths(cache))
+    assert cached < len(partition_cones(netlist).cones)
+
+    # Re-running replays the easy cones, trips at the same place, and
+    # publishes nothing new — a blow-up is never laundered into an entry.
+    with pytest.raises(BlowUpError):
+        incremental_verify(netlist, cache=cache, budgets=budgets)
+    assert len(_entry_paths(cache)) == cached
+
+
+def test_keys_separate_methods_and_budgets(tmp_path):
+    cache = ConeCache(tmp_path)
+    budgets, other = Budgets(), Budgets(monomial_budget=123)
+    base = cache.key("deadbeef", "mt-lr", budgets)
+    assert cache.key("deadbeef", "mt-lr", budgets) == base
+    assert cache.key("deadbeef", "mt-xor", budgets) != base
+    assert cache.key("deadbeef", "mt-lr", other) != base
+    assert cache.key("deadbeef", "mt-lr", budgets, xor_and_only=True) != base
+    assert cache.key("cafe", "mt-lr", budgets) != base
+
+
+def test_get_and_put_ignore_none_keys(tmp_path):
+    cache = ConeCache(tmp_path)
+    assert cache.get(None) is None
+    assert cache.put(None, "hash", "mt-lr", []) is False
+    assert _entry_paths(cache) == []

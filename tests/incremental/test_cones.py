@@ -1,0 +1,183 @@
+"""Cone partitioning and the canonical content hash.
+
+The hash contract (``docs/incremental.md``): invariant under signal
+renaming and gate declaration order, distinct for structurally edited
+cones, and ownership covers every live gate exactly once — on random
+DAGs and on the full 50-architecture catalog.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuit.mutate import apply_mutation, list_mutations
+from repro.circuit.netlist import GateType, Netlist
+from repro.generators.catalog import architecture_names
+from repro.generators.multipliers import generate_multiplier
+from repro.incremental import cone_subnetlist, partition_cones
+
+
+def _two_bit_adder(names: dict[str, str]) -> Netlist:
+    """A tiny two-output circuit built with caller-chosen signal names."""
+    n = names.get
+    netlist = Netlist(names.get("_module", "tiny"))
+    a = netlist.add_input(n("a", "a"))
+    b = netlist.add_input(n("b", "b"))
+    c = netlist.add_input(n("c", "c"))
+    s = netlist.xor(a, b, n("s", "s"))
+    netlist.xor(s, c, n("sum", "sum"))
+    g = netlist.and_(a, b, n("g", "g"))
+    p = netlist.and_(s, c, n("p", "p"))
+    netlist.or_(g, p, n("cout", "cout"))
+    netlist.add_output(n("sum", "sum"))
+    netlist.add_output(n("cout", "cout"))
+    netlist.validate()
+    return netlist
+
+
+def _random_dag(seed: int) -> Netlist:
+    """A seeded random gate DAG with several outputs and some dead gates."""
+    rng = random.Random(seed)
+    netlist = Netlist(f"dag{seed}")
+    signals = [netlist.add_input(f"i{n}") for n in range(rng.randint(3, 6))]
+    binary = (GateType.AND, GateType.OR, GateType.XOR, GateType.NAND,
+              GateType.NOR, GateType.XNOR)
+    for n in range(rng.randint(8, 40)):
+        if rng.random() < 0.2:
+            kind, fanin = rng.choice((GateType.NOT, GateType.BUF)), 1
+        else:
+            kind, fanin = rng.choice(binary), 2
+        inputs = [rng.choice(signals) for _ in range(fanin)]
+        signals.append(netlist.add_gate(kind, inputs, f"g{n}"))
+    gate_signals = [s for s in signals if not netlist.is_input(s)]
+    for signal in rng.sample(gate_signals,
+                             max(1, len(gate_signals) // 3)):
+        netlist.add_output(signal)
+    netlist.validate()
+    return netlist
+
+
+def test_cone_hash_is_invariant_under_signal_renaming():
+    plain = _two_bit_adder({})
+    renamed = _two_bit_adder({
+        "_module": "obfuscated", "a": "x", "b": "y", "c": "z",
+        "s": "n17", "sum": "n18", "g": "n19", "p": "n20", "cout": "n21"})
+    hashes = [cone.hash for cone in partition_cones(plain).cones]
+    assert hashes == [cone.hash for cone in partition_cones(renamed).cones]
+
+
+def test_cone_hash_is_invariant_under_gate_declaration_order():
+    ordered = _two_bit_adder({})
+    shuffled = Netlist("tiny")
+    for name in ("a", "b", "c"):
+        shuffled.add_input(name)
+    # Same gates, declared back to front (forward references are legal
+    # until validate()).
+    shuffled.add_gate(GateType.OR, ("g", "p"), "cout")
+    shuffled.add_gate(GateType.AND, ("s", "c"), "p")
+    shuffled.add_gate(GateType.AND, ("a", "b"), "g")
+    shuffled.add_gate(GateType.XOR, ("s", "c"), "sum")
+    shuffled.add_gate(GateType.XOR, ("a", "b"), "s")
+    shuffled.add_output("sum")
+    shuffled.add_output("cout")
+    shuffled.validate()
+    hashes = [cone.hash for cone in partition_cones(ordered).cones]
+    assert hashes == [cone.hash for cone in partition_cones(shuffled).cones]
+
+
+def test_cone_hash_distinguishes_edited_cones():
+    """Exactly the cones reaching a mutated gate change their hash."""
+    netlist = generate_multiplier("SP-AR-RC", 4)
+    baseline = partition_cones(netlist)
+    by_output = baseline.by_output()
+    dead = set(baseline.dead_gates)
+    for mutation in list_mutations(netlist)[::40]:
+        mutant = partition_cones(apply_mutation(netlist, mutation))
+        changed = baseline.changed_cones(mutant)
+        if mutation.signal in dead:
+            # Mutating dead logic reaches no output: no cone may change.
+            assert changed == []
+            continue
+        assert changed, f"{mutation.key} must change at least one cone"
+        for output in changed:
+            # The mutated gate lies in every changed cone's fanin.
+            assert mutation.signal in by_output[output].gates
+        # And conversely: every cone whose fanin contains the gate changed.
+        for cone in baseline.cones:
+            if mutation.signal in cone.gates:
+                assert cone.output in changed
+
+
+def test_cone_hash_follows_the_ordered_input_tuple():
+    """Documented caveat: the hash walks each gate's ordered input tuple.
+
+    Swapping two plain primary inputs yields the same structural document
+    (only the slot→signal binding outside the hash differs), but swapping
+    a gate operand past an input changes the DFS numbering and the hash —
+    a cache miss, never a wrong answer.
+    """
+    def flat(swap):
+        netlist = Netlist("flat")
+        a, b = netlist.add_input("a"), netlist.add_input("b")
+        netlist.and_(*((b, a) if swap else (a, b)), "z")
+        netlist.add_output("z")
+        netlist.validate()
+        return partition_cones(netlist).cones[0]
+
+    same, swapped = flat(False), flat(True)
+    assert same.hash == swapped.hash
+    assert same.inputs != swapped.inputs  # binding differs, hash doesn't
+
+    def nested(swap):
+        netlist = Netlist("nested")
+        a, b, c = (netlist.add_input(s) for s in "abc")
+        g = netlist.and_(a, b, "g")
+        netlist.xor(*((c, g) if swap else (g, c)), "z")
+        netlist.add_output("z")
+        netlist.validate()
+        return partition_cones(netlist).cones[0]
+
+    assert nested(False).hash != nested(True).hash
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_ownership_covers_every_live_gate_exactly_once(seed):
+    netlist = _random_dag(seed)
+    partition = partition_cones(netlist)
+    live = set()
+    for cone in partition.cones:
+        owned = set(cone.owned)
+        assert owned <= cone.gates, "owned gates must lie in the fanin"
+        assert not owned & live, "no gate may be owned twice"
+        live |= owned
+    all_gates = {gate.output for gate in netlist.gates()}
+    assert live | set(partition.dead_gates) == all_gates
+    assert not live & set(partition.dead_gates)
+
+
+@pytest.mark.parametrize("architecture", architecture_names())
+def test_ownership_partitions_every_catalog_architecture(architecture):
+    netlist = generate_multiplier(architecture, 4)
+    partition = partition_cones(netlist)
+    owned = [gate for cone in partition.cones for gate in cone.owned]
+    assert len(owned) == len(set(owned)), "a gate is owned twice"
+    assert set(owned) | set(partition.dead_gates) == \
+        {gate.output for gate in netlist.gates()}
+
+
+def test_cone_subnetlist_is_a_pure_function_of_the_hash():
+    """Identically hashed cones rebuild identical canonical netlists."""
+    plain = partition_cones(_two_bit_adder({}))
+    renamed = partition_cones(_two_bit_adder({
+        "_module": "other", "a": "q0", "b": "q1", "c": "q2",
+        "s": "w", "sum": "o0", "g": "k", "p": "l", "cout": "o1"}))
+    for left, right in zip(plain.cones, renamed.cones):
+        sub_left, sub_right = cone_subnetlist(left), cone_subnetlist(right)
+        assert sub_left.name == sub_right.name
+        assert sub_left.inputs == sub_right.inputs
+        assert sub_left.outputs == sub_right.outputs
+        assert [(g.output, g.gate_type, g.inputs)
+                for g in sub_left.gates()] == \
+            [(g.output, g.gate_type, g.inputs) for g in sub_right.gates()]

@@ -1,0 +1,209 @@
+"""The incremental path end to end: engine parity, accounting, wiring.
+
+Covers the exactness contract on golden circuits, the
+``replayed == cones − changed`` accounting of single-gate mutants, and
+the plumbing through :class:`~repro.api.service.VerificationService`,
+the HTTP app (request key + ``/metrics``), and the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.report import VerificationReport
+from repro.api.request import VerificationRequest
+from repro.api.service import VerificationService
+from repro.circuit.mutate import apply_mutation, list_mutations
+from repro.cli import main
+from repro.errors import VerificationError
+from repro.generators.adders import generate_adder
+from repro.generators.multipliers import generate_multiplier
+from repro.incremental import ConeCache, incremental_verify, partition_cones
+from repro.server.app import VerificationServerApp
+from repro.verification.engine import verify
+
+
+def test_golden_multiplier_matches_the_engine_on_every_scheme():
+    netlist = generate_multiplier("SP-AR-RC", 4)
+    for method in ("mt-naive", "mt-fo", "mt-xor", "mt-lr"):
+        reference = verify(netlist, "multiplier", method)
+        outcome = incremental_verify(netlist, "multiplier", method)
+        assert reference.verified and outcome.result.verified
+        assert outcome.result.remainder.is_zero
+        assert outcome.counters == {
+            "cones": 8, "replayed_cones": 0, "reduced_cones": 8,
+            "cache_hits": 0, "cache_misses": 0}
+
+
+def test_adder_specification_is_supported():
+    netlist = generate_adder("KS", 6)
+    outcome = incremental_verify(netlist, "adder")
+    assert outcome.result.verified
+    assert outcome.counters["cones"] == 7  # s0..s5 plus the carry out
+
+
+def test_wide_cones_are_refused_up_front():
+    """Any cone over the input limit refuses the whole circuit cheaply."""
+    from repro.circuit.netlist import Netlist
+    from repro.incremental import ConeTooWideError
+
+    netlist = Netlist("wide")
+    a = [netlist.add_input(f"a{i}") for i in range(8)]
+    b = [netlist.add_input(f"b{i}") for i in range(8)]
+    netlist.and_tree(a + b, "s0")  # 16-input cone, trivial normal form
+    netlist.add_output("s0")
+    netlist.validate()
+
+    with pytest.raises(ConeTooWideError, match="16 primary inputs"):
+        incremental_verify(netlist, "adder", find_counterexample=False)
+    # ConeTooWideError is a BlowUpError, so plain callers keep that contract.
+    from repro.errors import BlowUpError
+    assert issubclass(ConeTooWideError, BlowUpError)
+
+    # Lifting the limit attempts (and here trivially completes) the cone.
+    outcome = incremental_verify(netlist, "adder", find_counterexample=False,
+                                 max_cone_inputs=None)
+    assert not outcome.result.verified
+    assert outcome.counters["cones"] == 1
+
+
+def test_service_falls_back_to_from_scratch_above_the_frontier(tmp_path):
+    """Wider-than-limit circuits verify from scratch with a null block."""
+    service = VerificationService(cone_cache_dir=str(tmp_path))
+    request = VerificationRequest.from_netlist(
+        generate_adder("KS", 13), circuit_kind="adder", incremental=True)
+    report = service.submit(request)
+    assert report.verdict == "verified"
+    assert report.incremental is None  # fell back: no cone accounting
+    assert list((tmp_path).iterdir()) == []  # and nothing was cached
+
+
+def test_mutant_replays_exactly_the_unchanged_cones(tmp_path):
+    """ISSUE acceptance: replayed == total cones − changed-hash cones."""
+    netlist = generate_multiplier("SP-AR-RC", 4)
+    baseline = partition_cones(netlist)
+    cache = ConeCache(tmp_path)
+    incremental_verify(netlist, cache=cache)  # warm the cache
+
+    for mutation in list_mutations(netlist)[::25]:
+        mutant = apply_mutation(netlist, mutation)
+        changed = baseline.changed_cones(partition_cones(mutant))
+        outcome = incremental_verify(mutant, cache=cache)
+        counters = outcome.counters
+        assert counters["cones"] == len(baseline.cones)
+        assert counters["replayed_cones"] == \
+            counters["cones"] - len(changed), mutation.key
+        # Second visit of the same mutant replays everything.
+        again = incremental_verify(mutant, cache=cache)
+        assert again.counters["replayed_cones"] == again.counters["cones"]
+
+
+def test_service_routes_incremental_requests(tmp_path):
+    service = VerificationService(cone_cache_dir=str(tmp_path))
+    request = VerificationRequest.from_architecture("SP-AR-RC", 4,
+                                                    incremental=True)
+    report = service.submit(request)
+    assert report.verdict == "verified"
+    assert report.incremental == {
+        "cones": 8, "replayed_cones": 0, "reduced_cones": 8,
+        "cache_hits": 0, "cache_misses": 8}
+
+    replay = service.submit(request)
+    assert replay.incremental["cache_hits"] == 8
+    assert replay.incremental["replayed_cones"] == 8
+
+    document = json.loads(report.to_json())
+    assert document["schema"] == 5
+    assert list(document)[-1] == "incremental"
+    assert VerificationReport.from_json(report.to_json()).to_json() == \
+        report.to_json()
+
+
+def test_from_scratch_reports_carry_a_null_incremental_block():
+    service = VerificationService()
+    report = service.submit(
+        VerificationRequest.from_architecture("SP-AR-RC", 3))
+    assert report.incremental is None
+    assert json.loads(report.to_json())["incremental"] is None
+
+
+def test_incremental_rejects_certificates_and_non_algebraic_backends():
+    service = VerificationService()
+    with pytest.raises(VerificationError, match="certificate"):
+        service.submit(VerificationRequest.from_architecture(
+            "SP-AR-RC", 3, incremental=True, certificate=True))
+    with pytest.raises(VerificationError, match="algebraic"):
+        service.submit(VerificationRequest.from_architecture(
+            "SP-AR-RC", 3, method="sat-cec", incremental=True))
+
+
+def test_server_accepts_the_flag_and_aggregates_metrics(tmp_path):
+    app = VerificationServerApp(cone_cache_dir=str(tmp_path))
+    try:
+        document = {"architecture": "SP-AR-RC", "width": 4,
+                    "incremental": True}
+        response = app.handle("POST", "/v1/verify",
+                              json.dumps(document).encode("utf-8"))
+        assert response.status == 200
+        body = json.loads(response.body.decode("utf-8"))
+        assert body["verdict"] == "verified"
+        assert body["incremental"]["cones"] == 8
+
+        metrics = json.loads(app.handle("GET", "/metrics").body
+                             .decode("utf-8"))
+        block = metrics["incremental"]
+        assert block["reports_total"] == 1
+        assert block["cones_total"] == 8
+        assert block["reduced_cones_total"] == 8
+        assert block["replayed_cones_total"] == 0
+        assert block["cone_cache_dir"] == str(tmp_path)
+
+        # A warm second request replays through the shared directory.
+        app.handle("POST", "/v1/verify",
+                   json.dumps(document).encode("utf-8"))
+        metrics = json.loads(app.handle("GET", "/metrics").body
+                             .decode("utf-8"))
+        assert metrics["incremental"]["replayed_cones_total"] == 8
+    finally:
+        app.close()
+
+
+def test_server_rejects_a_non_boolean_incremental_flag():
+    app = VerificationServerApp()
+    try:
+        response = app.handle(
+            "POST", "/v1/verify",
+            json.dumps({"architecture": "SP-AR-RC", "width": 3,
+                        "incremental": "yes"}).encode("utf-8"))
+        assert response.status == 400
+    finally:
+        app.close()
+
+
+def test_cli_verify_incremental(tmp_path, capsys):
+    cache = tmp_path / "cones"
+    argv = ["verify", "-a", "SP-AR-RC", "-w", "4", "--incremental",
+            "--cone-cache", str(cache), "--json"]
+    assert main(argv) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["incremental"]["reduced_cones"] == 8
+
+    assert main(argv) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["incremental"]["replayed_cones"] == 8
+    assert second["incremental"]["cache_hits"] == 8
+
+
+def test_cli_campaign_smoke(tmp_path, capsys):
+    assert main(["campaign", "-a", "SP-AR-RC", "-w", "4", "--sample", "5",
+                 "--seed", "9", "--cross-check", "2",
+                 "--cone-cache", str(tmp_path / "cones"),
+                 "--out", str(tmp_path / "rows.jsonl")]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["tasks"] == 6
+    assert summary["cross_checked"] == 2
+    assert summary["cross_check_disagreements"] == 0
+    rows = (tmp_path / "rows.jsonl").read_text(encoding="utf-8")
+    assert len(rows.splitlines()) == 6

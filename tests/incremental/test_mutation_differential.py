@@ -1,0 +1,69 @@
+"""Exhaustive differential sweep: incremental vs from-scratch, row for row.
+
+Every single-gate mutation of the 4-bit SP-AR-RC multiplier (the full
+``list_mutations`` catalog slice, 260 mutants plus the correct baseline)
+is verified twice — through :func:`repro.verification.engine.verify` (the
+reference) and through
+:func:`repro.incremental.verify.incremental_verify` with one shared
+:class:`~repro.incremental.cache.ConeCache` — and the rows must agree:
+
+- identical verdict (``verified``);
+- identical counterexample (both paths search with the same seed);
+- for refuted mutants, the same surviving monomial set with every
+  coefficient congruent mod ``2^|S|`` (the integer *representatives* are
+  not comparable byte-for-byte: the from-scratch engine drops multiples
+  of the modulus mid-run but never normalizes survivors, so its
+  remainder can carry ``-128`` where the canonical symmetric-range form
+  carries ``+128`` — see ``docs/incremental.md``).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.mutate import apply_mutation, list_mutations
+from repro.generators.multipliers import generate_multiplier
+from repro.incremental import ConeCache, incremental_verify
+from repro.verification.engine import verify
+
+ARCHITECTURE = "SP-AR-RC"
+WIDTH = 4
+MODULUS = 2 ** (2 * WIDTH)
+
+
+def _assert_rows_match(reference, outcome, label):
+    got = outcome.result
+    assert got.verified == reference.verified, label
+    assert got.counterexample == reference.counterexample, label
+    if reference.verified:
+        assert got.remainder.is_zero, label
+        return
+    ref_terms = dict(reference.remainder.term_masks())
+    got_terms = dict(got.remainder.term_masks())
+    assert set(ref_terms) == set(got_terms), label
+    for mask in ref_terms:
+        assert (ref_terms[mask] - got_terms[mask]) % MODULUS == 0, \
+            f"{label}: coefficient mismatch mod {MODULUS} on mask {mask}"
+
+
+def test_every_single_gate_mutant_matches_the_reference(tmp_path):
+    netlist = generate_multiplier(ARCHITECTURE, WIDTH)
+    mutations = list_mutations(netlist)
+    assert len(mutations) >= 200, "catalog slice unexpectedly small"
+    cache = ConeCache(tmp_path / "cones")
+
+    baseline = verify(netlist, "multiplier", "mt-lr", seed=0)
+    outcome = incremental_verify(netlist, "multiplier", "mt-lr", seed=0,
+                                 cache=cache)
+    assert baseline.verified
+    _assert_rows_match(baseline, outcome, "baseline")
+    assert outcome.counters["cones"] == outcome.counters["reduced_cones"]
+
+    for mutation in mutations:
+        mutant = apply_mutation(netlist, mutation)
+        reference = verify(mutant, "multiplier", "mt-lr", seed=0)
+        outcome = incremental_verify(mutant, "multiplier", "mt-lr", seed=0,
+                                     cache=cache)
+        _assert_rows_match(reference, outcome, mutation.key)
+
+    # The shared cache replayed the unchanged cones across the campaign.
+    stats = cache.stats()
+    assert stats["hits"] > stats["misses"]

@@ -42,7 +42,7 @@ def test_workflow_parses_and_triggers(workflow):
 def test_workflow_has_expected_jobs(workflow):
     jobs = workflow["jobs"]
     assert set(jobs) >= {"test", "lint", "docs", "certify", "bench-smoke",
-                         "chaos", "fleet"}
+                         "chaos", "fleet", "campaign"}
 
 
 def test_test_job_covers_python_matrix(workflow):
@@ -142,6 +142,27 @@ def test_fleet_job_checks_parity_steals_and_cache(workflow):
     assert "steals=[1-9]" in commands
     assert "cache-hits=[1-9]" in commands
     assert "executed=0" in commands
+
+
+def test_campaign_job_reruns_against_one_cone_cache(workflow):
+    """Seeded mutation campaign, twice, with reuse and parity gates.
+
+    The campaign gate must (a) run ``repro-verify campaign`` twice with
+    the same seed against one shared ``--cone-cache`` directory, (b)
+    cross-check a seeded mutant subset from scratch (the command exits 1
+    itself on a verdict disagreement), (c) assert the second run's cone
+    hit rate is at least 0.9, and (d) byte-diff the extracted
+    (id, verdict) columns of the two runs.
+    """
+    commands = " ".join(step.get("run", "")
+                        for step in workflow["jobs"]["campaign"]["steps"])
+    assert commands.count("repro-verify campaign") >= 2
+    assert "--cone-cache" in commands
+    assert "--cross-check" in commands
+    assert commands.count("--seed 7") >= 2
+    assert "hit_rate" in commands
+    assert ">= 0.9" in commands
+    assert "diff verdicts1.txt verdicts2.txt" in commands
 
 
 def test_docs_job_runs_snippet_check(workflow):
